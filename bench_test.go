@@ -1,0 +1,299 @@
+// Benchmarks: one per reproduced paper table/figure (running the full
+// pipeline — workload simulation, trace collection, critical-path
+// analysis, report rendering) plus component benchmarks for the trace
+// codec, the collector, the simulator and the analyzer itself.
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches use Quick mode (reduced sweeps) so a full bench
+// run stays laptop-sized; `claexp -all` runs the full-size versions.
+package critlock_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"critlock"
+	"critlock/internal/core"
+	"critlock/internal/experiments"
+	"critlock/internal/sim"
+	"critlock/internal/trace"
+	"critlock/internal/workloads"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Seed: 1, Contexts: 24, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+func BenchmarkTable1Environment(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable2Metrics(b *testing.B)        { benchExperiment(b, "table2") }
+func BenchmarkFig1Concept(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFig6Micro(b *testing.B)            { benchExperiment(b, "fig6") }
+func BenchmarkFig7Timeline(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8AppSurvey(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9RadiositySweep(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10Contention(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11CSSize(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12Optimization(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13OptimizedSize(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14OptimizedCont(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkTSPOptimization(b *testing.B)      { benchExperiment(b, "tsp") }
+func BenchmarkAblationWakeupOrder(b *testing.B)  { benchExperiment(b, "ablation-fairness") }
+func BenchmarkAblationHoldClipping(b *testing.B) { benchExperiment(b, "ablation-clipping") }
+
+// --- component benchmarks ---
+
+// largeTrace builds a synthetic convoy trace with roughly n events.
+func largeTrace(n int) *trace.Trace {
+	b := trace.NewBuilder()
+	const threads = 16
+	var tids []trace.ThreadID
+	root := b.Thread("t0", trace.NoThread)
+	tids = append(tids, root)
+	for i := 1; i < threads; i++ {
+		tids = append(tids, b.Thread(fmt.Sprintf("t%d", i), root))
+	}
+	m := b.Mutex("hot")
+	m2 := b.Mutex("cold")
+	for _, tid := range tids {
+		b.Start(0, tid)
+	}
+	// Interleaved critical sections: thread k takes the hot lock in
+	// round-robin order (a convoy), plus a private cold section.
+	iters := n / (threads * 6)
+	tm := trace.Time(0)
+	for it := 0; it < iters; it++ {
+		for k, tid := range tids {
+			acq := tm + trace.Time(k)
+			obt := tm + trace.Time(10*(k+1))
+			rel := obt + 9
+			b.CS(tid, m, acq, obt, rel)
+			b.CS(tid, m2, rel, rel, rel+1)
+		}
+		tm += trace.Time(10*threads + 20)
+	}
+	for _, tid := range tids {
+		b.Exit(tm+1, tid)
+	}
+	return b.Trace()
+}
+
+func BenchmarkAnalyzeLargeTrace(b *testing.B) {
+	tr := largeTrace(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := core.Analyze(tr, core.Options{ClipHold: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if an.CP.Length == 0 {
+			b.Fatal("empty critical path")
+		}
+	}
+	b.SetBytes(int64(len(tr.Events)))
+}
+
+func BenchmarkTraceCodecBinaryWrite(b *testing.B) {
+	tr := largeTrace(50_000)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkTraceCodecBinaryRead(b *testing.B) {
+	tr := largeTrace(50_000)
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadBinary(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceCodecJSONWrite(b *testing.B) {
+	tr := largeTrace(50_000)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.WriteJSON(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkCollectorEmit(b *testing.B) {
+	col := trace.NewCollector()
+	buf := col.RegisterThread("bench", trace.NoThread)
+	obj := col.RegisterObject(trace.ObjMutex, "m", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Emit(trace.Time(i), trace.EvLockAcquire, obj, 0)
+	}
+}
+
+// BenchmarkSimMutexHandoff measures the simulator's cost per
+// lock/unlock pair under a 8-thread convoy.
+func BenchmarkSimMutexHandoff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(sim.Config{Contexts: 8, Seed: 1})
+		m := s.NewMutex("m")
+		_, _, err := s.Run(func(p critlock.Proc) {
+			var kids []critlock.Thread
+			for w := 0; w < 8; w++ {
+				kids = append(kids, p.Go("w", func(q critlock.Proc) {
+					for j := 0; j < 500; j++ {
+						q.Lock(m)
+						q.Compute(10)
+						q.Unlock(m)
+					}
+				}))
+			}
+			for _, k := range kids {
+				p.Join(k)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadRadiosity24 runs the headline workload end to end
+// (simulate + analyze), the unit of every radiosity figure.
+func BenchmarkWorkloadRadiosity24(b *testing.B) {
+	spec, err := workloads.Get("radiosity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(sim.Config{Contexts: 24, Seed: 1})
+		tr, _, err := workloads.Run(s, spec, workloads.Params{Threads: 24, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.AnalyzeDefault(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLockTableRender measures the reporting layer.
+func BenchmarkLockTableRender(b *testing.B) {
+	tr := largeTrace(20_000)
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = critlock.LockTable(an, 0).String()
+	}
+}
+
+// --- extension benchmarks ---
+
+func BenchmarkSlackAnalysis(b *testing.B) {
+	tr := largeTrace(100_000)
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sa := an.Slack(); len(sa.Locks) == 0 {
+			b.Fatal("no slack results")
+		}
+	}
+	b.SetBytes(int64(len(tr.Events)))
+}
+
+func BenchmarkOnlinePredictor(b *testing.B) {
+	tr := largeTrace(100_000)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tr.Events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPredictor()
+		p.ObserveAll(tr)
+		if p.Top() == -1 {
+			b.Fatal("no prediction")
+		}
+	}
+}
+
+func BenchmarkWindowsAnalysis(b *testing.B) {
+	tr := largeTrace(100_000)
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := an.Windows(16); len(w) != 16 {
+			b.Fatal("bad windows")
+		}
+	}
+}
+
+func BenchmarkStreamWrite(b *testing.B) {
+	tr := largeTrace(50_000)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		sw, err := trace.NewStreamWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range tr.Events {
+			sw.Event(e)
+		}
+		if err := sw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}

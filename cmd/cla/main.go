@@ -1,0 +1,185 @@
+// Command cla is the offline analysis module: it reads a trace file
+// (binary .cltr or JSON) produced by clasim or by an instrumented
+// program and prints the critical lock analysis report — the role of
+// the paper's post-processing analysis module (Fig. 3).
+//
+//	cla trace.cltr
+//	cla -json trace.json
+//	cla -top 0 -threadstats -gantt trace.cltr
+//	cla -csv trace.cltr            # lock table as CSV
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"critlock/internal/core"
+	"critlock/internal/report"
+	"critlock/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cla:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cla", flag.ContinueOnError)
+	var (
+		jsonIn    = fs.Bool("json", false, "input is JSON instead of binary")
+		streamIn  = fs.Bool("stream", false, "input is the incremental stream format (tolerates truncation)")
+		top       = fs.Int("top", 10, "locks to list (0 = all)")
+		thr       = fs.Bool("threadstats", false, "print per-thread statistics")
+		gantt     = fs.Bool("gantt", false, "print the execution timeline")
+		csvOut    = fs.Bool("csv", false, "emit the lock table as CSV instead of text")
+		noClip    = fs.Bool("noclip", false, "credit full hold time to on-path invocations (ablation)")
+		noCheck   = fs.Bool("novalidate", false, "skip trace validation")
+		windows   = fs.Int("windows", 0, "split the run into N windows and show per-window criticality")
+		lockOrder = fs.Bool("lockorder", false, "print the lock acquisition-order graph and deadlock cycles")
+		compose   = fs.Bool("composition", false, "print the critical path composition breakdown")
+		svgOut    = fs.String("svg", "", "write an SVG timeline to this file")
+		slack     = fs.Bool("slack", false, "print per-lock slack (distance from the critical path)")
+		phases    = fs.Int("phases", 0, "segment the run by dominant lock at this window resolution")
+		predict   = fs.Bool("predict", false, "run the online criticality predictor and compare with the walk")
+		markdown  = fs.Bool("markdown", false, "emit the lock table as GitHub markdown instead of text")
+		reportOut = fs.String("report", "", "write a complete markdown report to this file")
+		narrate   = fs.Int("narrate", -1, "narrate the critical path's thread hops (0 = all, N = cap)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one trace file argument")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var tr *trace.Trace
+	switch {
+	case *streamIn:
+		tr, err = trace.ReadStream(f)
+		if err != nil && errors.Is(err, trace.ErrTruncatedStream) && len(tr.Events) > 0 {
+			fmt.Fprintf(os.Stderr, "cla: warning: %v — analyzing the durable prefix (%d events)\n", err, len(tr.Events))
+			err = nil
+		}
+	case *jsonIn:
+		tr, err = trace.ReadJSON(f)
+	default:
+		tr, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+
+	an, err := core.Analyze(tr, core.Options{ClipHold: !*noClip, Validate: !*noCheck})
+	if err != nil {
+		return fmt.Errorf("analyzing: %w", err)
+	}
+
+	if *csvOut {
+		return report.LockReport(an, *top).CSV(os.Stdout)
+	}
+	if *markdown {
+		return report.LockReport(an, *top).Markdown(os.Stdout)
+	}
+	report.Summary(os.Stdout, an)
+	fmt.Println()
+	if err := report.LockReport(an, *top).Render(os.Stdout); err != nil {
+		return err
+	}
+	if *thr {
+		fmt.Println()
+		if err := report.ThreadReport(an).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(report.Gantt(an, 100))
+	}
+	if *compose {
+		fmt.Println()
+		if err := report.CompositionReport(an).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *windows > 0 {
+		fmt.Println()
+		if err := report.WindowReport(an, *windows).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *narrate >= 0 {
+		fmt.Println()
+		fmt.Print(report.Narrate(an, *narrate))
+	}
+	if *predict {
+		fmt.Println()
+		p := core.NewPredictor()
+		p.ObserveAll(tr)
+		pt := report.NewTable("Online prediction vs critical-path walk", "Rank", "Predictor", "Walk (ground truth)")
+		ranking := p.Ranking()
+		for i := 0; i < 3 && i < len(ranking) && i < len(an.Locks); i++ {
+			pt.AddRow(fmt.Sprint(i+1), tr.ObjName(ranking[i].Lock), an.Locks[i].Name)
+		}
+		if err := pt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *phases > 0 {
+		fmt.Println()
+		if err := report.PhaseReport(an, *phases).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *slack {
+		fmt.Println()
+		if err := report.SlackReport(an.Slack(), *top).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *reportOut != "" {
+		doc := report.Full(an, report.FullOptions{
+			TopLocks:  *top,
+			Windows:   *windows,
+			Threads:   *thr,
+			LockOrder: *lockOrder,
+			Slack:     *slack,
+		})
+		if err := os.WriteFile(*reportOut, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote markdown report to %s\n", *reportOut)
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(report.SVGGantt(an, 1200)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote SVG timeline to %s\n", *svgOut)
+	}
+	if *lockOrder {
+		fmt.Println()
+		lo := core.LockOrderOf(tr)
+		if err := report.LockOrderReport(lo).Render(os.Stdout); err != nil {
+			return err
+		}
+		if lo.HasCycle() {
+			fmt.Println("WARNING: lock-order inversion cycles (potential deadlocks):")
+			for _, cyc := range lo.CycleNames() {
+				fmt.Printf("  %v\n", cyc)
+			}
+		} else {
+			fmt.Println("no lock-order inversion cycles found")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"critlock"
+)
+
+// writePair simulates the radiosity original/optimized pair and stores
+// both traces.
+func writePair(t *testing.T) (before, after string) {
+	t.Helper()
+	dir := t.TempDir()
+	for _, v := range []struct {
+		name    string
+		twoLock bool
+	}{{"before.cltr", false}, {"after.cltr", true}} {
+		sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 24, Seed: 1})
+		tr, _, err := critlock.RunWorkload(sim, "radiosity", critlock.WorkloadParams{
+			Threads: 16, Seed: 1, TwoLock: v.twoLock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, v.name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := critlock.WriteTrace(f, tr); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return filepath.Join(dir, "before.cltr"), filepath.Join(dir, "after.cltr")
+}
+
+func TestDiffPair(t *testing.T) {
+	before, after := writePair(t)
+	if err := run([]string{before, after}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-top", "0", before, after}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	before, _ := writePair(t)
+	if err := run([]string{before}); err == nil {
+		t.Error("single argument accepted")
+	}
+	if err := run([]string{before, "/missing.cltr"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-json", before, before}); err == nil {
+		t.Error("binary file accepted as JSON")
+	}
+}

@@ -1,0 +1,83 @@
+// Command claexp reproduces the paper's tables and figures.
+//
+//	claexp -list           # what can be reproduced
+//	claexp -run fig9       # one experiment
+//	claexp -all            # everything, in paper order
+//	claexp -all -quick     # reduced sweeps (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"critlock/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "claexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("claexp", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list experiments and exit")
+		runID    = fs.String("run", "", "run one experiment by id")
+		all      = fs.Bool("all", false, "run every experiment in paper order")
+		seed     = fs.Int64("seed", 1, "random seed")
+		contexts = fs.Int("contexts", 24, "simulated hardware contexts")
+		quick    = fs.Bool("quick", false, "reduced sweeps")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Seed: *seed, Contexts: *contexts, Quick: *quick}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n%-18s   reproduces: %s\n", e.ID, e.Title, "", e.Paper)
+		}
+		return nil
+	case *runID != "":
+		e, err := experiments.Get(*runID)
+		if err != nil {
+			return err
+		}
+		return render(e, opts)
+	case *all:
+		for _, e := range experiments.All() {
+			if err := render(e, opts); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("choose -list, -run <id> or -all")
+	}
+}
+
+func render(e experiments.Experiment, opts experiments.Options) error {
+	fmt.Printf("==========================================================================\n")
+	fmt.Printf("%s — %s\n", e.ID, e.Title)
+	fmt.Printf("reproduces: %s\n\n", e.Paper)
+	res, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	for _, n := range res.Notes {
+		fmt.Println(n)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	if err := run([]string{"-run", "fig1", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestNoModeIsError(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no mode accepted")
+	}
+}

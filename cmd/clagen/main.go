@@ -1,0 +1,67 @@
+// Command clagen extracts a declarative workload model from a trace:
+// the locks, their hold sizes and invocation rates, and the compute
+// between them, emitted as synth-DSL JSON. The output re-creates the
+// trace's contention profile in a sandbox where it can be edited and
+// re-simulated (clasim -synth) — diagnose on the real system, iterate
+// on the model.
+//
+//	clasim -w radiosity -threads 24 -o rad.cltr
+//	clagen rad.cltr > rad-model.json
+//	clasim -synth rad-model.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"critlock/internal/core"
+	"critlock/internal/synth"
+	"critlock/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("clagen", flag.ContinueOnError)
+	jsonIn := fs.Bool("json", false, "input trace is JSON instead of binary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one trace file argument")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var tr *trace.Trace
+	if *jsonIn {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", fs.Arg(0), err)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		return fmt.Errorf("analyzing: %w", err)
+	}
+	cfg, err := synth.FromAnalysis(an)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}

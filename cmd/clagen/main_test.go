@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"critlock"
+	"critlock/internal/synth"
+)
+
+func writeMicroTrace(t *testing.T) string {
+	t.Helper()
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	tr, _, err := critlock.RunWorkload(sim, "micro", critlock.WorkloadParams{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "micro.cltr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := critlock.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestGenerateModel(t *testing.T) {
+	in := writeMicroTrace(t)
+	outPath := filepath.Join(t.TempDir(), "model.json")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{in}, out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := synth.Load(f)
+	if err != nil {
+		t.Fatalf("generated model does not load: %v", err)
+	}
+	if cfg.Threads != 4 || len(cfg.Locks) != 2 {
+		t.Errorf("model = %+v", cfg)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"/missing.cltr"}, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListWorkloads(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMicroWithOutputs(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.cltr")
+	js := filepath.Join(dir, "t.json")
+	err := run([]string{"-w", "micro", "-threads", "4", "-o", bin, "-json", js, "-gantt", "-threadstats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{bin, js} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("output %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+func TestRunTwoLockVariant(t *testing.T) {
+	if err := run([]string{"-w", "tsp", "-threads", "4", "-twolock"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLiveBackend(t *testing.T) {
+	if err := run([]string{"-w", "micro", "-threads", "2", "-backend", "live", "-scale", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-w", "bogus"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-backend", "quantum"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if err := run([]string{"-o", "/nonexistent-dir/x.cltr", "-w", "micro", "-threads", "2"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command clawhatif runs what-if studies on a declarative workload
+// model: thread sweeps (does the bottleneck shift as in the paper's
+// Fig. 9?) and lock-shrinking experiments (how much does optimizing
+// this lock actually buy, as in Fig. 6 / Fig. 12?).
+//
+//	clagen rad.cltr > model.json
+//	clawhatif -threads 4,8,16,24 model.json
+//	clawhatif -shrink "tq[0].qlock" -factors 1.0,0.75,0.5,0.25 model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"critlock/internal/report"
+	"critlock/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clawhatif:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("clawhatif", flag.ContinueOnError)
+	var (
+		threadsFlag = fs.String("threads", "", "comma-separated worker counts to sweep")
+		shrink      = fs.String("shrink", "", "lock whose holds are scaled by each factor")
+		factorsFlag = fs.String("factors", "", "comma-separated hold factors (default 1.0,0.5 with -shrink)")
+		contexts    = fs.Int("contexts", 24, "simulated hardware contexts")
+		seed        = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one model JSON file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := synth.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	spec := synth.SweepSpec{ShrinkLock: *shrink, Contexts: *contexts, Seed: *seed}
+	if *threadsFlag != "" {
+		for _, part := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad thread count %q", part)
+			}
+			spec.Threads = append(spec.Threads, n)
+		}
+	}
+	if *factorsFlag != "" {
+		for _, part := range strings.Split(*factorsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("bad factor %q", part)
+			}
+			spec.Factors = append(spec.Factors, v)
+		}
+	}
+
+	rows, err := synth.Sweep(cfg, spec)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("what-if study of %q", cfg.Name),
+		"Threads", "Hold factor", "Completion ns", "Speedup", "Top lock", "Top CP %")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprint(r.Threads), fmt.Sprintf("%.2f", r.Factor),
+			fmt.Sprint(r.Completion), fmt.Sprintf("%.2f", r.Speedup),
+			r.TopLock, report.Pct(r.TopCPPct))
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeModel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.json")
+	err := os.WriteFile(path, []byte(`{
+	  "name": "m",
+	  "threads": 4,
+	  "locks": ["L1", "L2"],
+	  "phases": [{"steps": [
+	    {"lock": "L1", "hold": 20000},
+	    {"lock": "L2", "hold": 25000}
+	  ]}]
+	}`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWhatIfThreads(t *testing.T) {
+	if err := run([]string{"-threads", "1,2,4", writeModel(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhatIfShrink(t *testing.T) {
+	if err := run([]string{"-shrink", "L2", "-factors", "1.0,0.5,0.25", writeModel(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhatIfErrors(t *testing.T) {
+	m := writeModel(t)
+	if err := run(nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-threads", "zero", m}); err == nil {
+		t.Error("bad threads accepted")
+	}
+	if err := run([]string{"-factors", "-1", "-shrink", "L1", m}); err == nil {
+		t.Error("bad factor accepted")
+	}
+	if err := run([]string{"-shrink", "missing", m}); err == nil {
+		t.Error("unknown lock accepted")
+	}
+	if err := run([]string{"/nope.json"}); err == nil {
+		t.Error("missing model accepted")
+	}
+}

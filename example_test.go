@@ -1,0 +1,104 @@
+package critlock_test
+
+import (
+	"fmt"
+	"strings"
+
+	"critlock"
+)
+
+// ExampleAnalyze simulates the classic misleading-idleness scenario:
+// the lock with the most waiting is not the one delaying completion.
+func ExampleAnalyze() {
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	noisy := sim.NewMutex("noisy") // heavily contended, fully overlapped
+	serial := sim.NewMutex("serial")
+
+	tr, _, err := sim.Run(func(p critlock.Proc) {
+		tail := p.Go("tail", func(q critlock.Proc) {
+			for i := 0; i < 10; i++ {
+				q.Compute(500)
+				q.Lock(serial)
+				q.Compute(2_000)
+				q.Unlock(serial)
+			}
+		})
+		var workers []critlock.Thread
+		for i := 0; i < 3; i++ {
+			workers = append(workers, p.Go("worker", func(q critlock.Proc) {
+				for j := 0; j < 4; j++ {
+					q.Lock(noisy)
+					q.Compute(800)
+					q.Unlock(noisy)
+				}
+			}))
+		}
+		for _, w := range workers {
+			p.Join(w)
+		}
+		p.Join(tail)
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	an, err := critlock.Analyze(tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("critical lock: %s\n", an.Locks[0].Name)
+	fmt.Printf("off the path:  %s (critical=%v)\n", "noisy", an.Lock("noisy").Critical)
+	// Output:
+	// critical lock: serial
+	// off the path:  noisy (critical=false)
+}
+
+// ExampleNewPredictor scores criticality online, without the backward
+// walk.
+func ExampleNewPredictor() {
+	sim := critlock.NewSimulator(critlock.SimConfig{Seed: 1})
+	m := sim.NewMutex("hot")
+	tr, _, err := sim.Run(func(p critlock.Proc) {
+		w := p.Go("w", func(q critlock.Proc) {
+			q.Lock(m)
+			q.Compute(1_000)
+			q.Unlock(m)
+		})
+		p.Join(w)
+	})
+	if err != nil {
+		panic(err)
+	}
+	pred := critlock.NewPredictor()
+	for _, e := range tr.Events {
+		pred.Observe(e)
+	}
+	fmt.Println(tr.ObjName(pred.Top()))
+	// Output:
+	// hot
+}
+
+// ExampleLoadSynth models a workload declaratively from JSON.
+func ExampleLoadSynth() {
+	cfg, err := critlock.LoadSynth(strings.NewReader(`{
+	  "name": "demo",
+	  "threads": 2,
+	  "locks": ["db"],
+	  "phases": [{"steps": [{"lock": "db", "hold": 1000}]}]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	sim := critlock.NewSimulator(critlock.SimConfig{Seed: 1})
+	tr, _, err := critlock.RunSynth(sim, cfg, critlock.WorkloadParams{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	an, err := critlock.Analyze(tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s invocations: %d\n", an.Locks[0].Name, an.Locks[0].TotalInvocations)
+	// Output:
+	// db invocations: 2
+}

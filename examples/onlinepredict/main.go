@@ -1,0 +1,52 @@
+// Onlinepredict demonstrates the runtime-guidance building block from
+// the paper's future work (§VII): estimating which lock is critical
+// *while the program runs*, from a forward event stream, with O(1)
+// work per event — no backward critical-path walk required.
+//
+//	go run ./examples/onlinepredict
+//
+// It replays a radiosity run event by event, printing the predictor's
+// top lock at 10% checkpoints, then compares the final prediction with
+// the ground truth from the full offline analysis and shows the
+// per-phase criticality (time windows) the offline analysis computes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"critlock"
+)
+
+func main() {
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 24, Seed: 1})
+	tr, _, err := critlock.RunWorkload(sim, "radiosity", critlock.WorkloadParams{Threads: 24, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("replaying the event stream through the online predictor:")
+	p := critlock.NewPredictor()
+	checkpoint := len(tr.Events) / 10
+	for i, e := range tr.Events {
+		p.Observe(e)
+		if checkpoint > 0 && (i+1)%checkpoint == 0 {
+			fmt.Printf("  %3d%% of events: top lock so far = %s\n",
+				(i+1)*100/len(tr.Events), tr.ObjName(p.Top()))
+		}
+	}
+
+	an, err := critlock.Analyze(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := an.Locks[0]
+	pred := tr.ObjName(p.Top())
+	fmt.Printf("\nground truth (offline critical-path walk): %s (%.1f%% of the CP)\n",
+		truth.Name, truth.CPTimePct)
+	fmt.Printf("online prediction:                         %s — %v\n",
+		pred, map[bool]string{true: "match", false: "MISMATCH"}[pred == truth.Name])
+
+	fmt.Println("\ncriticality per phase (offline, 6 windows):")
+	fmt.Println(critlock.WindowTable(an, 6))
+}

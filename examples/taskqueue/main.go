@@ -1,0 +1,67 @@
+// Taskqueue walks through the paper's Radiosity case study (§V.D)
+// end to end:
+//
+//  1. run the task-queue workload at 24 threads and identify the
+//     critical lock (tq[0].qlock),
+//
+//  2. inspect its contention probability and critical-section size —
+//     the two metrics that explain WHY it dominates,
+//
+//  3. apply the paper's fix (split the queue lock into head/tail
+//     locks, the Michael–Scott two-lock queue) and re-simulate,
+//
+//  4. report the measured end-to-end improvement.
+//
+//     go run ./examples/taskqueue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"critlock"
+)
+
+func runOnce(twoLock bool) (*critlock.Analysis, critlock.Time) {
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 24, Seed: 1})
+	tr, elapsed, err := critlock.RunWorkload(sim, "radiosity", critlock.WorkloadParams{
+		Threads: 24,
+		Seed:    1,
+		TwoLock: twoLock,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := critlock.Analyze(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return an, elapsed
+}
+
+func main() {
+	fmt.Println("== step 1: identify the critical lock (original version) ==")
+	anOrig, tOrig := runOnce(false)
+	fmt.Println(critlock.LockTable(anOrig, 3))
+
+	top := anOrig.Locks[0]
+	fmt.Printf("== step 2: why %q dominates ==\n", top.Name)
+	fmt.Printf("  %.1f%% of the critical path, %d invocations on it (%.1fx the per-thread average)\n",
+		top.CPTimePct, top.InvocationsOnCP, top.InvIncrease)
+	fmt.Printf("  contention probability along the path: %.1f%% — nearly every grant unblocked someone\n",
+		top.ContProbOnCP)
+	fmt.Printf("  note the TYPE 2 view: wait time just %.1f%% — idleness-based tools would underrate it\n\n",
+		top.WaitTimePct)
+
+	fmt.Println("== step 3: apply the two-lock queue (enqueue and dequeue no longer collide) ==")
+	anOpt, tOpt := runOnce(true)
+	fmt.Println(critlock.LockTable(anOpt, 3))
+
+	fmt.Println("== step 4: validation ==")
+	impr := 100 * float64(tOrig-tOpt) / float64(tOrig)
+	fmt.Printf("  original:  %d ns\n  optimized: %d ns\n  end-to-end improvement: %.1f%%\n",
+		tOrig, tOpt, impr)
+	fmt.Printf("  (far below the lock's %.1f%% CP share — once it shrinks, other segments move onto the path;\n"+
+		"   exactly the paper's observation with its 7%% gain against a 39%% CP share)\n",
+		top.CPTimePct)
+}

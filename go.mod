@@ -1,0 +1,3 @@
+module critlock
+
+go 1.22

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+
+	"critlock/internal/trace"
+)
+
+// Comparison is the structured before/after diff of two analyses —
+// the paper's validation workflow (§V.D.3: optimize the critical lock,
+// re-run, inspect what moved onto the critical path) as a first-class
+// result.
+type Comparison struct {
+	// BeforeTime and AfterTime are the two completion times.
+	BeforeTime trace.Time
+	AfterTime  trace.Time
+	// Speedup is BeforeTime/AfterTime.
+	Speedup float64
+	// ImprovementPct is the relative completion-time reduction.
+	ImprovementPct float64
+	// Locks pairs every lock name appearing in either analysis.
+	Locks []LockDelta
+}
+
+// LockDelta is one lock's movement between two runs. Locks are
+// matched by name, so an optimization that renames or splits a lock
+// (qlock → q_head_lock/q_tail_lock) shows the old name disappearing
+// and the new names appearing.
+type LockDelta struct {
+	Name string
+	// InBefore/InAfter report presence in each run.
+	InBefore, InAfter bool
+	// CPTimeBefore/After are the CP Time % values (0 when absent).
+	CPTimeBefore, CPTimeAfter float64
+	// CPTimeDelta is After − Before.
+	CPTimeDelta float64
+	// ContOnCPBefore/After are the contention probabilities on the CP.
+	ContOnCPBefore, ContOnCPAfter float64
+}
+
+// Compare diffs two analyses (typically original vs optimized runs of
+// the same workload). beforeTime/afterTime are the completion times of
+// the corresponding runs.
+func Compare(before, after *Analysis, beforeTime, afterTime trace.Time) *Comparison {
+	c := &Comparison{BeforeTime: beforeTime, AfterTime: afterTime}
+	if afterTime > 0 {
+		c.Speedup = float64(beforeTime) / float64(afterTime)
+	}
+	if beforeTime > 0 {
+		c.ImprovementPct = 100 * float64(beforeTime-afterTime) / float64(beforeTime)
+	}
+
+	names := map[string]*LockDelta{}
+	deltaOf := func(name string) *LockDelta {
+		d := names[name]
+		if d == nil {
+			d = &LockDelta{Name: name}
+			names[name] = d
+		}
+		return d
+	}
+	for _, l := range before.Locks {
+		d := deltaOf(l.Name)
+		d.InBefore = true
+		d.CPTimeBefore = l.CPTimePct
+		d.ContOnCPBefore = l.ContProbOnCP
+	}
+	for _, l := range after.Locks {
+		d := deltaOf(l.Name)
+		d.InAfter = true
+		d.CPTimeAfter = l.CPTimePct
+		d.ContOnCPAfter = l.ContProbOnCP
+	}
+	for _, d := range names {
+		d.CPTimeDelta = d.CPTimeAfter - d.CPTimeBefore
+		c.Locks = append(c.Locks, *d)
+	}
+	// Largest movement first; ties by name.
+	sort.Slice(c.Locks, func(i, j int) bool {
+		ai, aj := abs(c.Locks[i].CPTimeDelta), abs(c.Locks[j].CPTimeDelta)
+		if ai != aj {
+			return ai > aj
+		}
+		return c.Locks[i].Name < c.Locks[j].Name
+	})
+	return c
+}
+
+// TopMover returns the lock with the largest CP-share change (zero
+// value when there are no locks).
+func (c *Comparison) TopMover() LockDelta {
+	if len(c.Locks) == 0 {
+		return LockDelta{Name: "<none>"}
+	}
+	return c.Locks[0]
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+
+	"critlock/internal/trace"
+)
+
+// invocation is one critical section: acquire/obtain/release indices
+// into the trace's event slice plus derived timing.
+type invocation struct {
+	lock       trace.ObjID
+	thread     trace.ThreadID
+	acquireIdx int32
+	obtainIdx  int32
+	releaseIdx int32 // -1 if the trace ends mid-hold
+	acqT       trace.Time
+	obtT       trace.Time
+	relT       trace.Time
+	contended  bool
+	shared     bool
+}
+
+func (inv *invocation) wait() trace.Time { return inv.obtT - inv.acqT }
+func (inv *invocation) hold() trace.Time { return inv.relT - inv.obtT }
+
+// index holds everything the walk and the metric pass need: per-thread
+// event sequences, waker edges for unblock events, and extracted lock
+// invocations.
+type index struct {
+	// thrEvents[tid] lists global event indices of thread tid in time
+	// order.
+	thrEvents [][]int32
+	// posInThread[i] is the position of event i within its thread's
+	// sequence.
+	posInThread []int32
+	// waker[i] is the global index of the event that released the
+	// blocked thread at unblock event i, or -1.
+	waker []int32
+	// blocked[i] reports that event i is an unblock event whose
+	// preceding interval was a wait.
+	blocked []bool
+	// invocations, in global obtain order.
+	invocations []invocation
+	// invsByThread[tid] indexes invocations per thread, in obtain
+	// order.
+	invsByThread [][]int32
+	// exitIdx[tid] is the global index of the thread's exit event, or
+	// -1 if it never exited (truncated trace).
+	exitIdx []int32
+	// startIdx[tid] is the global index of the thread's start event.
+	startIdx []int32
+}
+
+// buildIndex performs one forward pass over the events, resolving
+// wakers per the paper §IV.B: "For locks, the thread holding the same
+// lock adjacently before the blocked thread is the desired one. For
+// barriers, the thread reaching the same barrier lastly is the desired
+// one. For condition variables, the thread signaling the same condition
+// variable to the blocked thread is the desired one."
+func buildIndex(tr *trace.Trace) (*index, error) {
+	n := len(tr.Events)
+	nThreads := len(tr.Threads)
+	idx := &index{
+		thrEvents:    make([][]int32, nThreads),
+		posInThread:  make([]int32, n),
+		waker:        make([]int32, n),
+		blocked:      make([]bool, n),
+		invsByThread: make([][]int32, nThreads),
+		exitIdx:      make([]int32, nThreads),
+		startIdx:     make([]int32, nThreads),
+	}
+	for i := range idx.waker {
+		idx.waker[i] = -1
+	}
+	for i := range idx.exitIdx {
+		idx.exitIdx[i] = -1
+		idx.startIdx[i] = -1
+	}
+
+	// Pre-size the per-thread event lists and the invocation store to
+	// avoid repeated slice growth (the dominant allocation cost on
+	// large traces).
+	perThread := make([]int, nThreads)
+	acquires := 0
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Thread >= 0 && int(e.Thread) < nThreads {
+			perThread[e.Thread]++
+		}
+		if e.Kind == trace.EvLockAcquire {
+			acquires++
+		}
+	}
+	for tid, n := range perThread {
+		idx.thrEvents[tid] = make([]int32, 0, n)
+	}
+	idx.invocations = make([]invocation, 0, acquires)
+
+	// Per-mutex: index of the last release event seen (dense by
+	// ObjID).
+	lastRelease := make([]int32, len(tr.Objects))
+	for i := range lastRelease {
+		lastRelease[i] = -1
+	}
+	// Per-mutex+thread: pending invocation under construction.
+	type pendKey struct {
+		lock   trace.ObjID
+		thread trace.ThreadID
+	}
+	pending := map[pendKey]int32{} // → index into idx.invocations
+
+	// Per-barrier episode tracking. Each (barrier, thread) pairs its
+	// k-th arrive with its k-th depart; the waker of a blocked depart
+	// is the last arrive of the same episode.
+	type barrierState struct {
+		arrivals     int
+		lastArriveIn map[int]int32 // episode → last arrive event idx
+		arriveEp     map[trace.ThreadID][]int
+		departCount  map[trace.ThreadID]int
+	}
+	barriers := map[trace.ObjID]*barrierState{}
+	barState := func(o trace.ObjID) *barrierState {
+		bs := barriers[o]
+		if bs == nil {
+			bs = &barrierState{
+				lastArriveIn: map[int]int32{},
+				arriveEp:     map[trace.ThreadID][]int{},
+				departCount:  map[trace.ThreadID]int{},
+			}
+			barriers[o] = bs
+		}
+		return bs
+	}
+
+	// Per-cond FIFO of blocked waiters and resolved wakers.
+	type condState struct {
+		waiting []trace.ThreadID
+		wakerOf map[trace.ThreadID]int32
+	}
+	conds := map[trace.ObjID]*condState{}
+	condStateOf := func(o trace.ObjID) *condState {
+		cs := conds[o]
+		if cs == nil {
+			cs = &condState{wakerOf: map[trace.ThreadID]int32{}}
+			conds[o] = cs
+		}
+		return cs
+	}
+
+	// joinBeginT[(joiner)] stamps the last join-begin per thread; the
+	// join-end is blocked iff the joinee exited after it.
+	joinBeginT := make([]trace.Time, nThreads)
+
+	// Blocked barrier departs awaiting the post-pass.
+	type pendingDepart struct {
+		idx     int32
+		obj     trace.ObjID
+		thread  trace.ThreadID
+		episode int
+	}
+	var departs []pendingDepart
+
+	for i32 := 0; i32 < n; i32++ {
+		e := tr.Events[i32]
+		i := int32(i32)
+		if e.Thread < 0 || int(e.Thread) >= nThreads {
+			return nil, fmt.Errorf("core: event %d references thread %d out of range", i, e.Thread)
+		}
+		idx.posInThread[i] = int32(len(idx.thrEvents[e.Thread]))
+		idx.thrEvents[e.Thread] = append(idx.thrEvents[e.Thread], i)
+
+		switch e.Kind {
+		case trace.EvThreadStart:
+			idx.startIdx[e.Thread] = i
+		case trace.EvThreadExit:
+			idx.exitIdx[e.Thread] = i
+
+		case trace.EvLockAcquire:
+			inv := invocation{
+				lock: e.Obj, thread: e.Thread,
+				acquireIdx: i, obtainIdx: -1, releaseIdx: -1,
+				acqT: e.T,
+			}
+			idx.invocations = append(idx.invocations, inv)
+			pending[pendKey{e.Obj, e.Thread}] = int32(len(idx.invocations) - 1)
+
+		case trace.EvLockObtain:
+			pi, ok := pending[pendKey{e.Obj, e.Thread}]
+			if !ok {
+				return nil, fmt.Errorf("core: event %d: obtain of %q without acquire", i, tr.ObjName(e.Obj))
+			}
+			inv := &idx.invocations[pi]
+			inv.obtainIdx = i
+			inv.obtT = e.T
+			// The backend's contended flag is authoritative: on live
+			// traces obtT can trail acqT by the instrumentation's own
+			// nanoseconds even for an uncontended try-lock.
+			inv.contended = e.Contended()
+			inv.shared = e.Shared()
+			if inv.contended {
+				idx.blocked[i] = true
+				if int(e.Obj) < len(lastRelease) {
+					if rel := lastRelease[e.Obj]; rel >= 0 {
+						idx.waker[i] = rel
+					}
+				}
+			}
+
+		case trace.EvLockRelease:
+			pi, ok := pending[pendKey{e.Obj, e.Thread}]
+			if !ok {
+				return nil, fmt.Errorf("core: event %d: release of %q without hold", i, tr.ObjName(e.Obj))
+			}
+			inv := &idx.invocations[pi]
+			inv.releaseIdx = i
+			inv.relT = e.T
+			delete(pending, pendKey{e.Obj, e.Thread})
+			if int(e.Obj) < len(lastRelease) {
+				lastRelease[e.Obj] = i
+			}
+
+		case trace.EvBarrierArrive:
+			bs := barState(e.Obj)
+			parties := tr.Object(e.Obj).Parties
+			ep := 0
+			if parties > 0 {
+				ep = bs.arrivals / parties
+			}
+			bs.arrivals++
+			bs.lastArriveIn[ep] = i
+			bs.arriveEp[e.Thread] = append(bs.arriveEp[e.Thread], ep)
+
+		case trace.EvBarrierDepart:
+			// Waker resolution is deferred to a post-pass: with equal
+			// timestamps, a blocked thread's depart can sort before
+			// the last arriver's arrive event.
+			bs := barState(e.Obj)
+			k := bs.departCount[e.Thread]
+			bs.departCount[e.Thread] = k + 1
+			eps := bs.arriveEp[e.Thread]
+			if e.Arg == 0 && k < len(eps) {
+				departs = append(departs, pendingDepart{idx: i, obj: e.Obj, thread: e.Thread, episode: eps[k]})
+			}
+
+		case trace.EvCondWaitBegin:
+			cs := condStateOf(e.Obj)
+			cs.waiting = append(cs.waiting, e.Thread)
+
+		case trace.EvCondSignal:
+			cs := condStateOf(e.Obj)
+			if len(cs.waiting) > 0 {
+				cs.wakerOf[cs.waiting[0]] = i
+				cs.waiting = cs.waiting[1:]
+			}
+
+		case trace.EvCondBroadcast:
+			cs := condStateOf(e.Obj)
+			for _, th := range cs.waiting {
+				cs.wakerOf[th] = i
+			}
+			cs.waiting = cs.waiting[:0]
+
+		case trace.EvCondWaitEnd:
+			cs := condStateOf(e.Obj)
+			idx.blocked[i] = true
+			if w, ok := cs.wakerOf[e.Thread]; ok {
+				idx.waker[i] = w
+				delete(cs.wakerOf, e.Thread)
+			} else {
+				// Spurious wakeup or unmatched signal: remove from the
+				// waiting queue if still present, leave waker unknown.
+				for j, th := range cs.waiting {
+					if th == e.Thread {
+						cs.waiting = append(cs.waiting[:j], cs.waiting[j+1:]...)
+						break
+					}
+				}
+			}
+
+		case trace.EvJoinBegin:
+			joinBeginT[e.Thread] = e.T
+
+		case trace.EvJoinEnd:
+			target := trace.ThreadID(e.Arg)
+			if int(target) >= 0 && int(target) < nThreads {
+				if ex := idx.exitIdx[target]; ex >= 0 {
+					if tr.Events[ex].T > joinBeginT[e.Thread] {
+						idx.blocked[i] = true
+						idx.waker[i] = ex
+					}
+				}
+			}
+
+		case trace.EvThreadCreate:
+			// The created thread's start event resolves its waker
+			// lazily below (create always precedes start in time).
+		}
+	}
+
+	// Barrier post-pass: now that all arrivals are known, a blocked
+	// depart's waker is its episode's last arrive (by the thread that
+	// "reached the same barrier lastly", paper §IV.B).
+	for _, d := range departs {
+		idx.blocked[d.idx] = true
+		bs := barriers[d.obj]
+		if la, ok := bs.lastArriveIn[d.episode]; ok && tr.Events[la].Thread != d.thread {
+			idx.waker[d.idx] = la
+		}
+	}
+
+	// Thread-start wakers: the creator's matching create event. Scan
+	// creates once.
+	createOf := make([]int32, nThreads)
+	for i := range createOf {
+		createOf[i] = -1
+	}
+	for i32 := 0; i32 < n; i32++ {
+		e := tr.Events[i32]
+		if e.Kind == trace.EvThreadCreate {
+			child := trace.ThreadID(e.Arg)
+			if int(child) >= 0 && int(child) < nThreads && createOf[child] == -1 {
+				createOf[child] = int32(i32)
+			}
+		}
+	}
+	for tid := 0; tid < nThreads; tid++ {
+		si := idx.startIdx[tid]
+		if si < 0 {
+			continue
+		}
+		if c := createOf[tid]; c >= 0 {
+			idx.blocked[si] = true
+			idx.waker[si] = c
+		}
+	}
+
+	// Index invocations by thread (they are already in acquire order;
+	// obtain order equals acquire order per thread since a thread has
+	// at most one pending acquire per lock and acquires resolve FIFO
+	// within the thread).
+	for pi := range idx.invocations {
+		inv := &idx.invocations[pi]
+		if inv.obtainIdx < 0 {
+			continue // acquire without obtain (truncated); skip
+		}
+		if inv.releaseIdx < 0 {
+			inv.relT = tr.End() // held to the end of the trace
+		}
+		idx.invsByThread[inv.thread] = append(idx.invsByThread[inv.thread], int32(pi))
+	}
+	return idx, nil
+}
+
+// prevInThread returns the global index of the event preceding i on
+// the same thread, or -1.
+func (idx *index) prevInThread(tr *trace.Trace, i int32) int32 {
+	e := tr.Events[i]
+	pos := idx.posInThread[i]
+	if pos == 0 {
+		return -1
+	}
+	return idx.thrEvents[e.Thread][pos-1]
+}

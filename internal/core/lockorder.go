@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"critlock/internal/trace"
+)
+
+// LockOrderEdge records that some thread acquired To while holding
+// From, with how often that nesting occurred.
+type LockOrderEdge struct {
+	From, To trace.ObjID
+	FromName string
+	ToName   string
+	Count    int
+}
+
+// LockOrder is the aggregated lock acquisition-order graph of a trace
+// plus its cyclic components. A cycle (e.g. A→B and B→A observed on
+// different threads) is a potential deadlock: the trace happened to
+// complete, but another interleaving could hang.
+type LockOrder struct {
+	// Edges in deterministic (FromName, ToName) order.
+	Edges []LockOrderEdge
+	// Cycles lists the strongly connected components with more than
+	// one lock (or a self-loop), each sorted by name.
+	Cycles [][]trace.ObjID
+
+	names map[trace.ObjID]string
+}
+
+// HasCycle reports whether any potential deadlock cycle exists.
+func (lo *LockOrder) HasCycle() bool { return len(lo.Cycles) > 0 }
+
+// CycleNames renders each cycle as lock names.
+func (lo *LockOrder) CycleNames() [][]string {
+	out := make([][]string, len(lo.Cycles))
+	for i, cyc := range lo.Cycles {
+		for _, id := range cyc {
+			out[i] = append(out[i], lo.names[id])
+		}
+	}
+	return out
+}
+
+// LockOrderOf scans a trace and builds the acquisition-order graph:
+// one pass, tracking each thread's currently-held set.
+func LockOrderOf(tr *trace.Trace) *LockOrder {
+	type key struct{ from, to trace.ObjID }
+	counts := map[key]int{}
+	held := map[trace.ThreadID][]trace.ObjID{}
+
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvLockObtain:
+			for _, h := range held[e.Thread] {
+				if h != e.Obj {
+					counts[key{h, e.Obj}]++
+				}
+			}
+			held[e.Thread] = append(held[e.Thread], e.Obj)
+		case trace.EvLockRelease:
+			hs := held[e.Thread]
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i] == e.Obj {
+					held[e.Thread] = append(hs[:i], hs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+
+	lo := &LockOrder{names: map[trace.ObjID]string{}}
+	adj := map[trace.ObjID][]trace.ObjID{}
+	for k, n := range counts {
+		lo.names[k.from] = tr.ObjName(k.from)
+		lo.names[k.to] = tr.ObjName(k.to)
+		lo.Edges = append(lo.Edges, LockOrderEdge{
+			From: k.from, To: k.to,
+			FromName: tr.ObjName(k.from), ToName: tr.ObjName(k.to),
+			Count: n,
+		})
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	sort.Slice(lo.Edges, func(i, j int) bool {
+		if lo.Edges[i].FromName != lo.Edges[j].FromName {
+			return lo.Edges[i].FromName < lo.Edges[j].FromName
+		}
+		return lo.Edges[i].ToName < lo.Edges[j].ToName
+	})
+
+	lo.Cycles = stronglyConnected(adj, lo.names)
+	return lo
+}
+
+// stronglyConnected runs Tarjan's algorithm and returns components of
+// size > 1 (two-lock inversions and larger rings), sorted by name.
+func stronglyConnected(adj map[trace.ObjID][]trace.ObjID, names map[trace.ObjID]string) [][]trace.ObjID {
+	index := map[trace.ObjID]int{}
+	low := map[trace.ObjID]int{}
+	onStack := map[trace.ObjID]bool{}
+	var stack []trace.ObjID
+	var cycles [][]trace.ObjID
+	next := 0
+
+	// Iterative Tarjan to avoid recursion-depth concerns on large
+	// graphs.
+	type frame struct {
+		node trace.ObjID
+		ei   int
+	}
+	var nodes []trace.ObjID
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return names[nodes[i]] < names[nodes[j]] })
+
+	for _, start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		frames := []frame{{node: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.node]) {
+				child := adj[f.node][f.ei]
+				f.ei++
+				if _, seen := index[child]; !seen {
+					index[child] = next
+					low[child] = next
+					next++
+					stack = append(stack, child)
+					onStack[child] = true
+					frames = append(frames, frame{node: child})
+				} else if onStack[child] && index[child] < low[f.node] {
+					low[f.node] = index[child]
+				}
+				continue
+			}
+			// Done with this node: pop an SCC if it is a root.
+			if low[f.node] == index[f.node] {
+				var comp []trace.ObjID
+				for {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[n] = false
+					comp = append(comp, n)
+					if n == f.node {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					sort.Slice(comp, func(i, j int) bool { return names[comp[i]] < names[comp[j]] })
+					cycles = append(cycles, comp)
+				}
+			}
+			node := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[node] < low[parent.node] {
+					low[parent.node] = low[node]
+				}
+			}
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		return fmt.Sprint(cycles[i]) < fmt.Sprint(cycles[j])
+	})
+	return cycles
+}

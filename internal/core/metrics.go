@@ -1,0 +1,273 @@
+package core
+
+import (
+	"slices"
+
+	"critlock/internal/trace"
+)
+
+// computeMetrics fills Analysis.Locks, Analysis.Threads and
+// Analysis.Totals from the walked critical path.
+func computeMetrics(an *Analysis, idx *index, opts Options) {
+	tr := an.Trace
+	nThreads := len(tr.Threads)
+
+	an.Threads = make([]ThreadStats, nThreads)
+	for tid := 0; tid < nThreads; tid++ {
+		ts := &an.Threads[tid]
+		ts.Thread = trace.ThreadID(tid)
+		ts.Name = tr.Threads[tid].Name
+		if si := idx.startIdx[tid]; si >= 0 {
+			ts.Start = tr.Events[si].T
+		}
+		if ei := idx.exitIdx[tid]; ei >= 0 {
+			ts.End = tr.Events[ei].T
+		} else {
+			ts.End = tr.End()
+		}
+		ts.Lifetime = ts.End - ts.Start
+	}
+
+	// Blocking-time accounting per thread (barrier, cond, join waits).
+	// Condition waits are matched begin→end because the backend may
+	// emit mutex-reacquisition events between them.
+	for tid := 0; tid < nThreads; tid++ {
+		evs := idx.thrEvents[tid]
+		ts := &an.Threads[tid]
+		condBegin := map[trace.ObjID]trace.Time{}
+		for pos, gi := range evs {
+			e := tr.Events[gi]
+			if pos == 0 {
+				continue
+			}
+			prevT := tr.Events[evs[pos-1]].T
+			switch e.Kind {
+			case trace.EvBarrierDepart:
+				if e.Arg == 0 {
+					ts.BarrierWait += e.T - prevT
+				}
+			case trace.EvCondWaitBegin:
+				condBegin[e.Obj] = e.T
+			case trace.EvCondWaitEnd:
+				if begin, ok := condBegin[e.Obj]; ok {
+					ts.CondWait += e.T - begin
+					delete(condBegin, e.Obj)
+				}
+			case trace.EvJoinEnd:
+				if idx.blocked[gi] {
+					ts.JoinWait += e.T - prevT
+				}
+			}
+		}
+	}
+
+	// Critical-path pieces per thread, sorted by time, for clipping.
+	piecesByThread := make([][]Piece, nThreads)
+	for _, p := range an.CP.Pieces {
+		piecesByThread[p.Thread] = append(piecesByThread[p.Thread], p)
+		an.Threads[p.Thread].TimeOnCP += p.Dur()
+	}
+	for tid := range piecesByThread {
+		slices.SortFunc(piecesByThread[tid], func(a, b Piece) int {
+			switch {
+			case a.From < b.From:
+				return -1
+			case a.From > b.From:
+				return 1
+			}
+			return 0
+		})
+	}
+
+	// Per-lock accumulation.
+	type lockAcc struct {
+		stats LockStats
+		// waitByThread / holdByThread accumulate per-thread totals for
+		// the TYPE 2 percentage averages (dense by ThreadID).
+		waitByThread []trace.Time
+		holdByThread []trace.Time
+	}
+	accs := map[trace.ObjID]*lockAcc{}
+	accOf := func(lock trace.ObjID) *lockAcc {
+		a := accs[lock]
+		if a == nil {
+			a = &lockAcc{
+				stats:        LockStats{Lock: lock, Name: tr.ObjName(lock)},
+				waitByThread: make([]trace.Time, nThreads),
+				holdByThread: make([]trace.Time, nThreads),
+			}
+			accs[lock] = a
+		}
+		return a
+	}
+	// Register every mutex, even unused ones, so reports list them.
+	for _, o := range tr.Objects {
+		if o.Kind == trace.ObjMutex {
+			accOf(o.ID)
+		}
+	}
+
+	// Clip invocations against critical-path pieces with a per-thread
+	// two-pointer sweep (invocations are in obtain order per thread).
+	an.holdsByThread = make([][]interval, nThreads)
+	an.hotByLock = map[trace.ObjID][]interval{}
+	cursor := make([]int, nThreads)
+	for tid := 0; tid < nThreads; tid++ {
+		for _, pi := range idx.invsByThread[tid] {
+			inv := &idx.invocations[pi]
+			a := accOf(inv.lock)
+			st := &a.stats
+
+			w, h := inv.wait(), inv.hold()
+			st.TotalInvocations++
+			if inv.shared {
+				st.SharedInvocations++
+			}
+			if inv.contended {
+				st.TotalContended++
+			}
+			st.TotalWait += w
+			st.TotalHold += h
+			if w > st.MaxWait {
+				st.MaxWait = w
+			}
+			if h > st.MaxHold {
+				st.MaxHold = h
+			}
+			a.waitByThread[tid] += w
+			a.holdByThread[tid] += h
+
+			ts := &an.Threads[tid]
+			ts.LockWait += w
+			ts.LockHold += h
+			ts.Invocations++
+
+			an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
+
+			onCP, clipped := clipAgainst(piecesByThread[tid], &cursor[tid], inv.obtT, inv.relT,
+				func(lo, hi trace.Time) {
+					an.hotByLock[inv.lock] = append(an.hotByLock[inv.lock], interval{lo, hi})
+				})
+			if !onCP {
+				continue
+			}
+			st.Critical = true
+			st.InvocationsOnCP++
+			if inv.contended {
+				st.ContendedOnCP++
+			}
+			if opts.ClipHold {
+				st.HoldOnCP += clipped
+			} else {
+				st.HoldOnCP += h
+			}
+		}
+	}
+
+	// Totals.
+	an.Totals = Totals{
+		Threads: nThreads,
+		Events:  len(tr.Events),
+	}
+	for _, o := range tr.Objects {
+		if o.Kind == trace.ObjMutex {
+			an.Totals.Mutexes++
+		}
+	}
+	for tid := range an.Threads {
+		ts := &an.Threads[tid]
+		an.Totals.TotalLockWait += ts.LockWait
+		an.Totals.TotalLockHold += ts.LockHold
+		an.Totals.TotalBarrierWait += ts.BarrierWait
+		an.Totals.TotalCondWait += ts.CondWait
+		an.Totals.Invocations += ts.Invocations
+	}
+
+	// Sort the per-lock on-path intervals (a mutex is held by one
+	// thread at a time, so they never overlap and merging just sorts).
+	for lock, ivs := range an.hotByLock {
+		an.hotByLock[lock] = mergeIntervals(ivs)
+	}
+
+	// Finalize percentages.
+	cpLen := an.CP.Length
+	for _, a := range accs {
+		st := &a.stats
+		an.Totals.ContendedInvs += st.TotalContended
+		if cpLen > 0 {
+			st.CPTimePct = 100 * float64(st.HoldOnCP) / float64(cpLen)
+		}
+		if st.InvocationsOnCP > 0 {
+			st.ContProbOnCP = 100 * float64(st.ContendedOnCP) / float64(st.InvocationsOnCP)
+		}
+		if st.TotalInvocations > 0 {
+			st.AvgContProb = 100 * float64(st.TotalContended) / float64(st.TotalInvocations)
+		}
+		if nThreads > 0 {
+			st.AvgInvPerThread = float64(st.TotalInvocations) / float64(nThreads)
+		}
+		var waitPct, holdPct float64
+		for tid := 0; tid < nThreads; tid++ {
+			lt := an.Threads[tid].Lifetime
+			if lt <= 0 {
+				continue
+			}
+			waitPct += 100 * float64(a.waitByThread[tid]) / float64(lt)
+			holdPct += 100 * float64(a.holdByThread[tid]) / float64(lt)
+		}
+		if nThreads > 0 {
+			st.WaitTimePct = waitPct / float64(nThreads)
+			st.AvgHoldTimePct = holdPct / float64(nThreads)
+		}
+		if st.AvgInvPerThread > 0 {
+			st.InvIncrease = float64(st.InvocationsOnCP) / st.AvgInvPerThread
+		}
+		if st.AvgHoldTimePct > 0 {
+			st.SizeIncrease = st.CPTimePct / st.AvgHoldTimePct
+		}
+		an.Locks = append(an.Locks, *st)
+	}
+	sortLocks(an.Locks)
+}
+
+// clipAgainst intersects [from, to] with the sorted pieces, advancing
+// the caller's cursor (invocations arrive in increasing obtain order,
+// so the sweep is O(pieces + invocations) per thread). It returns
+// whether the interval touches the critical path and the total
+// intersection length; each nonzero intersection is also reported to
+// emit (used to build the per-lock on-path interval index).
+func clipAgainst(pieces []Piece, cursor *int, from, to trace.Time, emit func(lo, hi trace.Time)) (bool, trace.Time) {
+	// Advance past pieces that end before this invocation begins. The
+	// cursor only moves forward: a later invocation can never overlap
+	// a piece that ended before an earlier one began.
+	for *cursor < len(pieces) && pieces[*cursor].To < from {
+		*cursor++
+	}
+	onCP := false
+	var total trace.Time
+	for i := *cursor; i < len(pieces); i++ {
+		p := pieces[i]
+		if p.From > to {
+			break
+		}
+		lo, hi := p.From, p.To
+		if from > lo {
+			lo = from
+		}
+		if to < hi {
+			hi = to
+		}
+		if hi > lo {
+			onCP = true
+			total += hi - lo
+			if emit != nil {
+				emit(lo, hi)
+			}
+		} else if from == to && p.From <= from && from <= p.To {
+			// Zero-length critical section at a point the walked path
+			// passes through.
+			onCP = true
+		}
+	}
+	return onCP, total
+}

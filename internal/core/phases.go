@@ -1,0 +1,56 @@
+package core
+
+import "critlock/internal/trace"
+
+// PhaseSpan is a contiguous stretch of the run dominated by one lock
+// (or by none).
+type PhaseSpan struct {
+	From, To trace.Time
+	// Top is the dominant lock's name, or "<none>" when no lock holds
+	// path time in the span.
+	Top string
+	// TopPct is the dominant lock's share of the span's path time.
+	TopPct float64
+	// PathTime is critical-path time inside the span.
+	PathTime trace.Time
+}
+
+// Phases segments the run into spans by dominant critical lock: the
+// run is cut into `resolution` windows and adjacent windows with the
+// same dominant lock are merged, with the share recomputed over the
+// merged span. This turns the paper's single whole-run ranking into a
+// phase story ("the barrier region is freeInter-bound, the tail is a
+// tq[0].qlock convoy") without hand-picking window boundaries.
+func (a *Analysis) Phases(resolution int) []PhaseSpan {
+	wins := a.Windows(resolution)
+	if len(wins) == 0 {
+		return nil
+	}
+	type acc struct {
+		from, to trace.Time
+		top      string
+		hold     trace.Time
+		path     trace.Time
+	}
+	var spans []acc
+	for _, w := range wins {
+		top := w.Top()
+		if len(spans) > 0 && spans[len(spans)-1].top == top.Name {
+			last := &spans[len(spans)-1]
+			last.to = w.To
+			last.hold += top.HoldOnCP
+			last.path += w.PathTime
+			continue
+		}
+		spans = append(spans, acc{from: w.From, to: w.To, top: top.Name, hold: top.HoldOnCP, path: w.PathTime})
+	}
+	out := make([]PhaseSpan, 0, len(spans))
+	for _, s := range spans {
+		p := PhaseSpan{From: s.from, To: s.to, Top: s.top, PathTime: s.path}
+		if s.path > 0 {
+			p.TopPct = 100 * float64(s.hold) / float64(s.path)
+		}
+		out = append(out, p)
+	}
+	return out
+}

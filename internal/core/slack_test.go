@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"critlock/internal/trace"
+)
+
+func TestSlackFig1(t *testing.T) {
+	an, err := AnalyzeDefault(fig1Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := an.Slack()
+	byName := map[string]LockSlack{}
+	for _, l := range sa.Locks {
+		byName[l.Name] = l
+	}
+	// Critical locks have zero slack.
+	for _, name := range []string{"L1", "L2", "L3"} {
+		l := byName[name]
+		if l.MinSlack != 0 {
+			t.Errorf("%s slack = %d, want 0 (it is on the CP)", name, l.MinSlack)
+		}
+		if !l.OnCP {
+			t.Errorf("%s not flagged OnCP", name)
+		}
+	}
+	// L4 is off the path with positive slack: its last release (T4 at
+	// 14, in fig1 microsecond units) precedes T4's contended L2 obtain
+	// at 17 — the wait absorbs 3 units of slippage... but T3's release
+	// at 13 feeds T4's obtain at 13 directly, making the chain tight;
+	// the exact number matters less than: positive and finite.
+	l4 := byName["L4"]
+	if l4.MinSlack <= 0 {
+		t.Errorf("L4 slack = %d, want > 0 (off the critical path)", l4.MinSlack)
+	}
+	if l4.OnCP {
+		t.Error("L4 flagged OnCP")
+	}
+	// L4 must be the *only* near-critical candidate set at a generous
+	// epsilon, and absent at epsilon below its slack.
+	if nc := sa.NearCritical(l4.MinSlack); len(nc) != 1 || nc[0].Name != "L4" {
+		t.Errorf("NearCritical(big) = %+v, want [L4]", nc)
+	}
+	if nc := sa.NearCritical(l4.MinSlack - 1); len(nc) != 0 {
+		t.Errorf("NearCritical(small) = %+v, want empty", nc)
+	}
+}
+
+// TestSlackTightChain: in a pure serial convoy everything has zero
+// slack.
+func TestSlackSerialChain(t *testing.T) {
+	b := trace.NewBuilder()
+	a := b.Thread("A", trace.NoThread)
+	c := b.Thread("B", a)
+	m := b.Mutex("chain")
+	b.Start(0, a)
+	b.Start(0, c)
+	b.CS(a, m, 0, 0, 50)
+	b.CS(c, m, 0, 50, 100)
+	b.Exit(50, a)
+	b.Exit(100, c)
+	an, err := AnalyzeDefault(b.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := an.Slack()
+	if len(sa.Locks) != 1 || sa.Locks[0].MinSlack != 0 {
+		t.Errorf("serial chain slack = %+v, want single lock at 0", sa.Locks)
+	}
+}
+
+// TestSlackParallelBranch: a short side branch has slack equal to the
+// time it finishes before the long branch.
+func TestSlackParallelBranch(t *testing.T) {
+	b := trace.NewBuilder()
+	main := b.Thread("main", trace.NoThread)
+	side := b.Thread("side", main)
+	long := b.Mutex("long")
+	short := b.Mutex("short")
+	b.Start(0, main)
+	b.Start(0, side)
+	b.CS(main, long, 0, 0, 100) // the spine
+	b.CS(side, short, 0, 0, 30) // finishes 70 before the end
+	b.Exit(100, main)
+	b.Exit(30, side)
+	an, err := AnalyzeDefault(b.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := an.Slack()
+	byName := map[string]LockSlack{}
+	for _, l := range sa.Locks {
+		byName[l.Name] = l
+	}
+	if got := byName["long"].MinSlack; got != 0 {
+		t.Errorf("long slack = %d, want 0", got)
+	}
+	// side's release at 30 can slip until its thread's exit slips to
+	// 100: slack = 70.
+	if got := byName["short"].MinSlack; got != 70 {
+		t.Errorf("short slack = %d, want 70", got)
+	}
+}
+
+// TestSlackWaitAbsorbs: a lock feeding a wait that has room to shrink
+// gets that room as slack.
+func TestSlackWaitAbsorption(t *testing.T) {
+	b := trace.NewBuilder()
+	a := b.Thread("A", trace.NoThread)
+	c := b.Thread("B", a)
+	feeder := b.Mutex("feeder")
+	tail := b.Mutex("tail")
+	b.Start(0, a)
+	b.Start(0, c)
+	// A releases feeder at 20; B blocked on feeder from 5, obtains at
+	// 20, then computes to 100. A meanwhile computes to 60 and exits.
+	b.CS(a, feeder, 0, 0, 20)
+	b.Exit(60, a)
+	b.CS(c, feeder, 5, 20, 30)
+	b.CS(c, tail, 30, 30, 100)
+	b.Exit(100, c)
+	an, err := AnalyzeDefault(b.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := an.Slack()
+	byName := map[string]LockSlack{}
+	for _, l := range sa.Locks {
+		byName[l.Name] = l
+	}
+	// feeder's release feeds B's obtain directly (B was already
+	// waiting): zero slack — it IS the binding dependency.
+	if got := byName["feeder"].MinSlack; got != 0 {
+		t.Errorf("feeder slack = %d, want 0", got)
+	}
+	if got := byName["tail"].MinSlack; got != 0 {
+		t.Errorf("tail slack = %d, want 0", got)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"critlock/internal/trace"
+)
+
+// walk implements the backward critical-path traversal of the paper's
+// Fig. 2:
+//
+//	seg  = find_the_last_segment();
+//	stop = find_the_first_segment();
+//	while (seg != stop) {
+//	    if (segment_blocked_in_the_beginning(seg))
+//	        seg = find_the_segment_released_me(seg);
+//	    else
+//	        seg = find_the_previous_segment(seg);
+//	}
+//
+// Events stand in for segment boundaries: the "segment" ending at event
+// e is the interval [prev(e).T, e.T] on e's thread. If e is an unblock
+// event (contended obtain, barrier depart of a non-last arriver, cond
+// wait end, blocked join end, thread start), that interval was idle and
+// the walk jumps to the waker event resolved by buildIndex; otherwise
+// the interval is recorded as a critical-path piece and the walk steps
+// back on the same thread.
+func walk(tr *trace.Trace, idx *index) (*CriticalPath, error) {
+	// Anchor: the exit event of the last-finishing thread; fall back
+	// to the globally last event for truncated traces.
+	anchor := int32(-1)
+	for tid := range idx.exitIdx {
+		ei := idx.exitIdx[tid]
+		if ei < 0 {
+			continue
+		}
+		if anchor < 0 || later(tr, ei, anchor) {
+			anchor = ei
+		}
+	}
+	if anchor < 0 {
+		anchor = int32(len(tr.Events) - 1)
+	}
+
+	cp := &CriticalPath{
+		LastThread: tr.Events[anchor].Thread,
+		WallTime:   tr.Duration(),
+		// A piece per few events is typical; pre-size generously to
+		// avoid growth copies on large traces.
+		Pieces: make([]Piece, 0, len(tr.Events)/3+8),
+	}
+
+	cur := anchor
+	// Each iteration either jumps (always followed by a non-jump step,
+	// since waker events are never unblock events) or consumes one
+	// per-thread predecessor; 2·|events|+2 therefore bounds any
+	// terminating walk, and the guard converts a (theoretically
+	// impossible) cycle into an error instead of a hang.
+	maxSteps := 2*len(tr.Events) + 2
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("core: critical-path walk did not terminate after %d steps", steps)
+		}
+		cp.Steps = steps
+		e := tr.Events[cur]
+
+		if e.Kind == trace.EvThreadStart {
+			if idx.waker[cur] < 0 {
+				break // root thread's start: the program's beginning
+			}
+			cp.Jumps++
+			cp.JumpLog = append(cp.JumpLog, Jump{
+				T: e.T, From: e.Thread, To: tr.Events[idx.waker[cur]].Thread,
+				Kind: JumpStart, Obj: trace.NoObj,
+			})
+			cur = idx.waker[cur]
+			continue
+		}
+
+		prev := idx.prevInThread(tr, cur)
+		if prev < 0 {
+			break // malformed thread without a start event
+		}
+
+		if idx.blocked[cur] && idx.waker[cur] >= 0 {
+			// A condition wait that had to re-acquire a contended
+			// mutex has two dependencies: the signaller and the
+			// previous mutex holder. The binding one is whichever
+			// released the thread last; when that is the mutex (its
+			// obtain directly precedes the wait-end, at or after the
+			// signal), step back so the obtain's own jump routes the
+			// path through the releaser without losing time.
+			if e.Kind == trace.EvCondWaitEnd {
+				pe := tr.Events[prev]
+				if pe.Kind == trace.EvLockObtain && idx.blocked[prev] && idx.waker[prev] >= 0 &&
+					pe.T >= tr.Events[idx.waker[cur]].T {
+					cur = prev
+					continue
+				}
+			}
+			cp.Jumps++
+			cp.JumpLog = append(cp.JumpLog, Jump{
+				T: e.T, From: e.Thread, To: tr.Events[idx.waker[cur]].Thread,
+				Kind: jumpKindOf(e.Kind), Obj: e.Obj,
+			})
+			cur = idx.waker[cur]
+			continue
+		}
+
+		from, to := tr.Events[prev].T, e.T
+		if to > from {
+			kind := PieceExec
+			if idx.blocked[cur] {
+				// Blocked but waker unknown: the wait itself sits on
+				// the critical path.
+				kind = PieceWait
+			}
+			cp.Pieces = append(cp.Pieces, Piece{Thread: e.Thread, From: from, To: to, Kind: kind})
+		}
+		cur = prev
+	}
+
+	// Pieces and jumps were generated back-to-front; reverse into
+	// forward order.
+	for i, j := 0, len(cp.Pieces)-1; i < j; i, j = i+1, j-1 {
+		cp.Pieces[i], cp.Pieces[j] = cp.Pieces[j], cp.Pieces[i]
+	}
+	for i, j := 0, len(cp.JumpLog)-1; i < j; i, j = i+1, j-1 {
+		cp.JumpLog[i], cp.JumpLog[j] = cp.JumpLog[j], cp.JumpLog[i]
+	}
+	for _, p := range cp.Pieces {
+		cp.Length += p.Dur()
+		switch p.Kind {
+		case PieceExec:
+			cp.ExecTime += p.Dur()
+		case PieceWait:
+			cp.WaitTime += p.Dur()
+		}
+	}
+	return cp, nil
+}
+
+// jumpKindOf maps an unblock event to its dependency category.
+func jumpKindOf(k trace.EventKind) JumpKind {
+	switch k {
+	case trace.EvLockObtain:
+		return JumpLock
+	case trace.EvBarrierDepart:
+		return JumpBarrier
+	case trace.EvCondWaitEnd:
+		return JumpCond
+	case trace.EvJoinEnd:
+		return JumpJoin
+	case trace.EvThreadStart:
+		return JumpStart
+	}
+	return 0
+}
+
+// later reports whether event a is strictly after event b in (T, Seq)
+// order.
+func later(tr *trace.Trace, a, b int32) bool {
+	ea, eb := tr.Events[a], tr.Events[b]
+	if ea.T != eb.T {
+		return ea.T > eb.T
+	}
+	return ea.Seq > eb.Seq
+}

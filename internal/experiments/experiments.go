@@ -1,0 +1,161 @@
+// Package experiments defines one runnable reproduction per table and
+// figure of the paper's evaluation (§V). Each experiment runs its
+// workloads on the deterministic simulator, analyzes the traces and
+// renders the same rows/series the paper reports, annotated with the
+// paper's reference values where the paper states them.
+//
+// Absolute numbers are not expected to match (the substrate is a
+// simulator, not the authors' POWER7); the reproduced artifact is the
+// shape — which lock wins, by roughly what factor, and where the
+// crossovers fall. EXPERIMENTS.md records measured-vs-paper for every
+// experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"critlock/internal/core"
+	"critlock/internal/report"
+	"critlock/internal/sim"
+	"critlock/internal/trace"
+	"critlock/internal/workloads"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Contexts is the simulated hardware thread count (default 24,
+	// the paper's machine).
+	Contexts int
+	// Quick shrinks sweeps (used by tests); results keep their shape.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Contexts == 0 {
+		o.Contexts = 24
+	}
+	return o
+}
+
+// Result is a rendered experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	// Notes carry measured-vs-paper commentary and free-form output
+	// (e.g. the Gantt charts).
+	Notes []string
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper cites the artifact being reproduced.
+	Paper string
+	Run   func(Options) (*Result, error)
+}
+
+var all []Experiment
+
+// paperOrder fixes the presentation order of experiments regardless of
+// file-init order.
+var paperOrder = []string{
+	"table1", "table2", "fig1", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "tsp",
+	"ablation-fairness", "ablation-clipping",
+	"extension-phases", "extension-oversub", "extension-sensitivity", "extension-online", "extension-slack", "extension-extract",
+}
+
+func register(e Experiment) { all = append(all, e) }
+
+// All lists experiments in paper order; experiments not in paperOrder
+// (if any are added later) come last, alphabetically.
+func All() []Experiment {
+	rank := func(id string) int {
+		for i, p := range paperOrder {
+			if p == id {
+				return i
+			}
+		}
+		return len(paperOrder)
+	}
+	out := append([]Experiment(nil), all...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := rank(out[i].ID), rank(out[j].ID)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Get finds an experiment by ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range all {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(all))
+	for _, e := range all {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// runWorkload executes one workload on a fresh simulator and analyzes
+// the trace.
+func runWorkload(name string, p workloads.Params, o Options) (*core.Analysis, trace.Time, error) {
+	spec, err := workloads.Get(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.Seed == 0 {
+		p.Seed = o.Seed
+	}
+	s := sim.New(sim.Config{Contexts: o.Contexts, Seed: p.Seed})
+	tr, elapsed, err := workloads.Run(s, spec, p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: running %s: %w", name, err)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: analyzing %s: %w", name, err)
+	}
+	return an, elapsed, nil
+}
+
+// runBuilt runs an explicitly-built workload (e.g. a shrunken micro
+// variant) and returns analysis plus elapsed virtual time.
+func runBuilt(build workloads.BuildFunc, p workloads.Params, o Options, meta string) (*core.Analysis, trace.Time, error) {
+	if p.Seed == 0 {
+		p.Seed = o.Seed
+	}
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	s := sim.New(sim.Config{Contexts: o.Contexts, Seed: p.Seed})
+	s.SetMeta("workload", meta)
+	tr, elapsed, err := s.Run(build(s, p))
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: running %s: %w", meta, err)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return an, elapsed, nil
+}
+
+func notef(r *Result, format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"critlock/internal/report"
+	"critlock/internal/workloads"
+)
+
+// fig8 compares CP Time against Wait Time for the two most critical
+// locks of every application — the paper's cross-application survey.
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Two most critical locks per application: CP Time vs Wait Time (paper Fig. 8)",
+		Paper: "Fig. 8 and §V.C",
+		Run: func(o Options) (*Result, error) {
+			o = o.withDefaults()
+			apps := []struct {
+				name    string
+				threads int
+				note    string
+			}{
+				{"radiosity", 24, "paper: Wait Time significantly underestimates tq[0].qlock"},
+				{"waternsq", 24, "paper: tiny scattered critical sections"},
+				{"volrend", 24, "paper: modest self-scheduling lock"},
+				{"raytrace", 24, "paper: Wait Time significantly underestimates mem"},
+				{"tsp", 24, "paper: Qlock ≈ 68% of the critical path"},
+				{"uts", 24, "paper: stackLock[5] ≈ 5% CP at negligible wait"},
+				{"ldap", 16, "paper: no significant critical-section bottleneck"},
+			}
+			if o.Quick {
+				apps = apps[:0:0]
+				apps = append(apps, struct {
+					name    string
+					threads int
+					note    string
+				}{"tsp", 8, "quick mode"})
+			}
+			r := &Result{ID: "fig8", Title: "Per-application lock survey"}
+			t := report.NewTable("",
+				"Application", "Lock", "CP Time %", "Wait Time %", "Cont. Prob. on CP %", "Critical")
+			for _, app := range apps {
+				an, _, err := runWorkload(app.name, workloads.Params{Threads: app.threads}, o)
+				if err != nil {
+					return nil, err
+				}
+				for _, l := range an.TopLocks(2) {
+					crit := "no"
+					if l.Critical {
+						crit = "yes"
+					}
+					t.AddRow(app.name, l.Name, report.Pct(l.CPTimePct), report.Pct(l.WaitTimePct),
+						report.Pct(l.ContProbOnCP), crit)
+				}
+				notef(r, "%s: %s", app.name, app.note)
+			}
+			r.Tables = append(r.Tables, t)
+			return r, nil
+		},
+	})
+}

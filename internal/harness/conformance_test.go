@@ -1,0 +1,239 @@
+package harness_test
+
+// Backend conformance suite: the simulator and the live runtime must
+// implement the harness contract identically — mutual exclusion,
+// barrier episodes, condition-variable semantics, join ordering, and
+// trace well-formedness. Every check runs against both backends.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"critlock/internal/core"
+	"critlock/internal/harness"
+	"critlock/internal/livetrace"
+	"critlock/internal/sim"
+	"critlock/internal/trace"
+)
+
+type backendCase struct {
+	name string
+	make func() harness.Runtime
+}
+
+func backends() []backendCase {
+	return []backendCase{
+		{"sim", func() harness.Runtime { return sim.New(sim.Config{Contexts: 8, Seed: 1}) }},
+		{"live", func() harness.Runtime { return livetrace.New(livetrace.Config{Seed: 1}) }},
+	}
+}
+
+// runBoth executes body on every backend and validates + analyzes the
+// resulting trace.
+func runBoth(t *testing.T, body func(rt harness.Runtime) func(harness.Proc), check func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis)) {
+	t.Helper()
+	for _, bc := range backends() {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			rt := bc.make()
+			main := body(rt)
+			tr, elapsed, err := rt.Run(main)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if elapsed <= 0 {
+				t.Fatal("no time elapsed")
+			}
+			if err := trace.Validate(tr); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			an, err := core.AnalyzeDefault(tr)
+			if err != nil {
+				t.Fatalf("analysis failed: %v", err)
+			}
+			if check != nil {
+				check(t, bc.name, tr, an)
+			}
+		})
+	}
+}
+
+// TestConformanceMutualExclusion: a counter incremented only under a
+// mutex must end exact; the critical-section count must match.
+func TestConformanceMutualExclusion(t *testing.T) {
+	const workers, iters = 4, 50
+	var counter int64 // guarded by m below
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("counter")
+		counter = 0
+		return func(p harness.Proc) {
+			var kids []harness.Thread
+			for i := 0; i < workers; i++ {
+				kids = append(kids, p.Go("w", func(q harness.Proc) {
+					for j := 0; j < iters; j++ {
+						q.Lock(m)
+						counter++
+						q.Compute(100)
+						q.Unlock(m)
+					}
+				}))
+			}
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if counter != workers*iters {
+			t.Errorf("counter = %d, want %d (mutual exclusion broken)", counter, workers*iters)
+		}
+		l := an.Lock("counter")
+		if l == nil || l.TotalInvocations != workers*iters {
+			t.Errorf("invocations = %+v, want %d", l, workers*iters)
+		}
+	})
+}
+
+// TestConformanceBarrierEpisodes: no thread may enter episode k+1
+// before every thread finished episode k.
+func TestConformanceBarrierEpisodes(t *testing.T) {
+	const workers, episodes = 4, 5
+	var maxSkew atomic.Int64
+	var arrived [episodes]atomic.Int64
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		bar := rt.NewBarrier("phase", workers)
+		maxSkew.Store(0)
+		for i := range arrived {
+			arrived[i].Store(0)
+		}
+		return func(p harness.Proc) {
+			var kids []harness.Thread
+			for i := 0; i < workers; i++ {
+				kids = append(kids, p.Go("w", func(q harness.Proc) {
+					for ep := 0; ep < episodes; ep++ {
+						q.Compute(trace.Time(100 * (1 + q.Rand().Intn(5))))
+						arrived[ep].Add(1)
+						q.BarrierWait(bar)
+						// After departing, every thread must have
+						// arrived at this episode.
+						if got := arrived[ep].Load(); got != workers {
+							maxSkew.Store(int64(ep + 1))
+						}
+					}
+				}))
+			}
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if maxSkew.Load() != 0 {
+			t.Errorf("barrier episode overlap detected (episode %d)", maxSkew.Load())
+		}
+	})
+}
+
+// TestConformanceCondHandoff: condition-variable handoff delivers
+// every produced item exactly once, and the mutex is held when Wait
+// returns.
+func TestConformanceCondHandoff(t *testing.T) {
+	const items = 30
+	var got int
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("q")
+		cv := rt.NewCond("nonempty")
+		queue := 0
+		closed := false
+		got = 0
+		return func(p harness.Proc) {
+			cons := p.Go("consumer", func(q harness.Proc) {
+				for {
+					q.Lock(m)
+					for queue == 0 && !closed {
+						q.Wait(cv, m)
+					}
+					if queue > 0 {
+						queue--
+						got++
+						q.Unlock(m)
+						continue
+					}
+					q.Unlock(m)
+					return
+				}
+			})
+			for i := 0; i < items; i++ {
+				p.Compute(50)
+				p.Lock(m)
+				queue++
+				p.Signal(cv)
+				p.Unlock(m)
+			}
+			p.Lock(m)
+			closed = true
+			p.Broadcast(cv)
+			p.Unlock(m)
+			p.Join(cons)
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if got != items {
+			t.Errorf("consumed %d, want %d", got, items)
+		}
+	})
+}
+
+// TestConformanceJoinOrdering: Join must not return before the
+// joinee's side effects are visible.
+func TestConformanceJoinOrdering(t *testing.T) {
+	var done bool
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		done = false
+		return func(p harness.Proc) {
+			k := p.Go("kid", func(q harness.Proc) {
+				q.Compute(500)
+				done = true
+			})
+			p.Join(k)
+			if !done {
+				panic("join returned before kid finished")
+			}
+		}
+	}, nil)
+}
+
+// TestConformanceContendedFlag: a lock held across a handshake must
+// produce exactly the contended obtains the structure dictates.
+func TestConformanceConvoyShape(t *testing.T) {
+	const workers = 3
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("conv")
+		return func(p harness.Proc) {
+			// Main seeds the convoy by holding the lock while workers
+			// start (sleep-scale durations so the live backend yields).
+			p.Lock(m)
+			var kids []harness.Thread
+			for i := 0; i < workers; i++ {
+				kids = append(kids, p.Go("w", func(q harness.Proc) {
+					q.Lock(m)
+					q.Compute(2_000_000)
+					q.Unlock(m)
+				}))
+			}
+			p.Compute(20_000_000) // hold long enough for all to queue
+			p.Unlock(m)
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		l := an.Lock("conv")
+		if l.TotalInvocations != workers+1 {
+			t.Errorf("invocations = %d, want %d", l.TotalInvocations, workers+1)
+		}
+		if l.TotalContended != workers {
+			t.Errorf("contended = %d, want %d (every worker queued)", l.TotalContended, workers)
+		}
+		if !l.Critical {
+			t.Error("convoy lock not critical")
+		}
+	})
+}

@@ -1,0 +1,99 @@
+// Package harness defines the backend-independent runtime API that
+// workloads are written against.
+//
+// It plays the role of the Pthreads API in the paper: a workload
+// creates mutexes, barriers and condition variables, spawns threads
+// and performs computation, and the backend records every
+// synchronization event. Two backends implement the API:
+//
+//   - internal/sim, a deterministic discrete-event simulator with
+//     virtual time (the substrate for all reproduced experiments), and
+//   - internal/livetrace, which runs threads as real goroutines with
+//     instrumented sync primitives and wall-clock timestamps.
+//
+// Both produce identical trace formats, so the analyzer never knows
+// which backend a trace came from.
+package harness
+
+import (
+	"math/rand"
+
+	"critlock/internal/trace"
+)
+
+// Mutex is an opaque handle to a backend mutex.
+type Mutex interface {
+	// Name returns the user-visible lock name, as it will appear in
+	// analysis tables.
+	Name() string
+}
+
+// Barrier is an opaque handle to a backend barrier.
+type Barrier interface {
+	Name() string
+	// Parties returns the number of threads that must arrive.
+	Parties() int
+}
+
+// Cond is an opaque handle to a backend condition variable.
+type Cond interface {
+	Name() string
+}
+
+// Thread is a handle to a spawned thread, usable for joining.
+type Thread interface {
+	// ID returns the trace thread ID.
+	ID() trace.ThreadID
+}
+
+// Proc is the execution context passed to every thread body. All
+// methods must be called from the owning thread only.
+type Proc interface {
+	// ID returns this thread's trace ID.
+	ID() trace.ThreadID
+	// Compute performs d nanoseconds of computation (virtual time on
+	// the simulator, busy-spinning on the live backend).
+	Compute(d trace.Time)
+	// Lock blocks until m is held exclusively by this thread.
+	Lock(m Mutex)
+	// Unlock releases an exclusive hold of m.
+	Unlock(m Mutex)
+	// RLock blocks until m is held shared (reader mode); multiple
+	// threads may read-hold concurrently, writers exclude everyone.
+	RLock(m Mutex)
+	// RUnlock releases a shared hold of m.
+	RUnlock(m Mutex)
+	// BarrierWait blocks until all parties have arrived at b.
+	BarrierWait(b Barrier)
+	// Wait atomically releases m and blocks until signalled on c,
+	// reacquiring m before returning (condition-variable semantics).
+	// The caller must hold m.
+	Wait(c Cond, m Mutex)
+	// Signal wakes one waiter on c, if any.
+	Signal(c Cond)
+	// Broadcast wakes all waiters on c.
+	Broadcast(c Cond)
+	// Go spawns a new thread running fn and returns its handle.
+	Go(name string, fn func(Proc)) Thread
+	// Join blocks until t has finished.
+	Join(t Thread)
+	// Rand returns this thread's deterministic PRNG (seeded from the
+	// runtime seed and the thread ID).
+	Rand() *rand.Rand
+}
+
+// Runtime creates synchronization objects and runs the root thread.
+type Runtime interface {
+	// NewMutex registers a mutex under the given name.
+	NewMutex(name string) Mutex
+	// NewBarrier registers a barrier for the given number of parties.
+	NewBarrier(name string, parties int) Barrier
+	// NewCond registers a condition variable.
+	NewCond(name string) Cond
+	// Run executes main as the root thread and blocks until every
+	// spawned thread has finished. It returns the collected trace and
+	// the elapsed (virtual or wall) time.
+	Run(main func(Proc)) (*trace.Trace, trace.Time, error)
+	// SetMeta attaches metadata to the resulting trace.
+	SetMeta(key, value string)
+}

@@ -1,0 +1,162 @@
+// Package queue provides the lock-based FIFO task queues used by the
+// workload models.
+//
+// Two implementations exist, mirroring the paper's Radiosity/TSP
+// optimization case study (§V.D.3, §V.E):
+//
+//   - SingleLock: one mutex "<name>.qlock" protects both ends — the
+//     structure the paper found dominating Radiosity's critical path;
+//   - TwoLock: the two-lock concurrent queue of Michael & Scott, with
+//     "<name>.q_head_lock" and "<name>.q_tail_lock", letting an
+//     enqueuer and a dequeuer proceed in parallel — the paper's fix.
+//
+// Both are written against the harness API, so the same queue code
+// runs on the simulator and the live backend. CS costs (the virtual
+// time spent inside the critical section manipulating the structure)
+// are configurable so workload models can match their application's
+// critical-section sizes.
+package queue
+
+import (
+	"sync/atomic"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// CostModel sets the in-critical-section work of queue operations.
+type CostModel struct {
+	// EnqueueCost is virtual time spent holding the lock per enqueue.
+	EnqueueCost trace.Time
+	// DequeueCost is virtual time spent holding the lock per
+	// successful dequeue.
+	DequeueCost trace.Time
+	// MissCost is virtual time spent holding the lock when a dequeue
+	// finds the queue empty (checking a count is much cheaper than
+	// unlinking an element). Zero means misses cost DequeueCost.
+	MissCost trace.Time
+}
+
+func (c CostModel) missCost() trace.Time {
+	if c.MissCost > 0 {
+		return c.MissCost
+	}
+	return c.DequeueCost
+}
+
+// TaskQueue is a FIFO of int64 payloads protected by harness locks.
+// All methods must be called from a harness thread context.
+type TaskQueue interface {
+	// Enqueue appends v.
+	Enqueue(p harness.Proc, v int64)
+	// TryDequeue removes the oldest element, reporting false if the
+	// queue was observed empty.
+	TryDequeue(p harness.Proc) (int64, bool)
+	// LockNames lists the mutex names guarding this queue.
+	LockNames() []string
+}
+
+// NewSingleLock builds a coarse-grained queue guarded by one mutex
+// named "<name>.qlock".
+func NewSingleLock(rt harness.Runtime, name string, c CostModel) TaskQueue {
+	return &singleLock{
+		lock: rt.NewMutex(name + ".qlock"),
+		cost: c,
+	}
+}
+
+type singleLock struct {
+	lock harness.Mutex
+	cost CostModel
+	// items is protected by lock.
+	items []int64
+	head  int
+}
+
+func (q *singleLock) Enqueue(p harness.Proc, v int64) {
+	p.Lock(q.lock)
+	p.Compute(q.cost.EnqueueCost)
+	q.items = append(q.items, v)
+	p.Unlock(q.lock)
+}
+
+func (q *singleLock) TryDequeue(p harness.Proc) (int64, bool) {
+	p.Lock(q.lock)
+	if q.head >= len(q.items) {
+		p.Compute(q.cost.missCost())
+		p.Unlock(q.lock)
+		return 0, false
+	}
+	p.Compute(q.cost.DequeueCost)
+	v := q.items[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		// Compact the consumed prefix to bound memory.
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	p.Unlock(q.lock)
+	return v, true
+}
+
+func (q *singleLock) LockNames() []string { return []string{q.lock.Name()} }
+
+// NewTwoLock builds the Michael–Scott two-lock queue: a linked list
+// with a dummy node, head and tail guarded by separate mutexes so
+// enqueues and dequeues do not contend with each other.
+func NewTwoLock(rt harness.Runtime, name string, c CostModel) TaskQueue {
+	dummy := &node{}
+	q := &twoLock{
+		headLock: rt.NewMutex(name + ".q_head_lock"),
+		tailLock: rt.NewMutex(name + ".q_tail_lock"),
+		cost:     c,
+	}
+	q.head = dummy
+	q.tail.Store(dummy)
+	return q
+}
+
+type node struct {
+	v    int64
+	next atomic.Pointer[node]
+}
+
+type twoLock struct {
+	headLock harness.Mutex
+	tailLock harness.Mutex
+	cost     CostModel
+	// head is protected by headLock; tail by tailLock. next pointers
+	// are atomic because the boundary node is visible to both sides
+	// when the queue is empty (the Michael–Scott invariant).
+	head *node
+	tail atomic.Pointer[node]
+}
+
+func (q *twoLock) Enqueue(p harness.Proc, v int64) {
+	n := &node{v: v}
+	p.Lock(q.tailLock)
+	p.Compute(q.cost.EnqueueCost)
+	t := q.tail.Load()
+	t.next.Store(n)
+	q.tail.Store(n)
+	p.Unlock(q.tailLock)
+}
+
+func (q *twoLock) TryDequeue(p harness.Proc) (int64, bool) {
+	p.Lock(q.headLock)
+	first := q.head.next.Load()
+	if first == nil {
+		p.Compute(q.cost.missCost())
+		p.Unlock(q.headLock)
+		return 0, false
+	}
+	p.Compute(q.cost.DequeueCost)
+	v := first.v
+	q.head = first
+	p.Unlock(q.headLock)
+	return v, true
+}
+
+func (q *twoLock) LockNames() []string {
+	return []string{q.headLock.Name(), q.tailLock.Name()}
+}

@@ -1,0 +1,292 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"critlock/internal/core"
+	"critlock/internal/harness"
+	"critlock/internal/livetrace"
+	"critlock/internal/sim"
+	"critlock/internal/trace"
+)
+
+type maker func(rt harness.Runtime, name string, c CostModel) TaskQueue
+
+var makers = map[string]maker{
+	"single": NewSingleLock,
+	"twolock": func(rt harness.Runtime, name string, c CostModel) TaskQueue {
+		return NewTwoLock(rt, name, c)
+	},
+}
+
+// TestFIFOSequential: both queues preserve FIFO order under a single
+// thread.
+func TestFIFOSequential(t *testing.T) {
+	for kind, mk := range makers {
+		t.Run(kind, func(t *testing.T) {
+			s := sim.New(sim.Config{})
+			q := mk(s, "q", CostModel{})
+			var got []int64
+			_, _, err := s.Run(func(p harness.Proc) {
+				for i := int64(0); i < 100; i++ {
+					q.Enqueue(p, i)
+				}
+				for {
+					v, ok := q.TryDequeue(p)
+					if !ok {
+						break
+					}
+					got = append(got, v)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 100 {
+				t.Fatalf("dequeued %d, want 100", len(got))
+			}
+			for i, v := range got {
+				if v != int64(i) {
+					t.Fatalf("got[%d] = %d, want %d (FIFO violated)", i, v, i)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyInterleaved: arbitrary enqueue/dequeue interleavings on
+// one thread behave exactly like a reference slice queue.
+func TestPropertyInterleaved(t *testing.T) {
+	for kind, mk := range makers {
+		mk := mk
+		t.Run(kind, func(t *testing.T) {
+			f := func(ops []bool) bool {
+				s := sim.New(sim.Config{})
+				q := mk(s, "q", CostModel{})
+				okAll := true
+				_, _, err := s.Run(func(p harness.Proc) {
+					var ref []int64
+					next := int64(0)
+					for _, enq := range ops {
+						if enq {
+							q.Enqueue(p, next)
+							ref = append(ref, next)
+							next++
+						} else {
+							v, ok := q.TryDequeue(p)
+							wantOK := len(ref) > 0
+							if ok != wantOK {
+								okAll = false
+								return
+							}
+							if ok {
+								if v != ref[0] {
+									okAll = false
+									return
+								}
+								ref = ref[1:]
+							}
+						}
+					}
+				})
+				return err == nil && okAll
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentNoLossSim: N producers and M consumers on the
+// simulator; every element is dequeued exactly once.
+func TestConcurrentNoLossSim(t *testing.T) {
+	for kind, mk := range makers {
+		t.Run(kind, func(t *testing.T) {
+			const producers, consumers, perProducer = 4, 4, 50
+			s := sim.New(sim.Config{Contexts: 8, Seed: 1})
+			q := mk(s, "q", CostModel{EnqueueCost: 3, DequeueCost: 2})
+			results := make([][]int64, consumers)
+			_, _, err := s.Run(func(p harness.Proc) {
+				var kids []harness.Thread
+				for i := 0; i < producers; i++ {
+					base := int64(i * perProducer)
+					kids = append(kids, p.Go("prod", func(pp harness.Proc) {
+						for j := int64(0); j < perProducer; j++ {
+							pp.Compute(trace.Time(pp.Rand().Intn(10)))
+							q.Enqueue(pp, base+j)
+						}
+					}))
+				}
+				for _, k := range kids {
+					p.Join(k)
+				}
+				var conKids []harness.Thread
+				for c := 0; c < consumers; c++ {
+					c := c
+					conKids = append(conKids, p.Go("cons", func(pp harness.Proc) {
+						for {
+							v, ok := q.TryDequeue(pp)
+							if !ok {
+								return
+							}
+							results[c] = append(results[c], v)
+							pp.Compute(trace.Time(pp.Rand().Intn(10)))
+						}
+					}))
+				}
+				for _, k := range conKids {
+					p.Join(k)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []int64
+			for _, r := range results {
+				all = append(all, r...)
+			}
+			if len(all) != producers*perProducer {
+				t.Fatalf("dequeued %d, want %d", len(all), producers*perProducer)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			for i, v := range all {
+				if v != int64(i) {
+					t.Fatalf("element %d missing or duplicated (saw %d)", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentLive runs producers/consumers on real goroutines under
+// the race detector — this is what certifies the two-lock queue's
+// atomic next pointers.
+func TestConcurrentLive(t *testing.T) {
+	for kind, mk := range makers {
+		t.Run(kind, func(t *testing.T) {
+			const producers, perProducer = 3, 100
+			rt := livetrace.New(livetrace.Config{})
+			q := mk(rt, "q", CostModel{})
+			seen := make(map[int64]int)
+			_, _, err := rt.Run(func(p harness.Proc) {
+				var kids []harness.Thread
+				for i := 0; i < producers; i++ {
+					base := int64(i * perProducer)
+					kids = append(kids, p.Go("prod", func(pp harness.Proc) {
+						for j := int64(0); j < perProducer; j++ {
+							q.Enqueue(pp, base+j)
+						}
+					}))
+				}
+				// Consume concurrently on the main thread; once the
+				// queue looks empty, join the producers and do one
+				// final drain.
+				joined := false
+				for {
+					v, ok := q.TryDequeue(p)
+					if ok {
+						seen[v]++
+						continue
+					}
+					if joined {
+						break
+					}
+					for _, k := range kids {
+						p.Join(k)
+					}
+					joined = true
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != producers*perProducer {
+				t.Fatalf("saw %d unique elements, want %d", len(seen), producers*perProducer)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Fatalf("element %d dequeued %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+// TestTwoLockParallelism: with separated head/tail locks, an enqueuer
+// and a dequeuer with large CS costs overlap; with a single lock they
+// serialize. This is the mechanism behind the paper's Radiosity and
+// TSP optimizations.
+func TestTwoLockParallelism(t *testing.T) {
+	const ops = 50
+	const cost = 100
+	run := func(mk maker) trace.Time {
+		s := sim.New(sim.Config{Contexts: 4})
+		q := mk(s, "q", CostModel{EnqueueCost: cost, DequeueCost: cost})
+		_, elapsed, err := s.Run(func(p harness.Proc) {
+			// Pre-fill so the dequeuer never sees empty.
+			for i := 0; i < ops; i++ {
+				q.Enqueue(p, int64(i))
+			}
+			enq := p.Go("enq", func(pp harness.Proc) {
+				for i := 0; i < ops; i++ {
+					q.Enqueue(pp, int64(i))
+				}
+			})
+			deq := p.Go("deq", func(pp harness.Proc) {
+				for i := 0; i < ops; i++ {
+					q.TryDequeue(pp)
+				}
+			})
+			p.Join(enq)
+			p.Join(deq)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	single := run(makers["single"])
+	two := run(makers["twolock"])
+	if two >= single {
+		t.Errorf("two-lock (%d) not faster than single-lock (%d)", two, single)
+	}
+	// The parallel phase should be ~2x faster with two locks.
+	if float64(single-trace.Time(ops*cost))/float64(two-trace.Time(ops*cost)) < 1.5 {
+		t.Errorf("parallel-phase speedup too small: single=%d two=%d", single, two)
+	}
+}
+
+// TestLockNamesFollowPaper: the lock names must match the paper's
+// tables (qlock, q_head_lock, q_tail_lock).
+func TestLockNamesFollowPaper(t *testing.T) {
+	s := sim.New(sim.Config{})
+	q1 := NewSingleLock(s, "tq[0]", CostModel{})
+	q2 := NewTwoLock(s, "Q", CostModel{})
+	if got := q1.LockNames(); len(got) != 1 || got[0] != "tq[0].qlock" {
+		t.Errorf("single lock names = %v", got)
+	}
+	if got := q2.LockNames(); len(got) != 2 || got[0] != "Q.q_head_lock" || got[1] != "Q.q_tail_lock" {
+		t.Errorf("two-lock names = %v", got)
+	}
+	// The registered mutexes must show up in traces under those names.
+	tr, _, err := s.Run(func(p harness.Proc) {
+		q1.Enqueue(p, 1)
+		q2.Enqueue(p, 2)
+		q2.TryDequeue(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tq[0].qlock", "Q.q_head_lock", "Q.q_tail_lock"} {
+		if an.Lock(name) == nil {
+			t.Errorf("lock %q missing from analysis", name)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"critlock/internal/core"
+	"critlock/internal/trace"
+)
+
+// Gantt renders the execution as an ASCII timeline — the view of the
+// paper's Fig. 1 and Fig. 7. One row per thread plus a marker row
+// showing where the critical path runs:
+//
+//	=  computing outside critical sections
+//	.  blocked (lock wait, barrier, condition wait, join)
+//	a… inside a critical section (one letter per lock, see legend)
+//	^  this part of the thread lies on the critical path
+//
+// width is the number of character columns the run is scaled to.
+func Gantt(an *core.Analysis, width int) string {
+	tr := an.Trace
+	if width < 10 {
+		width = 10
+	}
+	start, end := tr.Start(), tr.End()
+	if end <= start {
+		return "(empty trace)\n"
+	}
+	span := float64(end - start)
+	pos := func(t trace.Time) int {
+		p := int(float64(t-start) / span * float64(width))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	// Assign letters to mutexes in ObjID order.
+	letters := map[trace.ObjID]byte{}
+	next := byte('a')
+	for _, o := range tr.Objects {
+		if o.Kind == trace.ObjMutex {
+			letters[o.ID] = next
+			if next == 'z' {
+				next = 'A'
+			} else if next == 'Z' {
+				next = '?'
+			} else if next != '?' {
+				next++
+			}
+		}
+	}
+
+	rows := make([][]byte, tr.NumThreads())
+	cpRows := make([][]byte, tr.NumThreads())
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+		cpRows[i] = []byte(strings.Repeat(" ", width))
+	}
+	paint := func(row []byte, from, to trace.Time, c byte) {
+		a, b := pos(from), pos(to)
+		for i := a; i <= b && i < width; i++ {
+			row[i] = c
+		}
+	}
+
+	// Base activity: '=' between start and exit.
+	type pend struct{ t trace.Time }
+	started := make([]trace.Time, tr.NumThreads())
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvThreadStart:
+			started[e.Thread] = e.T
+		case trace.EvThreadExit:
+			paint(rows[e.Thread], started[e.Thread], e.T, '=')
+		}
+	}
+
+	// Waits and holds.
+	lockReq := map[[2]int32]trace.Time{}   // (thread,obj) → acquire time
+	lockObt := map[[2]int32]trace.Time{}   // (thread,obj) → obtain time
+	barArr := map[[2]int32]trace.Time{}    // barrier arrive
+	condBegin := map[[2]int32]trace.Time{} // cond wait begin
+	joinBegin := map[int32]trace.Time{}
+	key := func(e trace.Event) [2]int32 { return [2]int32{int32(e.Thread), int32(e.Obj)} }
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvLockAcquire:
+			lockReq[key(e)] = e.T
+		case trace.EvLockObtain:
+			if req, ok := lockReq[key(e)]; ok && e.T > req {
+				paint(rows[e.Thread], req, e.T, '.')
+			}
+			delete(lockReq, key(e))
+			lockObt[key(e)] = e.T
+		case trace.EvLockRelease:
+			if obt, ok := lockObt[key(e)]; ok {
+				paint(rows[e.Thread], obt, e.T, letters[e.Obj])
+				delete(lockObt, key(e))
+			}
+		case trace.EvBarrierArrive:
+			barArr[key(e)] = e.T
+		case trace.EvBarrierDepart:
+			if arr, ok := barArr[key(e)]; ok {
+				if e.Arg == 0 && e.T > arr {
+					paint(rows[e.Thread], arr, e.T, '.')
+				}
+				delete(barArr, key(e))
+			}
+		case trace.EvCondWaitBegin:
+			condBegin[key(e)] = e.T
+		case trace.EvCondWaitEnd:
+			if begin, ok := condBegin[key(e)]; ok {
+				if e.T > begin {
+					paint(rows[e.Thread], begin, e.T, '.')
+				}
+				delete(condBegin, key(e))
+			}
+		case trace.EvJoinBegin:
+			joinBegin[int32(e.Thread)] = e.T
+		case trace.EvJoinEnd:
+			if begin, ok := joinBegin[int32(e.Thread)]; ok {
+				if e.T > begin {
+					paint(rows[e.Thread], begin, e.T, '.')
+				}
+				delete(joinBegin, int32(e.Thread))
+			}
+		}
+	}
+
+	// Critical-path markers.
+	for _, p := range an.CP.Pieces {
+		paint(cpRows[p.Thread], p.From, p.To, '^')
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %d ns, one column ≈ %.0f ns\n", end-start, span/float64(width))
+	nameW := 0
+	for _, th := range tr.Threads {
+		if len(th.Name) > nameW {
+			nameW = len(th.Name)
+		}
+	}
+	for tid := range rows {
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, tr.Threads[tid].Name, rows[tid])
+		cp := string(cpRows[tid])
+		if strings.TrimSpace(cp) != "" {
+			fmt.Fprintf(&b, "%-*s |%s|\n", nameW, "", cp)
+		}
+	}
+	b.WriteString("legend: = compute   . blocked   ^ on critical path\n")
+	for _, o := range tr.Objects {
+		if o.Kind == trace.ObjMutex {
+			fmt.Fprintf(&b, "        %c %s\n", letters[o.ID], o.Name)
+		}
+	}
+	return b.String()
+}

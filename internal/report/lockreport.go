@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"critlock/internal/core"
+)
+
+// LockReport renders the per-lock statistics of an analysis in the
+// paper's two-family layout:
+//
+//	TYPE 1 (critical lock analysis):   CP Time %, Invocation # on CP,
+//	    Cont. Prob. on CP %, increase factors;
+//	TYPE 2 (previous approaches):      Wait Time %, Avg. Invo. #,
+//	    Avg. Cont. Prob %, Avg. Hold Time %.
+//
+// topN ≤ 0 lists every lock.
+func LockReport(an *core.Analysis, topN int) *Table {
+	t := NewTable(
+		"",
+		"Lock", "Critical",
+		"CP Time %", "Invo. # on CP", "Cont. Prob. on CP %",
+		"Incr. Invo.", "Incr. CS Size",
+		"Wait Time %", "Avg. Invo. #", "Avg. Cont. Prob %", "Avg. Hold Time %",
+	)
+	locks := an.Locks
+	if topN > 0 && topN < len(locks) {
+		locks = locks[:topN]
+	}
+	for _, l := range locks {
+		crit := "no"
+		if l.Critical {
+			crit = "yes"
+		}
+		t.AddRow(
+			l.Name, crit,
+			Pct(l.CPTimePct), fmt.Sprint(l.InvocationsOnCP), Pct(l.ContProbOnCP),
+			F2(l.InvIncrease), F2(l.SizeIncrease),
+			Pct(l.WaitTimePct), F2(l.AvgInvPerThread), Pct(l.AvgContProb), Pct(l.AvgHoldTimePct),
+		)
+	}
+	return t
+}
+
+// Summary writes the whole-run header: workload, thread count,
+// critical path composition and coverage.
+func Summary(w io.Writer, an *core.Analysis) {
+	tr := an.Trace
+	fmt.Fprintf(w, "workload:  %s (backend %s)\n", tr.Meta["workload"], tr.Meta["backend"])
+	fmt.Fprintf(w, "threads:   %d   events: %d   mutexes: %d\n",
+		an.Totals.Threads, an.Totals.Events, an.Totals.Mutexes)
+	fmt.Fprintf(w, "wall time: %d ns   critical path: %d ns (coverage %.1f%%)\n",
+		an.CP.WallTime, an.CP.Length, 100*an.CP.Coverage())
+	fmt.Fprintf(w, "CP pieces: %d   cross-thread jumps: %d   unattributed wait on CP: %d ns\n",
+		len(an.CP.Pieces), an.CP.Jumps, an.CP.WaitTime)
+	fmt.Fprintf(w, "lock invocations: %d (%d contended)   total lock wait: %d ns\n",
+		an.Totals.Invocations, an.Totals.ContendedInvs, an.Totals.TotalLockWait)
+	crit := an.CriticalLocks()
+	fmt.Fprintf(w, "critical locks: %d of %d\n", len(crit), an.Totals.Mutexes)
+}
+
+// ThreadReport renders per-thread statistics.
+func ThreadReport(an *core.Analysis) *Table {
+	t := NewTable("",
+		"Thread", "Lifetime ns", "On CP ns", "CP %",
+		"Lock Wait", "Lock Hold", "Barrier Wait", "Cond Wait", "Invocations")
+	for _, ts := range an.Threads {
+		cpPct := 0.0
+		if an.CP.Length > 0 {
+			cpPct = 100 * float64(ts.TimeOnCP) / float64(an.CP.Length)
+		}
+		t.AddRow(
+			ts.Name,
+			fmt.Sprint(ts.Lifetime), fmt.Sprint(ts.TimeOnCP), Pct(cpPct),
+			fmt.Sprint(ts.LockWait), fmt.Sprint(ts.LockHold),
+			fmt.Sprint(ts.BarrierWait), fmt.Sprint(ts.CondWait),
+			fmt.Sprint(ts.Invocations),
+		)
+	}
+	return t
+}

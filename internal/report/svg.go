@@ -1,0 +1,149 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"critlock/internal/core"
+	"critlock/internal/trace"
+)
+
+// SVGGantt renders the execution as a standalone SVG document: one
+// lane per thread with compute, blocked time and per-lock critical
+// sections, plus a red underline marking the critical path — a
+// shareable version of the paper's Fig. 1 drawing.
+func SVGGantt(an *core.Analysis, width int) string {
+	tr := an.Trace
+	if width < 100 {
+		width = 100
+	}
+	start, end := tr.Start(), tr.End()
+	if end <= start || tr.NumThreads() == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="100" height="20"><text x="4" y="14">empty trace</text></svg>`
+	}
+
+	const (
+		laneH   = 22
+		laneGap = 10
+		barH    = 12
+		cpH     = 3
+		leftPad = 120
+		topPad  = 28
+	)
+	span := float64(end - start)
+	x := func(t trace.Time) float64 {
+		return leftPad + float64(t-start)/span*float64(width)
+	}
+
+	// Stable lock palette.
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+		"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+	}
+	colorOf := map[trace.ObjID]string{}
+	var mutexes []trace.ObjectInfo
+	for _, o := range tr.Objects {
+		if o.Kind == trace.ObjMutex {
+			colorOf[o.ID] = palette[len(mutexes)%len(palette)]
+			mutexes = append(mutexes, o)
+		}
+	}
+
+	height := topPad + tr.NumThreads()*(laneH+laneGap) + 24 + (len(mutexes)+2)/3*18
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`,
+		leftPad+width+20, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16">%s — %d ns, critical path %d ns</text>`,
+		leftPad, escapeXML(tr.Meta["workload"]), end-start, an.CP.Length)
+
+	laneY := func(tid trace.ThreadID) int { return topPad + int(tid)*(laneH+laneGap) }
+	rect := func(from, to trace.Time, y int, h int, fill, title string) {
+		x0, x1 := x(from), x(to)
+		if x1-x0 < 0.5 {
+			x1 = x0 + 0.5
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s</title></rect>`,
+			x0, y, x1-x0, h, fill, escapeXML(title))
+	}
+
+	// Thread labels and base lanes (lifetime = compute).
+	started := make([]trace.Time, tr.NumThreads())
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvThreadStart:
+			started[e.Thread] = e.T
+		case trace.EvThreadExit:
+			y := laneY(e.Thread)
+			fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`, y+barH-1, escapeXML(tr.Thread(e.Thread).Name))
+			rect(started[e.Thread], e.T, y, barH, "#e0e0e0", "compute")
+		}
+	}
+
+	// Waits and critical sections.
+	key := func(e trace.Event) [2]int32 { return [2]int32{int32(e.Thread), int32(e.Obj)} }
+	pending := map[[2]int32]trace.Time{}
+	holds := map[[2]int32]trace.Time{}
+	for _, e := range tr.Events {
+		y := laneY(e.Thread)
+		switch e.Kind {
+		case trace.EvLockAcquire:
+			pending[key(e)] = e.T
+		case trace.EvLockObtain:
+			if req, ok := pending[key(e)]; ok && e.T > req {
+				rect(req, e.T, y, barH, "#c9c9c9", "waiting: "+tr.ObjName(e.Obj))
+			}
+			delete(pending, key(e))
+			holds[key(e)] = e.T
+		case trace.EvLockRelease:
+			if obt, ok := holds[key(e)]; ok {
+				mode := ""
+				if e.Shared() {
+					mode = " (shared)"
+				}
+				rect(obt, e.T, y, barH, colorOf[e.Obj], tr.ObjName(e.Obj)+mode)
+				delete(holds, key(e))
+			}
+		case trace.EvBarrierArrive:
+			pending[key(e)] = e.T
+		case trace.EvBarrierDepart:
+			if arr, ok := pending[key(e)]; ok {
+				if e.Arg == 0 && e.T > arr {
+					rect(arr, e.T, y, barH, "#c9c9c9", "barrier: "+tr.ObjName(e.Obj))
+				}
+				delete(pending, key(e))
+			}
+		case trace.EvCondWaitBegin:
+			pending[key(e)] = e.T
+		case trace.EvCondWaitEnd:
+			if begin, ok := pending[key(e)]; ok {
+				if e.T > begin {
+					rect(begin, e.T, y, barH, "#c9c9c9", "cond wait: "+tr.ObjName(e.Obj))
+				}
+				delete(pending, key(e))
+			}
+		}
+	}
+
+	// Critical-path underline.
+	for _, p := range an.CP.Pieces {
+		rect(p.From, p.To, laneY(p.Thread)+barH+2, cpH, "#d62728", "critical path")
+	}
+
+	// Legend.
+	ly := topPad + tr.NumThreads()*(laneH+laneGap) + 6
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="#d62728"/><text x="%d" y="%d">critical path</text>`,
+		leftPad, ly, leftPad+14, ly+9)
+	for i, o := range mutexes {
+		lx := leftPad + 130 + (i%3)*170
+		lyy := ly + (i/3)*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/><text x="%d" y="%d">%s</text>`,
+			lx, lyy, colorOf[o.ID], lx+14, lyy+9, escapeXML(o.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

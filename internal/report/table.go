@@ -1,0 +1,162 @@
+// Package report renders analysis results: aligned text tables in the
+// layout of the paper's figures (TYPE 1 / TYPE 2 statistics), CSV
+// series for plotting, and an ASCII Gantt chart of the execution with
+// the critical path marked (the paper's Fig. 1/7 view).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		cells = cells[:len(t.Headers)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table, column-aligned, with a rule under the
+// header.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, wd := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", wd-len(c)))
+		}
+		// Trim trailing padding.
+		s := b.String()
+		b.Reset()
+		b.WriteString(strings.TrimRight(s, " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values (quotes cells
+// containing commas).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var b strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i := range t.Headers {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if i < len(row) {
+				b.WriteString(esc(row[i]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown writes the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", esc(t.Title))
+	}
+	for i, h := range t.Headers {
+		if i == 0 {
+			b.WriteString("|")
+		}
+		b.WriteString(" " + esc(h) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Headers {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Headers {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a percentage with two decimals, as the paper's tables
+// print them.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }

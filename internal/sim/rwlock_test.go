@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"critlock/internal/core"
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// TestReadersOverlap: concurrent read holds proceed in parallel.
+func TestReadersOverlap(t *testing.T) {
+	_, elapsed := runSim(t, Config{Contexts: 8}, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("rw")
+		return func(p harness.Proc) {
+			var kids []harness.Thread
+			for i := 0; i < 4; i++ {
+				kids = append(kids, p.Go("r", func(q harness.Proc) {
+					q.RLock(m)
+					q.Compute(1000)
+					q.RUnlock(m)
+				}))
+			}
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	})
+	if elapsed != 1000 {
+		t.Errorf("elapsed = %d, want 1000 (readers overlap)", elapsed)
+	}
+}
+
+// TestWriterExcludesReaders: a writer holds alone; readers queue.
+func TestWriterExcludesReaders(t *testing.T) {
+	tr, elapsed := runSim(t, Config{Contexts: 8}, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("rw")
+		return func(p harness.Proc) {
+			p.Lock(m) // writer holds from the start
+			var kids []harness.Thread
+			for i := 0; i < 3; i++ {
+				kids = append(kids, p.Go("r", func(q harness.Proc) {
+					q.RLock(m)
+					q.Compute(500)
+					q.RUnlock(m)
+				}))
+			}
+			p.Compute(2000)
+			p.Unlock(m) // all readers admitted together at t=2000
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	})
+	if elapsed != 2500 { // 2000 write hold + one overlapped read phase
+		t.Errorf("elapsed = %d, want 2500", elapsed)
+	}
+	contendedShared := 0
+	for _, e := range tr.Events {
+		if e.Contended() && e.Shared() {
+			contendedShared++
+		}
+	}
+	if contendedShared != 3 {
+		t.Errorf("contended shared obtains = %d, want 3", contendedShared)
+	}
+}
+
+// TestWritePreference: a waiting writer blocks new readers, so it is
+// not starved by a reader stream.
+func TestWritePreference(t *testing.T) {
+	var order []string
+	runSim(t, Config{Contexts: 8}, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("rw")
+		return func(p harness.Proc) {
+			// Reader A holds 0..1000.
+			r1 := p.Go("r1", func(q harness.Proc) {
+				q.RLock(m)
+				q.Compute(1000)
+				order = append(order, "r1-done")
+				q.RUnlock(m)
+			})
+			// Writer arrives at 100 and queues.
+			w := p.Go("w", func(q harness.Proc) {
+				q.Compute(100)
+				q.Lock(m)
+				order = append(order, "writer")
+				q.Compute(100)
+				q.Unlock(m)
+			})
+			// Reader B arrives at 200: must wait BEHIND the writer.
+			r2 := p.Go("r2", func(q harness.Proc) {
+				q.Compute(200)
+				q.RLock(m)
+				order = append(order, "r2")
+				q.RUnlock(m)
+			})
+			p.Join(r1)
+			p.Join(w)
+			p.Join(r2)
+		}
+	})
+	want := "r1-done,writer,r2"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("order = %s, want %s (write preference violated)", got, want)
+	}
+}
+
+// TestRWLockAnalysis: a writer blocked by readers gets its waker from
+// the last reader's release; the critical path has no gaps.
+func TestRWLockAnalysis(t *testing.T) {
+	tr, elapsed := runSim(t, Config{Contexts: 8}, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("rw")
+		return func(p harness.Proc) {
+			var kids []harness.Thread
+			for i := 0; i < 3; i++ {
+				d := trace.Time(500 * (i + 1))
+				kids = append(kids, p.Go("r", func(q harness.Proc) {
+					q.RLock(m)
+					q.Compute(d) // readers release at 500, 1000, 1500
+					q.RUnlock(m)
+				}))
+			}
+			p.Compute(100)
+			p.Lock(m) // blocks until the slowest reader releases at 1500
+			p.Compute(700)
+			p.Unlock(m)
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	})
+	if elapsed != 2200 {
+		t.Errorf("elapsed = %d, want 2200", elapsed)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.CP.Length != elapsed || an.CP.WaitTime != 0 {
+		t.Errorf("CP length=%d wait=%d, want %d/0", an.CP.Length, an.CP.WaitTime, elapsed)
+	}
+	l := an.Lock("rw")
+	if l.TotalInvocations != 4 || l.SharedInvocations != 3 {
+		t.Errorf("invocations=%d shared=%d, want 4/3", l.TotalInvocations, l.SharedInvocations)
+	}
+	if !l.Critical {
+		t.Error("rw lock not critical")
+	}
+}
+
+// TestRUnlockWithoutHoldPanics: misuse is reported.
+func TestRUnlockWithoutHoldPanics(t *testing.T) {
+	s := New(Config{})
+	m := s.NewMutex("rw")
+	_, _, err := s.Run(func(p harness.Proc) {
+		p.RUnlock(m)
+	})
+	if err == nil || !strings.Contains(err.Error(), "no readers") {
+		t.Fatalf("err = %v, want read-unlock panic", err)
+	}
+}
+
+// TestRWLockDeterminism: reader/writer mixes replay identically.
+func TestRWLockDeterminism(t *testing.T) {
+	run := func() trace.Time {
+		s := New(Config{Contexts: 8, Seed: 5})
+		m := s.NewMutex("rw")
+		_, el, err := s.Run(func(p harness.Proc) {
+			var kids []harness.Thread
+			for i := 0; i < 6; i++ {
+				i := i
+				kids = append(kids, p.Go("t", func(q harness.Proc) {
+					for j := 0; j < 10; j++ {
+						q.Compute(trace.Time(q.Rand().Intn(200)))
+						if i%3 == 0 {
+							q.Lock(m)
+							q.Compute(50)
+							q.Unlock(m)
+						} else {
+							q.RLock(m)
+							q.Compute(30)
+							q.RUnlock(m)
+						}
+					}
+				}))
+			}
+			for _, k := range kids {
+				p.Join(k)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return el
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"critlock/internal/trace"
+)
+
+// WakePolicy selects which waiter an unlock hands the mutex to. FIFO
+// is the default and matches a fair (ticket-style) lock; LIFO and
+// random model unfair locks and exist for the fairness ablation
+// experiment.
+type WakePolicy uint8
+
+const (
+	WakeFIFO WakePolicy = iota
+	WakeLIFO
+	WakeRandom
+)
+
+// String names the policy.
+func (p WakePolicy) String() string {
+	switch p {
+	case WakeFIFO:
+		return "fifo"
+	case WakeLIFO:
+		return "lifo"
+	case WakeRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+// mutex is the simulator's lock, usable both exclusively (Lock) and
+// shared (RLock, reader-writer semantics, write-preferring like Go's
+// sync.RWMutex). Ownership changes happen atomically in virtual time:
+// the released lock is granted to the chosen waiter at the release
+// instant, which is exactly the dependency the paper's waker
+// resolution assumes ("the thread holding the same lock adjacently
+// before the blocked thread").
+type mutex struct {
+	sim  *Sim
+	id   trace.ObjID
+	name string
+	// owner is the exclusive holder; readers counts shared holders
+	// (mutually exclusive states).
+	owner   *thread
+	readers int
+	waiters []lockWaiter
+}
+
+// lockWaiter is one queued acquisition.
+type lockWaiter struct {
+	th     *thread
+	shared bool
+}
+
+// Name implements harness.Mutex.
+func (m *mutex) Name() string { return m.name }
+
+// free reports whether the lock has no holder at all.
+func (m *mutex) free() bool { return m.owner == nil && m.readers == 0 }
+
+// writerWaiting reports whether an exclusive acquisition is queued
+// (new readers must queue behind it — write preference).
+func (m *mutex) writerWaiting() bool {
+	for _, w := range m.waiters {
+		if !w.shared {
+			return true
+		}
+	}
+	return false
+}
+
+// pickWaiter removes and returns the next waiter per the wake policy.
+// The policy only reorders pure-writer queues; mixed queues use FIFO
+// so reader batches stay well-defined.
+func (m *mutex) pickWaiter() lockWaiter {
+	var i int
+	switch m.sim.cfg.WakePolicy {
+	case WakeLIFO:
+		i = len(m.waiters) - 1
+	case WakeRandom:
+		i = m.sim.rng.Intn(len(m.waiters))
+	default:
+		i = 0
+	}
+	w := m.waiters[i]
+	m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+	return w
+}
+
+// wake grants the free lock to queued waiters: either one writer, or
+// the longest prefix of readers. Must only be called when free().
+func (m *mutex) wake() {
+	if len(m.waiters) == 0 {
+		return
+	}
+	if !m.waiters[0].shared {
+		if !m.writerWaitingShared() {
+			// Pure writer queue: the wake policy may reorder.
+			w := m.pickWaiter()
+			m.grantWrite(w.th, true)
+			return
+		}
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.grantWrite(w.th, true)
+		return
+	}
+	for len(m.waiters) > 0 && m.waiters[0].shared {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.grantRead(w.th, true)
+	}
+}
+
+// writerWaitingShared reports whether the queue mixes readers in.
+func (m *mutex) writerWaitingShared() bool {
+	for _, w := range m.waiters {
+		if w.shared {
+			return true
+		}
+	}
+	return false
+}
+
+// grantWrite hands exclusive ownership to w at the current instant:
+// emit the contended obtain (plus cond-wait-end when w is reacquiring
+// inside a condition wait) and make w runnable.
+func (m *mutex) grantWrite(w *thread, contended bool) {
+	s := m.sim
+	m.owner = w
+	arg := int64(0)
+	if contended {
+		arg = trace.LockArgContended
+	}
+	w.buf.Emit(s.now, trace.EvLockObtain, m.id, arg)
+	if w.condReacquire != trace.NoObj {
+		w.buf.Emit(s.now, trace.EvCondWaitEnd, w.condReacquire, int64(m.id))
+		w.condReacquire = trace.NoObj
+	}
+	w.blockedOn = ""
+	s.makeReady(w)
+}
+
+// grantRead admits w as a shared holder.
+func (m *mutex) grantRead(w *thread, contended bool) {
+	s := m.sim
+	m.readers++
+	arg := int64(trace.LockArgShared)
+	if contended {
+		arg |= trace.LockArgContended
+	}
+	w.buf.Emit(s.now, trace.EvLockObtain, m.id, arg)
+	w.blockedOn = ""
+	s.makeReady(w)
+}
+
+// barrier is a counting barrier: the episode releases when the
+// parties-th thread arrives.
+type barrier struct {
+	sim     *Sim
+	id      trace.ObjID
+	name    string
+	parties int
+	waiting []*thread
+}
+
+// Name implements harness.Barrier.
+func (b *barrier) Name() string { return b.name }
+
+// Parties implements harness.Barrier.
+func (b *barrier) Parties() int { return b.parties }
+
+// condWaiter records a blocked condition wait: the thread, the cond it
+// waits on (for the wait-end event) and the mutex it must reacquire.
+type condWaiter struct {
+	th *thread
+	c  trace.ObjID
+	m  *mutex
+}
+
+// cond is a condition variable with FIFO signal-to-waiter pairing.
+type cond struct {
+	sim     *Sim
+	id      trace.ObjID
+	name    string
+	waiters []condWaiter
+}
+
+// Name implements harness.Cond.
+func (c *cond) Name() string { return c.name }

@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// thread is one simulated thread. It runs as a goroutine that holds
+// control exclusively between a resume and the next yield, so thread
+// code may mutate simulator state without locking.
+type thread struct {
+	sim  *Sim
+	id   trace.ThreadID
+	name string
+	buf  *trace.ThreadBuffer
+	rng  *rand.Rand
+	fn   func(harness.Proc)
+
+	resume chan struct{}
+
+	hasContext bool
+	started    bool
+	done       bool
+	blockedOn  string
+
+	// condReacquire is set while the thread is inside Wait and must
+	// emit cond-wait-end when its mutex is granted.
+	condReacquire trace.ObjID
+
+	joiners []*thread
+}
+
+var _ harness.Proc = (*thread)(nil)
+var _ harness.Thread = (*thread)(nil)
+
+// newThread registers a thread with the collector; its goroutine is
+// started lazily on first dispatch. The thread-start event is stamped
+// at creation time, so time spent queued for a hardware context shows
+// up as (attributable) execution after the start rather than as a
+// hole between the creator's create event and a late start.
+func (s *Sim) newThread(name string, creator trace.ThreadID, fn func(harness.Proc)) *thread {
+	buf := s.col.RegisterThread(name, creator)
+	th := &thread{
+		sim:           s,
+		id:            buf.Thread(),
+		name:          name,
+		buf:           buf,
+		rng:           rand.New(rand.NewSource(s.cfg.Seed*1000003 + int64(buf.Thread()) + 1)),
+		fn:            fn,
+		resume:        make(chan struct{}),
+		condReacquire: trace.NoObj,
+	}
+	th.buf.Emit(s.now, trace.EvThreadStart, trace.NoObj, int64(creator))
+	s.threads = append(s.threads, th)
+	s.live++
+	go th.run()
+	return th
+}
+
+// abortSignal unwinds a thread goroutine when the simulation is being
+// drained after an error.
+type abortSignal struct{}
+
+// run is the goroutine body: wait for first dispatch, execute the
+// user function, then wind down.
+func (th *thread) run() {
+	<-th.resume
+	s := th.sim
+	if s.aborted {
+		th.done = true
+		s.live--
+		s.yield <- struct{}{}
+		return
+	}
+	th.started = true
+
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSignal); !isAbort && s.err == nil {
+				s.err = fmt.Errorf("sim: thread %s panicked: %v", th.name, r)
+			}
+		}
+		th.finish()
+	}()
+	th.fn(th)
+}
+
+// finish emits the exit event, wakes joiners and returns control to
+// the scheduler for good.
+func (th *thread) finish() {
+	s := th.sim
+	th.done = true
+	if s.aborted {
+		s.live--
+		s.yield <- struct{}{}
+		return
+	}
+	th.buf.Emit(s.now, trace.EvThreadExit, trace.NoObj, 0)
+	for _, j := range th.joiners {
+		j.buf.Emit(s.now, trace.EvJoinEnd, trace.NoObj, int64(th.id))
+		j.blockedOn = ""
+		s.makeReady(j)
+	}
+	th.joiners = nil
+	s.releaseContext(th)
+	s.live--
+	s.yield <- struct{}{}
+}
+
+// yieldWait returns control to the scheduler and blocks until resumed.
+// If the simulation is draining after an error, unwind immediately.
+func (th *thread) yieldWait() {
+	s := th.sim
+	s.yield <- struct{}{}
+	<-th.resume
+	if s.aborted {
+		panic(abortSignal{})
+	}
+}
+
+// block releases the context and parks until woken.
+func (th *thread) block(on string) {
+	th.blockedOn = on
+	th.sim.releaseContext(th)
+	th.yieldWait()
+	th.blockedOn = ""
+}
+
+// ID implements harness.Proc and harness.Thread.
+func (th *thread) ID() trace.ThreadID { return th.id }
+
+// Rand implements harness.Proc.
+func (th *thread) Rand() *rand.Rand { return th.rng }
+
+// Compute implements harness.Proc: advance virtual time by d while
+// occupying the context. With Config.Quantum set, long computes are
+// sliced and the context is offered to queued ready threads between
+// slices (round-robin preemption).
+func (th *thread) Compute(d trace.Time) {
+	if d <= 0 {
+		return
+	}
+	s := th.sim
+	if !th.hasContext {
+		panic("sim: Compute without a hardware context")
+	}
+	q := s.cfg.Quantum
+	for q > 0 && d > q {
+		s.after(q, func() { s.resume(th) })
+		th.yieldWait()
+		d -= q
+		if len(s.readyQ) > 0 {
+			// Preempt: go to the back of the ready queue.
+			th.hasContext = false
+			if !s.unlimited {
+				s.freeCtx++
+			}
+			s.makeReady(th)
+			th.yieldWait()
+		}
+	}
+	s.after(d, func() { s.resume(th) })
+	th.yieldWait()
+}
+
+// Go implements harness.Proc.
+func (th *thread) Go(name string, fn func(harness.Proc)) harness.Thread {
+	s := th.sim
+	child := s.newThread(name, th.id, fn)
+	th.buf.Emit(s.now, trace.EvThreadCreate, trace.NoObj, int64(child.id))
+	s.makeReady(child)
+	return child
+}
+
+// Join implements harness.Proc.
+func (th *thread) Join(t harness.Thread) {
+	s := th.sim
+	target, ok := t.(*thread)
+	if !ok || target.sim != s {
+		panic("sim: Join on a thread from another runtime")
+	}
+	th.buf.Emit(s.now, trace.EvJoinBegin, trace.NoObj, int64(target.id))
+	if target.done {
+		th.buf.Emit(s.now, trace.EvJoinEnd, trace.NoObj, int64(target.id))
+		return
+	}
+	target.joiners = append(target.joiners, th)
+	th.block("join:" + target.name)
+	// The join-end event was emitted by the target at its exit time.
+}
+
+// Lock implements harness.Proc (exclusive acquisition).
+func (th *thread) Lock(hm harness.Mutex) {
+	s := th.sim
+	m := th.mutexOf(hm)
+	th.buf.Emit(s.now, trace.EvLockAcquire, m.id, 0)
+	if m.free() && len(m.waiters) == 0 {
+		m.owner = th
+		th.buf.Emit(s.now, trace.EvLockObtain, m.id, 0)
+		th.csEntryOverhead(false)
+		return
+	}
+	m.waiters = append(m.waiters, lockWaiter{th: th})
+	th.block("mutex:" + m.name)
+	// grantWrite() emitted the contended obtain at the release instant.
+	th.csEntryOverhead(true)
+}
+
+// Unlock implements harness.Proc.
+func (th *thread) Unlock(hm harness.Mutex) {
+	s := th.sim
+	m := th.mutexOf(hm)
+	if m.owner != th {
+		panic(fmt.Sprintf("sim: thread %s unlocks %q it does not own", th.name, m.name))
+	}
+	th.buf.Emit(s.now, trace.EvLockRelease, m.id, 0)
+	m.owner = nil
+	m.wake()
+}
+
+// RLock implements harness.Proc (shared acquisition, write-preferring:
+// readers queue behind waiting writers).
+func (th *thread) RLock(hm harness.Mutex) {
+	s := th.sim
+	m := th.mutexOf(hm)
+	th.buf.Emit(s.now, trace.EvLockAcquire, m.id, trace.LockArgShared)
+	if m.owner == nil && !m.writerWaiting() {
+		m.readers++
+		th.buf.Emit(s.now, trace.EvLockObtain, m.id, trace.LockArgShared)
+		th.csEntryOverhead(false)
+		return
+	}
+	m.waiters = append(m.waiters, lockWaiter{th: th, shared: true})
+	th.block("rmutex:" + m.name)
+	th.csEntryOverhead(true)
+}
+
+// RUnlock implements harness.Proc.
+func (th *thread) RUnlock(hm harness.Mutex) {
+	s := th.sim
+	m := th.mutexOf(hm)
+	if m.readers <= 0 {
+		panic(fmt.Sprintf("sim: thread %s read-unlocks %q with no readers", th.name, m.name))
+	}
+	th.buf.Emit(s.now, trace.EvLockRelease, m.id, trace.LockArgShared)
+	m.readers--
+	if m.free() {
+		m.wake()
+	}
+}
+
+// BarrierWait implements harness.Proc.
+func (th *thread) BarrierWait(hb harness.Barrier) {
+	s := th.sim
+	b, ok := hb.(*barrier)
+	if !ok || b.sim != s {
+		panic("sim: BarrierWait on a barrier from another runtime")
+	}
+	th.buf.Emit(s.now, trace.EvBarrierArrive, b.id, 0)
+	if len(b.waiting)+1 < b.parties {
+		b.waiting = append(b.waiting, th)
+		th.block("barrier:" + b.name)
+		return
+	}
+	// Last arriver: release the whole episode at the current instant.
+	th.buf.Emit(s.now, trace.EvBarrierDepart, b.id, 1)
+	for _, w := range b.waiting {
+		w.buf.Emit(s.now, trace.EvBarrierDepart, b.id, 0)
+		w.blockedOn = ""
+		s.makeReady(w)
+	}
+	b.waiting = b.waiting[:0]
+}
+
+// Wait implements harness.Proc: condition-variable wait with the
+// standard release-block-reacquire protocol.
+func (th *thread) Wait(hc harness.Cond, hm harness.Mutex) {
+	s := th.sim
+	c := th.condOf(hc)
+	m := th.mutexOf(hm)
+	if m.owner != th {
+		panic(fmt.Sprintf("sim: thread %s waits on %q without holding %q", th.name, c.name, m.name))
+	}
+	th.buf.Emit(s.now, trace.EvCondWaitBegin, c.id, int64(m.id))
+	// Release the mutex exactly as Unlock does.
+	th.buf.Emit(s.now, trace.EvLockRelease, m.id, 0)
+	m.owner = nil
+	m.wake()
+	c.waiters = append(c.waiters, condWaiter{th: th, c: c.id, m: m})
+	th.block("cond:" + c.name)
+	// We were signalled; the signaller initiated the mutex
+	// reacquisition and grant() emitted obtain + cond-wait-end.
+	th.csEntryOverhead(true)
+}
+
+// Signal implements harness.Proc.
+func (th *thread) Signal(hc harness.Cond) {
+	s := th.sim
+	c := th.condOf(hc)
+	th.buf.Emit(s.now, trace.EvCondSignal, c.id, 0)
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	s.wakeCondWaiter(w)
+}
+
+// Broadcast implements harness.Proc.
+func (th *thread) Broadcast(hc harness.Cond) {
+	s := th.sim
+	c := th.condOf(hc)
+	th.buf.Emit(s.now, trace.EvCondBroadcast, c.id, 0)
+	waiters := c.waiters
+	c.waiters = nil
+	for _, w := range waiters {
+		s.wakeCondWaiter(w)
+	}
+}
+
+// wakeCondWaiter starts the woken thread's mutex reacquisition: emit
+// its acquire now and either grant immediately or queue it on the
+// mutex. The cond-wait-end event is emitted by grant() at the instant
+// the mutex is actually obtained, matching the paper's instrumentation
+// point "after cond_wait returns".
+func (s *Sim) wakeCondWaiter(w condWaiter) {
+	w.th.buf.Emit(s.now, trace.EvLockAcquire, w.m.id, 0)
+	w.th.condReacquire = w.c
+	if w.m.free() && len(w.m.waiters) == 0 {
+		w.m.grantWrite(w.th, false)
+		return
+	}
+	w.m.waiters = append(w.m.waiters, lockWaiter{th: w.th})
+	w.th.blockedOn = "mutex:" + w.m.name
+}
+
+// csEntryOverhead consumes the configured critical-section entry cost.
+func (th *thread) csEntryOverhead(contended bool) {
+	cost := th.sim.cfg.LockOverhead
+	if contended {
+		cost += th.sim.cfg.ContentionPenalty
+	}
+	if cost > 0 {
+		th.Compute(cost)
+	}
+}
+
+func (th *thread) mutexOf(hm harness.Mutex) *mutex {
+	m, ok := hm.(*mutex)
+	if !ok || m.sim != th.sim {
+		panic("sim: mutex from another runtime")
+	}
+	return m
+}
+
+func (th *thread) condOf(hc harness.Cond) *cond {
+	c, ok := hc.(*cond)
+	if !ok || c.sim != th.sim {
+		panic("sim: cond from another runtime")
+	}
+	return c
+}

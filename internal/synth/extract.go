@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"critlock/internal/core"
+)
+
+// FromAnalysis extracts a declarative workload model from an analyzed
+// trace: per-lock hold means, invocation rates (as per-iteration
+// probabilities) and the average compute between lock operations. The
+// extracted model is a statistical caricature — it preserves the
+// *rates and sizes* that drive contention, not the exact dependency
+// structure (barrier episodes and condvar handoffs are not inferred) —
+// which is exactly what's needed to re-create a bottleneck in a
+// sandbox, tweak it, and re-measure.
+func FromAnalysis(an *core.Analysis) (*Config, error) {
+	tr := an.Trace
+	if tr == nil || an.Totals.Threads == 0 {
+		return nil, fmt.Errorf("synth: empty analysis")
+	}
+	workers := an.Totals.Threads - 1 // by convention the root only forks/joins
+	if workers < 1 {
+		workers = 1
+	}
+
+	name := tr.Meta["workload"]
+	if name == "" {
+		name = "extracted"
+	}
+
+	// Locks with traffic, busiest first so the generated file reads
+	// sensibly.
+	locks := make([]core.LockStats, 0, len(an.Locks))
+	for _, l := range an.Locks {
+		if l.TotalInvocations > 0 {
+			locks = append(locks, l)
+		}
+	}
+	sort.Slice(locks, func(i, j int) bool {
+		return locks[i].TotalInvocations > locks[j].TotalInvocations
+	})
+	if len(locks) == 0 {
+		return nil, fmt.Errorf("synth: trace has no lock activity to model")
+	}
+
+	// Iterations: the busiest lock's per-thread invocation count (so
+	// its step runs with probability ≈ 1 each iteration).
+	iterations := int(math.Round(float64(locks[0].TotalInvocations) / float64(workers)))
+	if iterations < 1 {
+		iterations = 1
+	}
+	if iterations > 100000 {
+		iterations = 100000
+	}
+
+	cfg := &Config{
+		Name:    name + "-model",
+		Threads: workers,
+		Phases:  []Phase{{Name: "extracted", Iterations: iterations}},
+	}
+
+	// Average compute between iterations: per-thread non-lock time.
+	var lifetime, waits, holds int64
+	for _, ts := range an.Threads {
+		lifetime += int64(ts.Lifetime)
+		waits += int64(ts.LockWait + ts.BarrierWait + ts.CondWait + ts.JoinWait)
+		holds += int64(ts.LockHold)
+	}
+	computePerIter := (lifetime - waits - holds) / int64(an.Totals.Threads) / int64(iterations)
+	if computePerIter < 1 {
+		computePerIter = 1
+	}
+
+	steps := []Step{{Compute: computePerIter}}
+	for _, l := range locks {
+		invPerIter := float64(l.TotalInvocations) / float64(workers) / float64(iterations)
+		hold := int64(0)
+		if l.TotalInvocations > 0 {
+			hold = int64(l.TotalHold) / int64(l.TotalInvocations)
+		}
+		if hold < 1 {
+			hold = 1
+		}
+		shared := l.SharedInvocations*2 > l.TotalInvocations
+		for invPerIter > 0 {
+			st := Step{Lock: l.Name, Hold: hold, Shared: shared}
+			if invPerIter < 0.995 {
+				st.Prob = math.Round(invPerIter*100) / 100
+				if st.Prob <= 0 {
+					break
+				}
+				invPerIter = 0
+			} else {
+				invPerIter -= 1
+			}
+			steps = append(steps, st)
+			if len(steps) > 64 {
+				break // cap pathological step counts
+			}
+		}
+		cfg.Locks = append(cfg.Locks, l.Name)
+	}
+	cfg.Phases[0].Steps = steps
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: extracted model invalid: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"critlock/internal/core"
+	"critlock/internal/sim"
+	"critlock/internal/workloads"
+)
+
+func analyzeWorkload(t *testing.T, name string, threads int) *core.Analysis {
+	t.Helper()
+	spec, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sim.Config{Contexts: 24, Seed: 1})
+	tr, _, err := workloads.Run(s, spec, workloads.Params{Threads: threads, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// TestExtractMicroRoundTrip: extract a model from the micro-benchmark
+// trace, re-run the model, and the identification result must
+// survive: L2 tops CP Time, L1 tops Wait Time.
+func TestExtractMicroRoundTrip(t *testing.T) {
+	an := analyzeWorkload(t, "micro", 4)
+	cfg, err := FromAnalysis(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Threads != 4 {
+		t.Errorf("extracted threads = %d, want 4", cfg.Threads)
+	}
+	if len(cfg.Locks) != 2 {
+		t.Fatalf("extracted locks = %v, want L1+L2", cfg.Locks)
+	}
+
+	// The model must serialize to valid JSON and load back.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(cfg); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("extracted model does not reload: %v", err)
+	}
+
+	s := sim.New(sim.Config{Contexts: 24, Seed: 2})
+	tr, _, err := workloads.Run(s, reloaded.Spec(), workloads.Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an2, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := an2.Lock("L1"), an2.Lock("L2")
+	if l1 == nil || l2 == nil {
+		t.Fatal("locks missing from model run")
+	}
+	if l2.CPTimePct <= l1.CPTimePct {
+		t.Errorf("model lost the result: L2 %.2f%% vs L1 %.2f%%", l2.CPTimePct, l1.CPTimePct)
+	}
+}
+
+// TestExtractRadiosity: the extracted model of the 24-thread radiosity
+// run must keep tq[0].qlock as a (near-)dominant lock.
+func TestExtractRadiosity(t *testing.T) {
+	an := analyzeWorkload(t, "radiosity", 24)
+	cfg, err := FromAnalysis(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sim.Config{Contexts: 24, Seed: 5})
+	tr, _, err := workloads.Run(s, cfg.Spec(), workloads.Params{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an2, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tq[0].qlock must be among the top two locks of the model run.
+	topNames := []string{an2.Locks[0].Name}
+	if len(an2.Locks) > 1 {
+		topNames = append(topNames, an2.Locks[1].Name)
+	}
+	found := false
+	for _, n := range topNames {
+		if n == "tq[0].qlock" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tq[0].qlock not among top locks of the extracted model: %v", topNames)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := FromAnalysis(&core.Analysis{}); err == nil {
+		t.Error("empty analysis accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package synth
+
+import (
+	"fmt"
+
+	"critlock/internal/core"
+	"critlock/internal/sim"
+	"critlock/internal/trace"
+	"critlock/internal/workloads"
+)
+
+// SweepSpec describes a what-if study over a declarative model — the
+// paper's evaluation methodology (thread sweeps like Fig. 9,
+// optimization factors like Fig. 6/12) generalized to user models.
+type SweepSpec struct {
+	// Threads lists worker counts to run (empty = the model's own).
+	Threads []int
+	// ShrinkLock optionally names a lock whose hold times are scaled
+	// by each factor in Factors (1.0 = unchanged, 0.5 = halved) — the
+	// "same amount of optimization effort" experiment.
+	ShrinkLock string
+	// Factors are the hold-scale factors (empty with ShrinkLock set
+	// means {1.0, 0.5}).
+	Factors []float64
+	// Contexts is the simulated hardware size (0 = 24).
+	Contexts int
+	// Seed drives the deterministic runs (0 = 1).
+	Seed int64
+}
+
+// SweepRow is one (threads, factor) cell of the study.
+type SweepRow struct {
+	Threads int
+	Factor  float64
+	// Completion is the virtual completion time.
+	Completion trace.Time
+	// Speedup is relative to the first row with the same factor
+	// (thread-scaling view) — 0 until computed by Sweep.
+	Speedup float64
+	// TopLock and TopCPPct identify the critical lock of the cell.
+	TopLock  string
+	TopCPPct float64
+}
+
+// Sweep runs the study. Rows are ordered factor-major, threads-minor;
+// speedups are normalized to each factor's smallest thread count.
+func Sweep(cfg *Config, spec SweepSpec) ([]SweepRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	threads := spec.Threads
+	if len(threads) == 0 {
+		threads = []int{cfg.Threads}
+	}
+	factors := spec.Factors
+	if len(factors) == 0 {
+		if spec.ShrinkLock != "" {
+			factors = []float64{1.0, 0.5}
+		} else {
+			factors = []float64{1.0}
+		}
+	}
+	if spec.ShrinkLock != "" {
+		found := false
+		for _, l := range cfg.Locks {
+			if l == spec.ShrinkLock {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("synth: sweep shrinks unknown lock %q", spec.ShrinkLock)
+		}
+	}
+	contexts := spec.Contexts
+	if contexts == 0 {
+		contexts = 24
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	var rows []SweepRow
+	for _, f := range factors {
+		variant := cfg
+		if spec.ShrinkLock != "" && f != 1.0 {
+			variant = shrinkLock(cfg, spec.ShrinkLock, f)
+		}
+		var base trace.Time
+		for i, n := range threads {
+			s := sim.New(sim.Config{Contexts: contexts, Seed: seed})
+			tr, elapsed, err := workloads.Run(s, variant.Spec(), workloads.Params{Threads: n, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("synth: sweep threads=%d factor=%v: %w", n, f, err)
+			}
+			an, err := core.AnalyzeDefault(tr)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = elapsed
+			}
+			row := SweepRow{Threads: n, Factor: f, Completion: elapsed}
+			if elapsed > 0 {
+				row.Speedup = float64(base) / float64(elapsed)
+			}
+			if len(an.Locks) > 0 {
+				row.TopLock = an.Locks[0].Name
+				row.TopCPPct = an.Locks[0].CPTimePct
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// shrinkLock deep-copies cfg with the named lock's holds scaled.
+func shrinkLock(cfg *Config, lock string, factor float64) *Config {
+	out := *cfg
+	out.Locks = append([]string(nil), cfg.Locks...)
+	out.Barriers = append([]BarrierDef(nil), cfg.Barriers...)
+	out.Phases = make([]Phase, len(cfg.Phases))
+	for pi, ph := range cfg.Phases {
+		np := ph
+		np.Steps = make([]Step, len(ph.Steps))
+		for si, st := range ph.Steps {
+			if st.Lock == lock {
+				st.Hold = int64(float64(st.Hold) * factor)
+				if st.Hold < 1 {
+					st.Hold = 1
+				}
+			}
+			np.Steps[si] = st
+		}
+		out.Phases[pi] = np
+	}
+	return &out
+}

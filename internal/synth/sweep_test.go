@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func loadMicro(t *testing.T) *Config {
+	t.Helper()
+	cfg, err := Load(strings.NewReader(microJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestSweepThreads: the micro model's completion time grows with the
+// thread count (the critical sections serialize), so "speedup" over
+// threads is below 1 — exactly the saturation the paper's micro
+// benchmark demonstrates.
+func TestSweepThreads(t *testing.T) {
+	rows, err := Sweep(loadMicro(t), SweepSpec{Threads: []int{1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("base speedup = %v, want 1", rows[0].Speedup)
+	}
+	if !(rows[0].Completion < rows[1].Completion && rows[1].Completion < rows[2].Completion) {
+		t.Errorf("completion not increasing with threads: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.TopLock == "" {
+			t.Errorf("row missing top lock: %+v", r)
+		}
+	}
+}
+
+// TestSweepShrink reproduces the Fig. 6 validation through the sweep
+// engine: halving L2 helps more than halving L1.
+func TestSweepShrink(t *testing.T) {
+	cfg := loadMicro(t)
+	rowsL1, err := Sweep(cfg, SweepSpec{Threads: []int{4}, ShrinkLock: "L1", Factors: []float64{1.0, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsL2, err := Sweep(cfg, SweepSpec{Threads: []int{4}, ShrinkLock: "L2", Factors: []float64{1.0, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsL1) != 2 || len(rowsL2) != 2 {
+		t.Fatalf("rows: %d/%d, want 2/2", len(rowsL1), len(rowsL2))
+	}
+	gainL1 := float64(rowsL1[0].Completion) / float64(rowsL1[1].Completion)
+	gainL2 := float64(rowsL2[0].Completion) / float64(rowsL2[1].Completion)
+	if gainL2 <= gainL1 {
+		t.Errorf("shrinking L2 (%.3fx) must beat shrinking L1 (%.3fx)", gainL2, gainL1)
+	}
+}
+
+func TestSweepDefaultsAndErrors(t *testing.T) {
+	cfg := loadMicro(t)
+	rows, err := Sweep(cfg, SweepSpec{ShrinkLock: "L2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // default factors {1.0, 0.5} at the model's thread count
+		t.Errorf("rows = %+v, want 2", rows)
+	}
+	if _, err := Sweep(cfg, SweepSpec{ShrinkLock: "nope"}); err == nil {
+		t.Error("unknown shrink lock accepted")
+	}
+	bad := &Config{}
+	if _, err := Sweep(bad, SweepSpec{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

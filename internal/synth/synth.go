@@ -1,0 +1,263 @@
+// Package synth builds workloads from declarative JSON descriptions,
+// so an application's lock structure can be modelled and analyzed
+// without writing Go. A description names the locks, barriers and
+// condition-free phase structure; each worker thread executes the
+// phases in order, each phase being a list of weighted steps (compute,
+// lock/hold, shared lock, barrier).
+//
+// Example (the paper's micro-benchmark):
+//
+//	{
+//	  "name": "micro",
+//	  "threads": 4,
+//	  "locks": ["L1", "L2"],
+//	  "phases": [{
+//	    "iterations": 1,
+//	    "steps": [
+//	      {"lock": "L1", "hold": 2000000},
+//	      {"lock": "L2", "hold": 2500000}
+//	    ]
+//	  }]
+//	}
+//
+// Compute and hold durations are mean nanoseconds, jittered ±50% with
+// the workload's deterministic per-thread RNG. A step with "prob" set
+// executes with that probability per iteration.
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+	"critlock/internal/workloads"
+)
+
+// Config is a declarative workload description.
+type Config struct {
+	// Name labels the workload in traces and reports.
+	Name string `json:"name"`
+	// Threads is the default worker count (overridable by Params).
+	Threads int `json:"threads"`
+	// Locks declares the mutex names steps may reference.
+	Locks []string `json:"locks,omitempty"`
+	// Barriers declares barriers; parties 0 means "all workers".
+	Barriers []BarrierDef `json:"barriers,omitempty"`
+	// Phases run in order on every worker.
+	Phases []Phase `json:"phases"`
+}
+
+// BarrierDef declares one barrier.
+type BarrierDef struct {
+	Name string `json:"name"`
+	// Parties is the arrival count; 0 means every worker thread.
+	Parties int `json:"parties,omitempty"`
+}
+
+// Phase is a repeated step sequence.
+type Phase struct {
+	// Name is optional, for readability.
+	Name string `json:"name,omitempty"`
+	// Iterations of the step list per thread (default 1).
+	Iterations int `json:"iterations,omitempty"`
+	// Steps run in order each iteration.
+	Steps []Step `json:"steps"`
+}
+
+// Step is one action. Exactly one of Compute, Lock or Barrier must be
+// set.
+type Step struct {
+	// Compute burns this many mean nanoseconds.
+	Compute int64 `json:"compute,omitempty"`
+	// Lock takes the named mutex for Hold mean nanoseconds.
+	Lock string `json:"lock,omitempty"`
+	Hold int64  `json:"hold,omitempty"`
+	// Shared takes the lock in reader mode.
+	Shared bool `json:"shared,omitempty"`
+	// Barrier waits at the named barrier.
+	Barrier string `json:"barrier,omitempty"`
+	// Prob executes the step with this probability (default 1).
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// Load parses and validates a JSON description.
+func Load(r io.Reader) (*Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("synth: parsing: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Validate checks structural consistency.
+func (cfg *Config) Validate() error {
+	if cfg.Name == "" {
+		return fmt.Errorf("synth: missing workload name")
+	}
+	if cfg.Threads < 0 {
+		return fmt.Errorf("synth: negative thread count")
+	}
+	if len(cfg.Phases) == 0 {
+		return fmt.Errorf("synth: workload %q has no phases", cfg.Name)
+	}
+	locks := map[string]bool{}
+	for _, l := range cfg.Locks {
+		if l == "" {
+			return fmt.Errorf("synth: empty lock name")
+		}
+		if locks[l] {
+			return fmt.Errorf("synth: duplicate lock %q", l)
+		}
+		locks[l] = true
+	}
+	barriers := map[string]bool{}
+	for _, b := range cfg.Barriers {
+		if b.Name == "" {
+			return fmt.Errorf("synth: empty barrier name")
+		}
+		if barriers[b.Name] {
+			return fmt.Errorf("synth: duplicate barrier %q", b.Name)
+		}
+		if b.Parties < 0 {
+			return fmt.Errorf("synth: barrier %q has negative parties", b.Name)
+		}
+		barriers[b.Name] = true
+	}
+	for pi, ph := range cfg.Phases {
+		if len(ph.Steps) == 0 {
+			return fmt.Errorf("synth: phase %d has no steps", pi)
+		}
+		if ph.Iterations < 0 {
+			return fmt.Errorf("synth: phase %d has negative iterations", pi)
+		}
+		for si, st := range ph.Steps {
+			set := 0
+			if st.Compute != 0 {
+				set++
+			}
+			if st.Lock != "" {
+				set++
+			}
+			if st.Barrier != "" {
+				set++
+			}
+			if set != 1 {
+				return fmt.Errorf("synth: phase %d step %d must set exactly one of compute/lock/barrier", pi, si)
+			}
+			if st.Compute < 0 || st.Hold < 0 {
+				return fmt.Errorf("synth: phase %d step %d has negative duration", pi, si)
+			}
+			if st.Lock != "" && !locks[st.Lock] {
+				return fmt.Errorf("synth: phase %d step %d references undeclared lock %q", pi, si, st.Lock)
+			}
+			if st.Lock == "" && (st.Hold != 0 || st.Shared) {
+				return fmt.Errorf("synth: phase %d step %d sets hold/shared without a lock", pi, si)
+			}
+			if st.Barrier != "" && !barriers[st.Barrier] {
+				return fmt.Errorf("synth: phase %d step %d references undeclared barrier %q", pi, si, st.Barrier)
+			}
+			if st.Prob < 0 || st.Prob > 1 {
+				return fmt.Errorf("synth: phase %d step %d probability %v out of [0,1]", pi, si, st.Prob)
+			}
+		}
+	}
+	return nil
+}
+
+// Spec adapts the description to the workload registry interface so it
+// runs exactly like the built-in models.
+func (cfg *Config) Spec() workloads.Spec {
+	return workloads.Spec{
+		Name:           cfg.Name,
+		Desc:           "declarative synthetic workload",
+		Paper:          "user-defined (synth DSL)",
+		DefaultThreads: max(1, cfg.Threads),
+		Build:          cfg.build,
+	}
+}
+
+func (cfg *Config) build(rt harness.Runtime, p workloads.Params) func(harness.Proc) {
+	threads := p.Threads
+	if threads <= 0 {
+		threads = max(1, cfg.Threads)
+	}
+	mutexes := map[string]harness.Mutex{}
+	for _, name := range cfg.Locks {
+		mutexes[name] = rt.NewMutex(name)
+	}
+	barriers := map[string]harness.Barrier{}
+	for _, b := range cfg.Barriers {
+		parties := b.Parties
+		if parties == 0 {
+			parties = threads
+		}
+		barriers[b.Name] = rt.NewBarrier(b.Name, parties)
+	}
+
+	jitter := func(q harness.Proc, mean int64) trace.Time {
+		if mean <= 1 {
+			return trace.Time(mean)
+		}
+		return trace.Time(mean/2 + q.Rand().Int63n(mean))
+	}
+
+	worker := func(q harness.Proc, _ int) {
+		for _, ph := range cfg.Phases {
+			iters := ph.Iterations
+			if iters == 0 {
+				iters = 1
+			}
+			for it := 0; it < iters; it++ {
+				for _, st := range ph.Steps {
+					if st.Prob > 0 && st.Prob < 1 && q.Rand().Float64() >= st.Prob {
+						continue
+					}
+					switch {
+					case st.Compute != 0:
+						q.Compute(jitter(q, st.Compute))
+					case st.Lock != "":
+						m := mutexes[st.Lock]
+						if st.Shared {
+							q.RLock(m)
+							q.Compute(jitter(q, st.Hold))
+							q.RUnlock(m)
+						} else {
+							q.Lock(m)
+							q.Compute(jitter(q, st.Hold))
+							q.Unlock(m)
+						}
+					case st.Barrier != "":
+						q.BarrierWait(barriers[st.Barrier])
+					}
+				}
+			}
+		}
+	}
+
+	return func(main harness.Proc) {
+		kids := make([]harness.Thread, 0, threads)
+		for i := 0; i < threads; i++ {
+			i := i
+			kids = append(kids, main.Go(fmt.Sprintf("%s-%d", cfg.Name, i), func(q harness.Proc) {
+				worker(q, i)
+			}))
+		}
+		for _, k := range kids {
+			main.Join(k)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

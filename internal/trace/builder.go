@@ -1,0 +1,144 @@
+package trace
+
+import "sort"
+
+// Builder constructs traces by hand, with explicit timestamps. It is
+// used by tests and by the fig1 experiment, which reproduces the
+// paper's illustrative execution exactly.
+//
+// The builder assigns sequence numbers in call order, so events with
+// equal timestamps are ordered by emission order. Call Trace to
+// finalize; the builder stays usable.
+type Builder struct {
+	threads []ThreadInfo
+	objects []ObjectInfo
+	events  []Event
+	meta    map[string]string
+	seq     uint64
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{meta: make(map[string]string)}
+}
+
+// Meta sets a metadata entry.
+func (b *Builder) Meta(key, value string) *Builder {
+	b.meta[key] = value
+	return b
+}
+
+// Thread registers a thread and returns its ID.
+func (b *Builder) Thread(name string, creator ThreadID) ThreadID {
+	id := ThreadID(len(b.threads))
+	b.threads = append(b.threads, ThreadInfo{ID: id, Name: name, Creator: creator})
+	return id
+}
+
+// Mutex registers a mutex and returns its ID.
+func (b *Builder) Mutex(name string) ObjID { return b.object(ObjMutex, name, 0) }
+
+// Barrier registers a barrier for n parties and returns its ID.
+func (b *Builder) Barrier(name string, n int) ObjID { return b.object(ObjBarrier, name, n) }
+
+// Cond registers a condition variable and returns its ID.
+func (b *Builder) Cond(name string) ObjID { return b.object(ObjCond, name, 0) }
+
+func (b *Builder) object(kind ObjKind, name string, parties int) ObjID {
+	id := ObjID(len(b.objects))
+	b.objects = append(b.objects, ObjectInfo{ID: id, Kind: kind, Name: name, Parties: parties})
+	return id
+}
+
+// Event appends a raw event.
+func (b *Builder) Event(t Time, thread ThreadID, kind EventKind, obj ObjID, arg int64) *Builder {
+	b.seq++
+	b.events = append(b.events, Event{T: t, Seq: b.seq, Thread: thread, Kind: kind, Obj: obj, Arg: arg})
+	return b
+}
+
+// Start records a thread-start at t. For non-root threads pass the
+// creator; the creator's thread-create event is appended as well (at
+// the same timestamp, just before the start).
+func (b *Builder) Start(t Time, thread ThreadID) *Builder {
+	creator := NoThread
+	if int(thread) < len(b.threads) {
+		creator = b.threads[thread].Creator
+	}
+	if creator != NoThread {
+		b.Event(t, creator, EvThreadCreate, NoObj, int64(thread))
+	}
+	return b.Event(t, thread, EvThreadStart, NoObj, int64(creator))
+}
+
+// Exit records a thread-exit at t.
+func (b *Builder) Exit(t Time, thread ThreadID) *Builder {
+	return b.Event(t, thread, EvThreadExit, NoObj, 0)
+}
+
+// CS records a full critical section: acquire at acq, obtain at obt
+// (contended iff obt > acq), release at rel.
+func (b *Builder) CS(thread ThreadID, m ObjID, acq, obt, rel Time) *Builder {
+	contended := int64(0)
+	if obt > acq {
+		contended = LockArgContended
+	}
+	b.Event(acq, thread, EvLockAcquire, m, 0)
+	b.Event(obt, thread, EvLockObtain, m, contended)
+	b.Event(rel, thread, EvLockRelease, m, 0)
+	return b
+}
+
+// SharedCS records a reader (shared) critical section on a read-write
+// mutex.
+func (b *Builder) SharedCS(thread ThreadID, m ObjID, acq, obt, rel Time) *Builder {
+	arg := int64(LockArgShared)
+	obtArg := arg
+	if obt > acq {
+		obtArg |= LockArgContended
+	}
+	b.Event(acq, thread, EvLockAcquire, m, arg)
+	b.Event(obt, thread, EvLockObtain, m, obtArg)
+	b.Event(rel, thread, EvLockRelease, m, arg)
+	return b
+}
+
+// BarrierWait records arrive at `arrive` and depart at `depart`; last
+// marks the thread as the final arriver (which does not block).
+func (b *Builder) BarrierWait(thread ThreadID, bar ObjID, arrive, depart Time, last bool) *Builder {
+	b.Event(arrive, thread, EvBarrierArrive, bar, 0)
+	arg := int64(0)
+	if last {
+		arg = 1
+	}
+	b.Event(depart, thread, EvBarrierDepart, bar, arg)
+	return b
+}
+
+// Join records a join-begin/join-end pair on target.
+func (b *Builder) Join(thread ThreadID, target ThreadID, begin, end Time) *Builder {
+	b.Event(begin, thread, EvJoinBegin, NoObj, int64(target))
+	b.Event(end, thread, EvJoinEnd, NoObj, int64(target))
+	return b
+}
+
+// Trace finalizes the builder into a sorted Trace.
+func (b *Builder) Trace() *Trace {
+	events := append([]Event(nil), b.events...)
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].T != events[j].T {
+			return events[i].T < events[j].T
+		}
+		return events[i].Seq < events[j].Seq
+	})
+	meta := make(map[string]string, len(b.meta))
+	for k, v := range b.meta {
+		meta[k] = v
+	}
+	return &Trace{
+		Events:  events,
+		Objects: append([]ObjectInfo(nil), b.objects...),
+		Threads: append([]ThreadInfo(nil), b.threads...),
+		Meta:    meta,
+	}
+}

@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary trace format.
+//
+// The format is a compact varint encoding, analogous to the flat event
+// records the paper's instrumentation module flushes to disk when the
+// instrumented application completes:
+//
+//	magic   "CLTR"            4 bytes
+//	version uvarint           currently 1
+//	meta    uvarint count, then (string key, string value) pairs
+//	threads uvarint count, then (string name, varint creator) per thread
+//	objects uvarint count, then (byte kind, string name, uvarint parties)
+//	events  uvarint count, then per event:
+//	        varint  delta-T (vs previous event's T)
+//	        uvarint delta-Seq (vs previous event's Seq)
+//	        uvarint thread
+//	        byte    kind
+//	        varint  obj
+//	        varint  arg
+//
+// Strings are uvarint length + bytes. Events must already be sorted by
+// (T, Seq), which Collector.Finish guarantees; the decoder verifies it.
+
+const (
+	binaryMagic   = "CLTR"
+	binaryVersion = 1
+)
+
+// maxDecodeCount caps decoded collection sizes to defend against
+// corrupt or hostile inputs claiming absurd lengths.
+const maxDecodeCount = 1 << 30
+
+// WriteBinary encodes tr to w in the binary trace format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, binaryVersion)
+
+	writeUvarint(bw, uint64(len(tr.Meta)))
+	// Deterministic meta order: sort keys.
+	for _, k := range sortedKeys(tr.Meta) {
+		writeString(bw, k)
+		writeString(bw, tr.Meta[k])
+	}
+
+	writeUvarint(bw, uint64(len(tr.Threads)))
+	for _, th := range tr.Threads {
+		writeString(bw, th.Name)
+		writeVarint(bw, int64(th.Creator))
+	}
+
+	writeUvarint(bw, uint64(len(tr.Objects)))
+	for _, o := range tr.Objects {
+		if err := bw.WriteByte(byte(o.Kind)); err != nil {
+			return err
+		}
+		writeString(bw, o.Name)
+		writeUvarint(bw, uint64(o.Parties))
+	}
+
+	writeUvarint(bw, uint64(len(tr.Events)))
+	var prevT Time
+	var prevSeq uint64
+	for _, e := range tr.Events {
+		writeVarint(bw, int64(e.T-prevT))
+		writeUvarint(bw, e.Seq-prevSeq)
+		writeUvarint(bw, uint64(e.Thread))
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		writeVarint(bw, int64(e.Obj))
+		writeVarint(bw, e.Arg)
+		prevT, prevSeq = e.T, e.Seq
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+
+	tr := &Trace{Meta: make(map[string]string)}
+
+	nMeta, err := readCount(br, "meta")
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nMeta; i++ {
+		k, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: meta key: %w", err)
+		}
+		v, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: meta value: %w", err)
+		}
+		tr.Meta[k] = v
+	}
+
+	nThreads, err := readCount(br, "threads")
+	if err != nil {
+		return nil, err
+	}
+	tr.Threads = make([]ThreadInfo, 0, min(nThreads, 1<<16))
+	for i := uint64(0); i < nThreads; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread name: %w", err)
+		}
+		creator, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: thread creator: %w", err)
+		}
+		tr.Threads = append(tr.Threads, ThreadInfo{ID: ThreadID(i), Name: name, Creator: ThreadID(creator)})
+	}
+
+	nObjects, err := readCount(br, "objects")
+	if err != nil {
+		return nil, err
+	}
+	tr.Objects = make([]ObjectInfo, 0, min(nObjects, 1<<16))
+	for i := uint64(0); i < nObjects; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: object kind: %w", err)
+		}
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: object name: %w", err)
+		}
+		parties, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: object parties: %w", err)
+		}
+		if parties > math.MaxInt32 {
+			return nil, fmt.Errorf("trace: object parties %d out of range", parties)
+		}
+		tr.Objects = append(tr.Objects, ObjectInfo{ID: ObjID(i), Kind: ObjKind(kind), Name: name, Parties: int(parties)})
+	}
+
+	nEvents, err := readCount(br, "events")
+	if err != nil {
+		return nil, err
+	}
+	tr.Events = make([]Event, 0, min(nEvents, 1<<20))
+	var prevT Time
+	var prevSeq uint64
+	for i := uint64(0); i < nEvents; i++ {
+		dt, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d time: %w", i, err)
+		}
+		dseq, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d seq: %w", i, err)
+		}
+		thread, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d thread: %w", i, err)
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d kind: %w", i, err)
+		}
+		obj, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d obj: %w", i, err)
+		}
+		arg, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d arg: %w", i, err)
+		}
+		if !EventKind(kind).Valid() {
+			return nil, fmt.Errorf("trace: event %d: invalid kind %d", i, kind)
+		}
+		if thread >= nThreads {
+			return nil, fmt.Errorf("trace: event %d: thread %d out of range", i, thread)
+		}
+		e := Event{
+			T:      prevT + Time(dt),
+			Seq:    prevSeq + dseq,
+			Thread: ThreadID(thread),
+			Kind:   EventKind(kind),
+			Obj:    ObjID(obj),
+			Arg:    arg,
+		}
+		if i > 0 && (e.T < prevT || (e.T == prevT && e.Seq <= prevSeq)) {
+			return nil, fmt.Errorf("trace: event %d out of order", i)
+		}
+		prevT, prevSeq = e.T, e.Seq
+		tr.Events = append(tr.Events, e)
+	}
+	return tr, nil
+}
+
+var errStringTooLong = errors.New("trace: string too long")
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", errStringTooLong
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func readCount(r *bufio.Reader, what string) (uint64, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("trace: reading %s count: %w", what, err)
+	}
+	if n > maxDecodeCount {
+		return 0, fmt.Errorf("trace: %s count %d too large", what, n)
+	}
+	return n, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; meta maps are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

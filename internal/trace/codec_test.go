@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildSampleTrace constructs a small but representative trace using
+// every event kind.
+func buildSampleTrace() *Trace {
+	b := NewBuilder()
+	main := b.Thread("main", NoThread)
+	w1 := b.Thread("worker-1", main)
+	m := b.Mutex("L1")
+	bar := b.Barrier("phase", 2)
+	cv := b.Cond("queue-nonempty")
+
+	b.Meta("workload", "sample")
+	b.Start(0, main)
+	b.Start(5, w1)
+	b.CS(main, m, 10, 10, 20)
+	b.CS(w1, m, 12, 20, 30)
+	b.BarrierWait(main, bar, 25, 35, false)
+	b.BarrierWait(w1, bar, 35, 35, true)
+	b.Event(40, w1, EvCondWaitBegin, cv, int64(m))
+	b.Event(45, main, EvCondSignal, cv, 0)
+	b.Event(46, main, EvCondBroadcast, cv, 0)
+	b.Event(47, w1, EvCondWaitEnd, cv, int64(m))
+	b.Exit(50, w1)
+	b.Join(main, w1, 48, 50)
+	b.Exit(60, main)
+	return b.Trace()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	_, err := ReadBinary(strings.NewReader("NOPE....."))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v, want bad magic", err)
+	}
+}
+
+func TestBinaryRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.WriteByte(99) // version uvarint 99
+	_, err := ReadBinary(&buf)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("err = %v, want version error", err)
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	tr := buildSampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncating at any prefix must produce an error, never a panic.
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsOutOfRangeThread(t *testing.T) {
+	tr := buildSampleTrace()
+	tr.Events[3].Thread = 99 // beyond registered threads
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Error("decoder accepted out-of-range thread")
+	}
+}
+
+func TestJSONRejectsUnknownKind(t *testing.T) {
+	in := `{"threads":[],"objects":[],"events":[{"t":0,"seq":1,"thread":0,"kind":"bogus","obj":-1}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("decoder accepted unknown event kind")
+	}
+	in = `{"threads":[],"objects":[{"id":0,"kind":"widget","name":"x"}],"events":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("decoder accepted unknown object kind")
+	}
+}
+
+// TestBinaryRoundTripRandom is a property test: arbitrary valid event
+// streams survive a binary round trip bit-exactly.
+func TestBinaryRoundTripRandom(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		main := b.Thread("main", NoThread)
+		m := b.Mutex("m")
+		b.Meta("seed", "x")
+		var tm Time
+		b.Start(tm, main)
+		for i := 0; i < int(n%40); i++ {
+			tm += Time(rng.Intn(1000))
+			hold := tm + Time(rng.Intn(50))
+			rel := hold + Time(rng.Intn(100))
+			b.CS(main, m, tm, hold, rel)
+			tm = rel
+		}
+		b.Exit(tm+1, main)
+		tr := b.Trace()
+
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	tr := buildSampleTrace()
+	var bin, js bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&js, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= js.Len() {
+		t.Errorf("binary %d bytes not smaller than JSON %d bytes", bin.Len(), js.Len())
+	}
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Collector accumulates events during an execution.
+//
+// It mirrors the paper's instrumentation module: each thread appends
+// events to a private buffer (no cross-thread synchronization on the
+// hot path beyond one atomic sequence counter), and the buffers are
+// merged into a single time-ordered Trace when the run completes.
+//
+// Thread and object registration take a mutex; they are rare compared
+// to event emission.
+type Collector struct {
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	threads []ThreadInfo
+	objects []ObjectInfo
+	buffers []*ThreadBuffer
+	meta    map[string]string
+	sink    atomic.Pointer[StreamWriter]
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{meta: make(map[string]string)}
+}
+
+// SetMeta records a metadata key/value pair on the resulting trace.
+func (c *Collector) SetMeta(key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.meta[key] = value
+	if sink := c.sink.Load(); sink != nil {
+		sink.Meta(key, value)
+	}
+}
+
+// SetSink attaches a streaming writer: registrations and metadata
+// recorded so far are replayed to it, and everything from now on is
+// forwarded as it happens. Attach before the run starts — events
+// already buffered are not replayed. Close the sink after Finish.
+func (c *Collector) SetSink(sw *StreamWriter) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink.Store(sw)
+	for k, v := range c.meta {
+		if err := sw.Meta(k, v); err != nil {
+			return err
+		}
+	}
+	for _, th := range c.threads {
+		if err := sw.Thread(th.Name, th.Creator); err != nil {
+			return err
+		}
+	}
+	for _, o := range c.objects {
+		if err := sw.Object(o.Kind, o.Name, o.Parties); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterThread allocates a ThreadID and its event buffer. creator is
+// the creating thread (NoThread for the root thread).
+func (c *Collector) RegisterThread(name string, creator ThreadID) *ThreadBuffer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := ThreadID(len(c.threads))
+	if name == "" {
+		name = fmt.Sprintf("thread-%d", id)
+	}
+	c.threads = append(c.threads, ThreadInfo{ID: id, Name: name, Creator: creator})
+	buf := &ThreadBuffer{collector: c, thread: id}
+	c.buffers = append(c.buffers, buf)
+	if sink := c.sink.Load(); sink != nil {
+		sink.Thread(name, creator)
+	}
+	return buf
+}
+
+// RegisterObject allocates an ObjID for a synchronization object.
+func (c *Collector) RegisterObject(kind ObjKind, name string, parties int) ObjID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := ObjID(len(c.objects))
+	if name == "" {
+		name = fmt.Sprintf("%s-%d", kind, id)
+	}
+	c.objects = append(c.objects, ObjectInfo{ID: id, Kind: kind, Name: name, Parties: parties})
+	if sink := c.sink.Load(); sink != nil {
+		sink.Object(kind, name, parties)
+	}
+	return id
+}
+
+// NumThreads returns the number of registered threads.
+func (c *Collector) NumThreads() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.threads)
+}
+
+// Finish merges all per-thread buffers into a Trace sorted by (T, Seq).
+// The collector remains usable; Finish may be called repeatedly to
+// snapshot progress.
+func (c *Collector) Finish() *Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, b := range c.buffers {
+		total += b.len()
+	}
+	events := make([]Event, 0, total)
+	for _, b := range c.buffers {
+		events = append(events, b.snapshot()...)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].T != events[j].T {
+			return events[i].T < events[j].T
+		}
+		return events[i].Seq < events[j].Seq
+	})
+	tr := &Trace{
+		Events:  events,
+		Objects: append([]ObjectInfo(nil), c.objects...),
+		Threads: append([]ThreadInfo(nil), c.threads...),
+		Meta:    make(map[string]string, len(c.meta)),
+	}
+	for k, v := range c.meta {
+		tr.Meta[k] = v
+	}
+	return tr
+}
+
+// ThreadBuffer is the per-thread event sink. It must only be used from
+// the owning thread (the backends guarantee this), so appends are
+// lock-free; the sequence number comes from one shared atomic.
+type ThreadBuffer struct {
+	collector *Collector
+	thread    ThreadID
+
+	mu     sync.Mutex // guards events against concurrent Finish snapshots
+	events []Event
+}
+
+// Thread returns the owning thread's ID.
+func (b *ThreadBuffer) Thread() ThreadID { return b.thread }
+
+// Emit appends an event, stamping thread and sequence number, and
+// forwards it to the streaming sink if one is attached.
+func (b *ThreadBuffer) Emit(t Time, kind EventKind, obj ObjID, arg int64) {
+	seq := b.collector.seq.Add(1)
+	e := Event{T: t, Seq: seq, Thread: b.thread, Kind: kind, Obj: obj, Arg: arg}
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+	if sink := b.collector.sink.Load(); sink != nil {
+		sink.Event(e)
+	}
+}
+
+func (b *ThreadBuffer) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+func (b *ThreadBuffer) snapshot() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector()
+	c.SetMeta("workload", "test")
+	main := c.RegisterThread("main", NoThread)
+	if main.Thread() != 0 {
+		t.Fatalf("first thread id = %d, want 0", main.Thread())
+	}
+	w := c.RegisterThread("", main.Thread())
+	if w.Thread() != 1 {
+		t.Fatalf("second thread id = %d, want 1", w.Thread())
+	}
+	m := c.RegisterObject(ObjMutex, "L1", 0)
+	bar := c.RegisterObject(ObjBarrier, "", 4)
+
+	main.Emit(0, EvThreadStart, NoObj, int64(NoThread))
+	main.Emit(10, EvLockAcquire, m, 0)
+	main.Emit(10, EvLockObtain, m, 0)
+	main.Emit(20, EvLockRelease, m, 0)
+	main.Emit(30, EvThreadExit, NoObj, 0)
+	w.Emit(5, EvThreadStart, NoObj, 0)
+	w.Emit(25, EvThreadExit, NoObj, 0)
+
+	tr := c.Finish()
+	if len(tr.Events) != 7 {
+		t.Fatalf("got %d events, want 7", len(tr.Events))
+	}
+	// Events must be globally time-sorted after merging buffers.
+	for i := 1; i < len(tr.Events); i++ {
+		a, b := tr.Events[i-1], tr.Events[i]
+		if b.T < a.T || (b.T == a.T && b.Seq <= a.Seq) {
+			t.Errorf("events %d,%d out of order: %v then %v", i-1, i, a, b)
+		}
+	}
+	if tr.Meta["workload"] != "test" {
+		t.Errorf("meta not propagated: %v", tr.Meta)
+	}
+	if tr.Objects[m].Name != "L1" {
+		t.Errorf("object name = %q", tr.Objects[m].Name)
+	}
+	if tr.Objects[bar].Parties != 4 {
+		t.Errorf("barrier parties = %d, want 4", tr.Objects[bar].Parties)
+	}
+	if tr.Objects[bar].Name == "" {
+		t.Error("auto-generated object name empty")
+	}
+	if tr.Threads[1].Name == "" {
+		t.Error("auto-generated thread name empty")
+	}
+	if c.NumThreads() != 2 {
+		t.Errorf("NumThreads = %d, want 2", c.NumThreads())
+	}
+	if err := Validate(tr); err != nil {
+		t.Errorf("collector output invalid: %v", err)
+	}
+}
+
+// TestCollectorConcurrent exercises concurrent emission from many
+// goroutines (the live backend's usage pattern) under the race
+// detector.
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	const workers = 8
+	const eventsEach = 200
+	var wg sync.WaitGroup
+	bufs := make([]*ThreadBuffer, workers)
+	for i := range bufs {
+		bufs[i] = c.RegisterThread("", NoThread)
+	}
+	m := c.RegisterObject(ObjMutex, "shared", 0)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(buf *ThreadBuffer) {
+			defer wg.Done()
+			for j := 0; j < eventsEach; j++ {
+				buf.Emit(Time(j), EvLockAcquire, m, 0)
+			}
+		}(bufs[i])
+	}
+	wg.Wait()
+	tr := c.Finish()
+	if got := len(tr.Events); got != workers*eventsEach {
+		t.Fatalf("got %d events, want %d", got, workers*eventsEach)
+	}
+	// Sequence numbers must be unique.
+	seen := make(map[uint64]bool, len(tr.Events))
+	for _, e := range tr.Events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestCollectorFinishSnapshot(t *testing.T) {
+	c := NewCollector()
+	b := c.RegisterThread("main", NoThread)
+	b.Emit(0, EvThreadStart, NoObj, 0)
+	tr1 := c.Finish()
+	b.Emit(1, EvThreadExit, NoObj, 0)
+	tr2 := c.Finish()
+	if len(tr1.Events) != 1 || len(tr2.Events) != 2 {
+		t.Errorf("snapshots: %d then %d events, want 1 then 2", len(tr1.Events), len(tr2.Events))
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary: arbitrary bytes must never panic the decoder, and
+// anything it accepts must re-encode and decode to the same trace.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, buildSampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CLTR"))
+	f.Add(valid[:len(valid)/2])
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 10 {
+		mutated[8] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if len(tr2.Events) != len(tr.Events) || len(tr2.Threads) != len(tr.Threads) {
+			t.Fatalf("round trip changed shape: %d/%d events, %d/%d threads",
+				len(tr.Events), len(tr2.Events), len(tr.Threads), len(tr2.Threads))
+		}
+	})
+}
+
+// FuzzValidate: the validator must never panic, whatever the events.
+func FuzzValidate(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2))
+	f.Add(int64(42), uint8(14), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, kinds uint8, objs uint8) {
+		tr := &Trace{
+			Threads: []ThreadInfo{{ID: 0, Name: "t0", Creator: NoThread}},
+			Objects: []ObjectInfo{
+				{ID: 0, Kind: ObjMutex, Name: "m"},
+				{ID: 1, Kind: ObjBarrier, Name: "b", Parties: 2},
+				{ID: 2, Kind: ObjCond, Name: "c"},
+			},
+			Meta: map[string]string{},
+		}
+		// Generate a pseudo-random event soup from the fuzz inputs.
+		x := uint64(seed)
+		next := func() uint64 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return x
+		}
+		n := int(kinds)%40 + 1
+		var tm Time
+		for i := 0; i < n; i++ {
+			tm += Time(next() % 10)
+			tr.Events = append(tr.Events, Event{
+				T:      tm,
+				Seq:    uint64(i + 1),
+				Thread: ThreadID(next() % 2), // may be out of range (1)
+				Kind:   EventKind(next() % uint64(objs%20+1)),
+				Obj:    ObjID(int64(next()%5) - 1),
+				Arg:    int64(next() % 8),
+			})
+		}
+		_ = Validate(tr) // must not panic
+	})
+}

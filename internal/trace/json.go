@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTrace is the JSON wire form of a Trace. The JSON codec is meant
+// for interoperability and debugging; the binary codec is the compact
+// production format.
+type jsonTrace struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Threads []jsonThread      `json:"threads"`
+	Objects []jsonObject      `json:"objects"`
+	Events  []jsonEvent       `json:"events"`
+}
+
+type jsonThread struct {
+	ID      ThreadID `json:"id"`
+	Name    string   `json:"name"`
+	Creator ThreadID `json:"creator"`
+}
+
+type jsonObject struct {
+	ID      ObjID  `json:"id"`
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Parties int    `json:"parties,omitempty"`
+}
+
+type jsonEvent struct {
+	T      Time     `json:"t"`
+	Seq    uint64   `json:"seq"`
+	Thread ThreadID `json:"thread"`
+	Kind   string   `json:"kind"`
+	Obj    ObjID    `json:"obj"`
+	Arg    int64    `json:"arg,omitempty"`
+}
+
+var kindByName = func() map[string]EventKind {
+	m := make(map[string]EventKind)
+	for k := EvThreadStart; k < evKindMax; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+var objKindByName = map[string]ObjKind{
+	"mutex":   ObjMutex,
+	"barrier": ObjBarrier,
+	"cond":    ObjCond,
+}
+
+// WriteJSON encodes tr as indented JSON.
+func WriteJSON(w io.Writer, tr *Trace) error {
+	jt := jsonTrace{
+		Meta:    tr.Meta,
+		Threads: make([]jsonThread, len(tr.Threads)),
+		Objects: make([]jsonObject, len(tr.Objects)),
+		Events:  make([]jsonEvent, len(tr.Events)),
+	}
+	for i, th := range tr.Threads {
+		jt.Threads[i] = jsonThread{ID: th.ID, Name: th.Name, Creator: th.Creator}
+	}
+	for i, o := range tr.Objects {
+		jt.Objects[i] = jsonObject{ID: o.ID, Kind: o.Kind.String(), Name: o.Name, Parties: o.Parties}
+	}
+	for i, e := range tr.Events {
+		jt.Events[i] = jsonEvent{T: e.T, Seq: e.Seq, Thread: e.Thread, Kind: e.Kind.String(), Obj: e.Obj, Arg: e.Arg}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// ReadJSON decodes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	tr := &Trace{
+		Meta:    jt.Meta,
+		Threads: make([]ThreadInfo, len(jt.Threads)),
+		Objects: make([]ObjectInfo, len(jt.Objects)),
+		Events:  make([]Event, len(jt.Events)),
+	}
+	if tr.Meta == nil {
+		tr.Meta = make(map[string]string)
+	}
+	for i, th := range jt.Threads {
+		tr.Threads[i] = ThreadInfo{ID: th.ID, Name: th.Name, Creator: th.Creator}
+	}
+	for i, o := range jt.Objects {
+		kind, ok := objKindByName[o.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: object %d: unknown kind %q", i, o.Kind)
+		}
+		tr.Objects[i] = ObjectInfo{ID: o.ID, Kind: kind, Name: o.Name, Parties: o.Parties}
+	}
+	for i, e := range jt.Events {
+		kind, ok := kindByName[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d: unknown kind %q", i, e.Kind)
+		}
+		tr.Events[i] = Event{T: e.T, Seq: e.Seq, Thread: e.Thread, Kind: kind, Obj: e.Obj, Arg: e.Arg}
+	}
+	return tr, nil
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// streamOf pipes a trace's content through a StreamWriter in the same
+// order a collector would.
+func streamOf(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range tr.Meta {
+		if err := sw.Meta(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, th := range tr.Threads {
+		if err := sw.Thread(th.Name, th.Creator); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range tr.Objects {
+		if err := sw.Object(o.Kind, o.Name, o.Parties); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range tr.Events {
+		if err := sw.Event(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	tr := buildSampleTrace()
+	raw := streamOf(t, tr)
+	got, err := ReadStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadStream: %v", err)
+	}
+	if !reflect.DeepEqual(got.Threads, tr.Threads) {
+		t.Errorf("threads differ: %+v vs %+v", got.Threads, tr.Threads)
+	}
+	if !reflect.DeepEqual(got.Objects, tr.Objects) {
+		t.Errorf("objects differ")
+	}
+	if !reflect.DeepEqual(got.Meta, tr.Meta) {
+		t.Errorf("meta differ: %v vs %v", got.Meta, tr.Meta)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(tr.Events))
+	}
+	// Sequence numbers are re-assigned by arrival, but (T, kind,
+	// thread, obj, arg) must survive in order.
+	for i := range tr.Events {
+		a, b := tr.Events[i], got.Events[i]
+		if a.T != b.T || a.Kind != b.Kind || a.Thread != b.Thread || a.Obj != b.Obj || a.Arg != b.Arg {
+			t.Fatalf("event %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestStreamTruncationTolerated(t *testing.T) {
+	tr := buildSampleTrace()
+	raw := streamOf(t, tr)
+	// Cut off the end record and a bit more: the prefix must load.
+	cut := raw[:len(raw)-8]
+	got, err := ReadStream(bytes.NewReader(cut))
+	if err == nil || !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("err = %v, want ErrTruncatedStream", err)
+	}
+	if got == nil || len(got.Events) == 0 {
+		t.Fatal("no durable prefix returned")
+	}
+	if len(got.Events) >= len(tr.Events) {
+		t.Fatalf("prefix has %d events, original %d", len(got.Events), len(tr.Events))
+	}
+}
+
+func TestStreamRejectsGarbage(t *testing.T) {
+	if _, err := ReadStream(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Close()
+	raw := append(buf.Bytes()[:len(buf.Bytes())-1], 99) // unknown tag instead of end
+	if _, err := ReadStream(bytes.NewReader(raw)); err == nil {
+		t.Error("unknown record tag accepted")
+	}
+}
+
+func TestStreamWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := sw.Meta("k", "v"); err == nil {
+		t.Error("write after close accepted")
+	}
+}
+
+// TestCollectorSinkMirrors: a collector with an attached sink produces
+// a stream equivalent to its Finish() trace, including registrations
+// replayed from before the attach.
+func TestCollectorSinkMirrors(t *testing.T) {
+	c := NewCollector()
+	c.SetMeta("workload", "stream-unit")
+	early := c.RegisterThread("early", NoThread) // registered before the sink attaches
+
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetSink(sw); err != nil {
+		t.Fatal(err)
+	}
+
+	late := c.RegisterThread("late", early.Thread())
+	m := c.RegisterObject(ObjMutex, "m", 0)
+	c.SetMeta("phase", "2")
+
+	early.Emit(0, EvThreadStart, NoObj, int64(NoThread))
+	late.Emit(1, EvThreadStart, NoObj, int64(early.Thread()))
+	early.Emit(2, EvLockAcquire, m, 0)
+	early.Emit(2, EvLockObtain, m, 0)
+	early.Emit(5, EvLockRelease, m, 0)
+	late.Emit(6, EvThreadExit, NoObj, 0)
+	early.Emit(7, EvThreadExit, NoObj, 0)
+
+	batch := c.Finish()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadStream: %v", err)
+	}
+	if !reflect.DeepEqual(streamed.Threads, batch.Threads) {
+		t.Errorf("threads: %+v vs %+v", streamed.Threads, batch.Threads)
+	}
+	if !reflect.DeepEqual(streamed.Meta, batch.Meta) {
+		t.Errorf("meta: %v vs %v", streamed.Meta, batch.Meta)
+	}
+	if len(streamed.Events) != len(batch.Events) {
+		t.Fatalf("events: %d vs %d", len(streamed.Events), len(batch.Events))
+	}
+	for i := range batch.Events {
+		a, b := batch.Events[i], streamed.Events[i]
+		if a.T != b.T || a.Kind != b.Kind || a.Thread != b.Thread || a.Obj != b.Obj || a.Arg != b.Arg {
+			t.Fatalf("event %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package trace defines the synchronization event model of critlock.
+//
+// A trace is the on-disk / in-memory record of one execution of a
+// multithreaded program: every synchronization event that may block a
+// thread (lock acquire/obtain/release, barrier arrive/depart, condition
+// variable wait/signal, thread create/start/exit/join) is recorded with
+// a timestamp, the executing thread and the synchronization object.
+//
+// These are exactly the MAGIC() instrumentation points of the paper
+// "Critical Lock Analysis" (Chen & Stenström, SC 2012), Fig. 4. The
+// analysis module (internal/core) consumes traces produced by either
+// the deterministic simulator (internal/sim) or the live-execution
+// backend (internal/livetrace); both emit the same event stream.
+package trace
+
+import "fmt"
+
+// Time is a timestamp in nanoseconds. The origin is arbitrary (virtual
+// time zero for the simulator, process start for live traces); only
+// differences and ordering matter to the analysis.
+type Time int64
+
+// ThreadID identifies a thread within one trace. IDs are dense and
+// start at 0; thread 0 is the root (main) thread.
+type ThreadID int32
+
+// NoThread is the sentinel for "no thread" (e.g. the creator of the
+// root thread).
+const NoThread ThreadID = -1
+
+// ObjID identifies a synchronization object (mutex, barrier or
+// condition variable) within one trace. IDs are dense and start at 0.
+type ObjID int32
+
+// NoObj is the sentinel for "no object".
+const NoObj ObjID = -1
+
+// EventKind enumerates the recorded synchronization event types.
+type EventKind uint8
+
+const (
+	// EvThreadStart is the first event of every thread. For non-root
+	// threads Arg holds the creator's ThreadID.
+	EvThreadStart EventKind = iota + 1
+	// EvThreadExit is the last event of every thread.
+	EvThreadExit
+	// EvThreadCreate is recorded by the creating thread; Arg holds the
+	// created thread's ThreadID.
+	EvThreadCreate
+	// EvJoinBegin is recorded when a thread starts joining another
+	// thread; Arg holds the joinee's ThreadID.
+	EvJoinBegin
+	// EvJoinEnd is recorded when the join returns; Arg holds the
+	// joinee's ThreadID.
+	EvJoinEnd
+	// EvLockAcquire is recorded immediately before attempting to take a
+	// lock (the paper's "acquire the lock" point). Obj is the mutex;
+	// Arg carries LockArgShared for reader acquisitions.
+	EvLockAcquire
+	// EvLockObtain is recorded when the lock has been granted (the
+	// paper's "obtain the lock" point). Obj is the mutex; Arg is a
+	// bitmask of LockArgContended and LockArgShared.
+	EvLockObtain
+	// EvLockRelease is recorded after releasing a lock. Obj is the
+	// mutex; Arg carries LockArgShared for reader releases.
+	EvLockRelease
+	// EvBarrierArrive is recorded when the thread reaches a barrier
+	// (before possibly blocking). Obj is the barrier.
+	EvBarrierArrive
+	// EvBarrierDepart is recorded when the thread leaves the barrier
+	// (after the last thread arrived). Obj is the barrier; Arg is 1 if
+	// this thread was the last arriver (and therefore did not block).
+	EvBarrierDepart
+	// EvCondWaitBegin is recorded when a thread starts waiting on a
+	// condition variable. Obj is the condvar; Arg is the associated
+	// mutex's ObjID.
+	EvCondWaitBegin
+	// EvCondWaitEnd is recorded when the wait returns. Obj is the
+	// condvar; Arg is the associated mutex's ObjID.
+	EvCondWaitEnd
+	// EvCondSignal is recorded by the signalling thread. Obj is the
+	// condvar.
+	EvCondSignal
+	// EvCondBroadcast is recorded by the broadcasting thread. Obj is
+	// the condvar.
+	EvCondBroadcast
+
+	evKindMax
+)
+
+var evKindNames = [...]string{
+	EvThreadStart:   "thread-start",
+	EvThreadExit:    "thread-exit",
+	EvThreadCreate:  "thread-create",
+	EvJoinBegin:     "join-begin",
+	EvJoinEnd:       "join-end",
+	EvLockAcquire:   "lock-acquire",
+	EvLockObtain:    "lock-obtain",
+	EvLockRelease:   "lock-release",
+	EvBarrierArrive: "barrier-arrive",
+	EvBarrierDepart: "barrier-depart",
+	EvCondWaitBegin: "cond-wait-begin",
+	EvCondWaitEnd:   "cond-wait-end",
+	EvCondSignal:    "cond-signal",
+	EvCondBroadcast: "cond-broadcast",
+}
+
+// String returns the lowercase dashed name of the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(evKindNames) && evKindNames[k] != "" {
+		return evKindNames[k]
+	}
+	return fmt.Sprintf("event-kind-%d", uint8(k))
+}
+
+// Valid reports whether k is a defined event kind.
+func (k EventKind) Valid() bool { return k >= EvThreadStart && k < evKindMax }
+
+// Event is one synchronization event.
+type Event struct {
+	// T is the event timestamp.
+	T Time
+	// Seq is a globally unique, monotonically assigned sequence number
+	// used to break timestamp ties deterministically.
+	Seq uint64
+	// Thread is the executing thread.
+	Thread ThreadID
+	// Kind is the event type.
+	Kind EventKind
+	// Obj is the synchronization object, or NoObj for thread lifecycle
+	// events.
+	Obj ObjID
+	// Arg carries kind-specific data (see the EventKind docs).
+	Arg int64
+}
+
+// Lock event Arg bits.
+const (
+	// LockArgContended marks an obtain whose thread blocked first.
+	LockArgContended = 1 << 0
+	// LockArgShared marks reader (shared) lock operations on a
+	// read-write mutex.
+	LockArgShared = 1 << 1
+)
+
+// Contended reports whether a lock-obtain event records a contended
+// invocation. It is false for all other kinds.
+func (e Event) Contended() bool { return e.Kind == EvLockObtain && e.Arg&LockArgContended != 0 }
+
+// Shared reports whether a lock event is a reader (shared) operation.
+func (e Event) Shared() bool {
+	switch e.Kind {
+	case EvLockAcquire, EvLockObtain, EvLockRelease:
+		return e.Arg&LockArgShared != 0
+	}
+	return false
+}
+
+// String renders the event for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("%d ns t%d %s obj=%d arg=%d", e.T, e.Thread, e.Kind, e.Obj, e.Arg)
+}
+
+// ObjKind enumerates synchronization object types.
+type ObjKind uint8
+
+const (
+	ObjMutex ObjKind = iota + 1
+	ObjBarrier
+	ObjCond
+)
+
+// String returns the object kind name.
+func (k ObjKind) String() string {
+	switch k {
+	case ObjMutex:
+		return "mutex"
+	case ObjBarrier:
+		return "barrier"
+	case ObjCond:
+		return "cond"
+	}
+	return fmt.Sprintf("obj-kind-%d", uint8(k))
+}
+
+// ObjectInfo describes one synchronization object.
+type ObjectInfo struct {
+	ID   ObjID
+	Kind ObjKind
+	// Name is the user-visible name, e.g. "tq[0].qlock".
+	Name string
+	// Parties is the participant count for barriers (0 otherwise).
+	Parties int
+}
+
+// ThreadInfo describes one thread.
+type ThreadInfo struct {
+	ID   ThreadID
+	Name string
+	// Creator is the creating thread, or NoThread for the root.
+	Creator ThreadID
+}
+
+// Trace is a complete execution record.
+type Trace struct {
+	// Events are sorted by (T, Seq).
+	Events []Event
+	// Objects is indexed by ObjID.
+	Objects []ObjectInfo
+	// Threads is indexed by ThreadID.
+	Threads []ThreadInfo
+	// Meta carries free-form metadata (workload name, parameters, ...).
+	Meta map[string]string
+}
+
+// Object returns the info for id, or a zero ObjectInfo if out of range.
+func (t *Trace) Object(id ObjID) ObjectInfo {
+	if id < 0 || int(id) >= len(t.Objects) {
+		return ObjectInfo{ID: NoObj, Name: "<unknown>"}
+	}
+	return t.Objects[id]
+}
+
+// ObjName returns the name of object id, or a placeholder.
+func (t *Trace) ObjName(id ObjID) string { return t.Object(id).Name }
+
+// Thread returns the info for id, or a zero ThreadInfo if out of range.
+func (t *Trace) Thread(id ThreadID) ThreadInfo {
+	if id < 0 || int(id) >= len(t.Threads) {
+		return ThreadInfo{ID: NoThread, Name: "<unknown>", Creator: NoThread}
+	}
+	return t.Threads[id]
+}
+
+// NumThreads returns the number of threads in the trace.
+func (t *Trace) NumThreads() int { return len(t.Threads) }
+
+// Start returns the timestamp of the first event (0 for empty traces).
+func (t *Trace) Start() Time {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[0].T
+}
+
+// End returns the timestamp of the last event (0 for empty traces).
+func (t *Trace) End() Time {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].T
+}
+
+// Duration returns End−Start.
+func (t *Trace) Duration() Time { return t.End() - t.Start() }
+
+// FindObject returns the first object with the given name, or NoObj.
+func (t *Trace) FindObject(name string) ObjID {
+	for _, o := range t.Objects {
+		if o.Name == name {
+			return o.ID
+		}
+	}
+	return NoObj
+}

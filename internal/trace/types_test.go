@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		EvThreadStart:   "thread-start",
+		EvThreadExit:    "thread-exit",
+		EvThreadCreate:  "thread-create",
+		EvJoinBegin:     "join-begin",
+		EvJoinEnd:       "join-end",
+		EvLockAcquire:   "lock-acquire",
+		EvLockObtain:    "lock-obtain",
+		EvLockRelease:   "lock-release",
+		EvBarrierArrive: "barrier-arrive",
+		EvBarrierDepart: "barrier-depart",
+		EvCondWaitBegin: "cond-wait-begin",
+		EvCondWaitEnd:   "cond-wait-end",
+		EvCondSignal:    "cond-signal",
+		EvCondBroadcast: "cond-broadcast",
+	}
+	for kind, want := range cases {
+		if got := kind.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", kind, got, want)
+		}
+		if !kind.Valid() {
+			t.Errorf("EventKind(%d).Valid() = false, want true", kind)
+		}
+	}
+}
+
+func TestEventKindInvalid(t *testing.T) {
+	for _, k := range []EventKind{0, evKindMax, 200} {
+		if k.Valid() {
+			t.Errorf("EventKind(%d).Valid() = true, want false", k)
+		}
+		if !strings.Contains(k.String(), "event-kind-") {
+			t.Errorf("EventKind(%d).String() = %q, want placeholder", k, k.String())
+		}
+	}
+}
+
+func TestObjKindString(t *testing.T) {
+	if ObjMutex.String() != "mutex" || ObjBarrier.String() != "barrier" || ObjCond.String() != "cond" {
+		t.Fatalf("unexpected ObjKind names: %v %v %v", ObjMutex, ObjBarrier, ObjCond)
+	}
+	if got := ObjKind(99).String(); !strings.Contains(got, "obj-kind-") {
+		t.Errorf("ObjKind(99).String() = %q", got)
+	}
+}
+
+func TestEventContended(t *testing.T) {
+	e := Event{Kind: EvLockObtain, Arg: 1}
+	if !e.Contended() {
+		t.Error("contended obtain not reported")
+	}
+	e.Arg = 0
+	if e.Contended() {
+		t.Error("uncontended obtain reported contended")
+	}
+	e = Event{Kind: EvLockAcquire, Arg: 1}
+	if e.Contended() {
+		t.Error("non-obtain event reported contended")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	b := NewBuilder()
+	t0 := b.Thread("main", NoThread)
+	m := b.Mutex("L1")
+	b.Start(0, t0)
+	b.CS(t0, m, 10, 10, 20)
+	b.Exit(30, t0)
+	tr := b.Trace()
+
+	if tr.Start() != 0 {
+		t.Errorf("Start() = %d, want 0", tr.Start())
+	}
+	if tr.End() != 30 {
+		t.Errorf("End() = %d, want 30", tr.End())
+	}
+	if tr.Duration() != 30 {
+		t.Errorf("Duration() = %d, want 30", tr.Duration())
+	}
+	if tr.NumThreads() != 1 {
+		t.Errorf("NumThreads() = %d, want 1", tr.NumThreads())
+	}
+	if got := tr.ObjName(m); got != "L1" {
+		t.Errorf("ObjName(%d) = %q, want L1", m, got)
+	}
+	if got := tr.ObjName(99); got != "<unknown>" {
+		t.Errorf("ObjName(99) = %q, want <unknown>", got)
+	}
+	if got := tr.Thread(t0).Name; got != "main" {
+		t.Errorf("Thread(0).Name = %q, want main", got)
+	}
+	if got := tr.Thread(42); got.Creator != NoThread {
+		t.Errorf("Thread(42) = %+v, want placeholder", got)
+	}
+	if tr.FindObject("L1") != m {
+		t.Errorf("FindObject(L1) = %d, want %d", tr.FindObject("L1"), m)
+	}
+	if tr.FindObject("missing") != NoObj {
+		t.Error("FindObject(missing) != NoObj")
+	}
+}
+
+func TestEmptyTraceAccessors(t *testing.T) {
+	tr := &Trace{}
+	if tr.Start() != 0 || tr.End() != 0 || tr.Duration() != 0 {
+		t.Errorf("empty trace times: start=%d end=%d dur=%d", tr.Start(), tr.End(), tr.Duration())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: 5, Thread: 2, Kind: EvLockObtain, Obj: 1, Arg: 1}
+	s := e.String()
+	if !strings.Contains(s, "lock-obtain") || !strings.Contains(s, "t2") {
+		t.Errorf("Event.String() = %q", s)
+	}
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"fmt"
+
+	"critlock/internal/harness"
+	"critlock/internal/queue"
+	"critlock/internal/trace"
+)
+
+// Radiosity models the SPLASH-2 radiosity application's lock
+// structure (paper §V.D):
+//
+//   - per-thread task queues tq[i], each guarded by tq[i].qlock; tasks
+//     are dequeued by the owner or stolen by other threads, and most
+//     task production lands on tq[0] — so tq[0].qlock becomes a
+//     convoy as the thread count grows, exactly the paper's finding;
+//   - freeInter, one global lock protecting the free list of
+//     interaction records, taken twice per task (allocate + free) with
+//     a critical section comparable to a task's share of computation —
+//     the dominant lock at low thread counts;
+//   - pbar_lock, protecting the progress counters used for
+//     termination, with a tiny critical section.
+//
+// Task processing computes "visibility interactions" (pure virtual
+// compute with seeded jitter) and spawns child tasks up to a fixed
+// refinement depth, biased toward tq[0] as the real program biases
+// toward the master queue.
+//
+// Params.TwoLock replaces every tq[i].qlock with the two-lock
+// Michael–Scott queue (tq[i].q_head_lock / tq[i].q_tail_lock),
+// reproducing the paper's optimization (§V.D.3, Figs. 12–14).
+type radiosityModel struct {
+	p      Params
+	queues []queue.TaskQueue
+	free   harness.Mutex // freeInter
+	pool   *workPool     // pbar_lock + task_available
+
+	// Tunables (pre-scaled).
+	taskWork   trace.Time
+	freeCS     trace.Time
+	queueCost  queue.CostModel
+	seedsTotal int
+	maxDepth   int
+}
+
+const (
+	radTaskWork = 3400 // ns of visibility computation per task
+	radFreeCS   = 48   // ns inside freeInter per alloc/free
+	radEnqCS    = 130  // ns inside a queue lock per enqueue
+	radDeqCS    = 150  // ns inside a queue lock per successful dequeue
+	radMissCS   = 15   // ns inside a queue lock for an empty probe
+	radPbarCS   = 10   // ns inside pbar_lock
+	radSeeds    = 40   // initial tasks, all on tq[0]
+	radMaxDepth = 5    // refinement depth (BF-style task spawning)
+)
+
+// masterBias is the probability a spawned task is published on the
+// master queue tq[0] instead of the spawner's own queue. It grows with
+// the thread count, modelling the redistribution/steal traffic of the
+// real application: with more threads the fixed task tree spreads
+// thinner, local queues run dry sooner, and ever more tasks flow
+// through tq[0]. This is the mechanism behind the paper's Fig. 9
+// crossover (freeInter dominates at 8 threads, tq[0].qlock from 16).
+func masterBias(threads int) float64 {
+	b := 0.03 + 0.022*float64(threads)
+	if b > 0.8 {
+		b = 0.8
+	}
+	return b
+}
+
+func newRadiosity(rt harness.Runtime, p Params) *radiosityModel {
+	m := &radiosityModel{
+		p:          p,
+		free:       rt.NewMutex("freeInter"),
+		pool:       newWorkPool(rt, "pbar_lock", "task_available", scaled(p, radPbarCS)),
+		taskWork:   radTaskWork,
+		freeCS:     scaled(p, radFreeCS),
+		seedsTotal: radSeeds,
+		maxDepth:   radMaxDepth,
+	}
+	m.queueCost = queue.CostModel{
+		EnqueueCost: scaled(p, radEnqCS),
+		DequeueCost: scaled(p, radDeqCS),
+		MissCost:    scaled(p, radMissCS),
+	}
+	for i := 0; i < p.Threads; i++ {
+		name := fmt.Sprintf("tq[%d]", i)
+		if p.TwoLock {
+			m.queues = append(m.queues, queue.NewTwoLock(rt, name, m.queueCost))
+		} else {
+			m.queues = append(m.queues, queue.NewSingleLock(rt, name, m.queueCost))
+		}
+	}
+	return m
+}
+
+// fetch gets a task: own queue first, then the master queue tq[0],
+// then a sweep over the remaining queues — the work-stealing order of
+// the modelled application.
+func (m *radiosityModel) fetch(q harness.Proc, self int) (int64, bool) {
+	if v, ok := m.queues[self].TryDequeue(q); ok {
+		return v, true
+	}
+	if self != 0 {
+		if v, ok := m.queues[0].TryDequeue(q); ok {
+			return v, true
+		}
+	}
+	for d := 1; d < len(m.queues); d++ {
+		victim := (self + d) % len(m.queues)
+		if victim == 0 {
+			continue
+		}
+		if v, ok := m.queues[victim].TryDequeue(q); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// process executes one task: allocate interactions from the free
+// list, compute visibility, spawn refinements, release interactions.
+func (m *radiosityModel) process(q harness.Proc, self int, task int64) {
+	depth := int(task & 0xff)
+
+	// Allocate interaction records.
+	q.Lock(m.free)
+	q.Compute(m.freeCS)
+	q.Unlock(m.free)
+
+	// Visibility computation.
+	q.Compute(jittered(q, m.p, m.taskWork))
+
+	// Spawn refinement tasks, biased toward the master queue. The
+	// spawn credit precedes publication (one pbar_lock critical
+	// section per task), so the outstanding count can never reach
+	// zero while children are in flight.
+	children := 0
+	if depth < m.maxDepth {
+		children = 1 + q.Rand().Intn(2) // 1–2 children, E=1.5
+	}
+	m.pool.complete(q, children)
+
+	bias := masterBias(m.p.Threads)
+	for c := 0; c < children; c++ {
+		child := int64(depth + 1)
+		target := self
+		if q.Rand().Float64() < bias {
+			target = 0
+		}
+		m.queues[target].Enqueue(q, child)
+		m.pool.announce(q)
+	}
+
+	// Return interaction records to the free list.
+	q.Lock(m.free)
+	q.Compute(m.freeCS)
+	q.Unlock(m.free)
+}
+
+func (m *radiosityModel) worker(q harness.Proc, self int) {
+	for {
+		task, ok := m.fetch(q, self)
+		if ok {
+			m.process(q, self, task)
+			continue
+		}
+		if m.pool.idle(q) {
+			return
+		}
+	}
+}
+
+func buildRadiosity(rt harness.Runtime, p Params) func(harness.Proc) {
+	m := newRadiosity(rt, p)
+	return func(main harness.Proc) {
+		m.pool.seed(main, m.seedsTotal)
+		for i := 0; i < m.seedsTotal; i++ {
+			m.queues[i%len(m.queues)].Enqueue(main, 0)
+		}
+		spawnWorkers(main, p.Threads, "rad", m.worker)
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:            "radiosity",
+		Desc:            "task-queue global illumination: tq[i].qlock, freeInter, pbar_lock",
+		Paper:           "§V.D, Figs. 8–14: the main case study",
+		DefaultThreads:  24,
+		SupportsTwoLock: true,
+		Build:           buildRadiosity,
+	})
+}

@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// Raytrace models SPLASH-2 raytrace ("car" scene): threads
+// self-schedule ray jobs via the ray-ID counter under ridlock, and the
+// renderer allocates intersection/ray records from a single global
+// memory arena protected by the "mem" lock several times per job.
+//
+// The mem lock is the paper's example of a bottleneck the Wait Time
+// metric significantly underestimates (Fig. 8): its critical section
+// is short enough that waits look harmless, but at 24 threads the
+// allocation traffic serializes and its hold chain dominates the
+// critical path.
+type raytraceModel struct {
+	p   Params
+	mem harness.Mutex // mem: global memory arena
+	rid harness.Mutex // ridlock: ray-ID counter
+
+	jobWork trace.Time
+	memCS   trace.Time
+	ridCS   trace.Time
+	jobs    int
+	allocs  int
+	next    int // guarded by rid
+}
+
+const (
+	rayJobWork = 1900 // ns of traversal/shading per job
+	rayMemCS   = 42   // ns inside mem per allocation
+	rayRidCS   = 12   // ns inside ridlock
+	rayJobs    = 1600 // fixed scene size
+	rayAllocs  = 2    // arena allocations per job
+)
+
+func newRaytrace(rt harness.Runtime, p Params) *raytraceModel {
+	return &raytraceModel{
+		p:       p,
+		mem:     rt.NewMutex("mem"),
+		rid:     rt.NewMutex("ridlock"),
+		jobWork: rayJobWork,
+		memCS:   scaled(p, rayMemCS),
+		ridCS:   scaled(p, rayRidCS),
+		jobs:    rayJobs,
+		allocs:  rayAllocs,
+	}
+}
+
+func (m *raytraceModel) worker(q harness.Proc, _ int) {
+	for {
+		q.Lock(m.rid)
+		q.Compute(m.ridCS)
+		job := m.next
+		m.next++
+		q.Unlock(m.rid)
+		if job >= m.jobs {
+			return
+		}
+		// Trace the ray bundle, allocating records as the tree grows.
+		per := jittered(q, m.p, m.jobWork) / trace.Time(m.allocs)
+		for a := 0; a < m.allocs; a++ {
+			q.Lock(m.mem)
+			q.Compute(m.memCS)
+			q.Unlock(m.mem)
+			q.Compute(per)
+		}
+	}
+}
+
+func buildRaytrace(rt harness.Runtime, p Params) func(harness.Proc) {
+	m := newRaytrace(rt, p)
+	return func(main harness.Proc) {
+		spawnWorkers(main, p.Threads, "ray", m.worker)
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:           "raytrace",
+		Desc:           "self-scheduled ray tracing with a global allocator: mem, ridlock",
+		Paper:          "§V.C / Fig. 8: Wait Time underestimates mem",
+		DefaultThreads: 24,
+		Build:          buildRaytrace,
+	})
+}

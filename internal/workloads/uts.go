@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"fmt"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// UTS models the Unbalanced Tree Search benchmark (-T8 -c 2 ST3 in the
+// paper): each thread expands tree nodes from its own stack guarded by
+// stackLock[i], stealing from other stacks only when its own runs dry;
+// termination uses the cancellable-barrier lock cb_lock.
+//
+// Because each thread mostly locks its *own* stack, the stack locks
+// are nearly uncontended — yet whichever thread carries the deep
+// spine of the unbalanced tree puts its stackLock on the critical
+// path. This reproduces the paper's UTS observation: Wait Time says
+// stackLock[5] is not a bottleneck, CP Time shows it occupying ~5% of
+// the critical path.
+type utsModel struct {
+	p          Params
+	stackLocks []harness.Mutex
+	stacks     [][]int64 // stacks[i] guarded by stackLocks[i]
+	pool       *workPool // cb_lock (the cancellable barrier's lock)
+
+	nodeWork trace.Time
+	stackCS  trace.Time
+	emptyCS  trace.Time
+	maxDepth int
+}
+
+const (
+	utsNodeWork  = 950 // ns to evaluate one tree node
+	utsStackCS   = 45  // ns inside a stack lock per push/pop batch
+	utsEmptyCS   = 12  // ns inside a stack lock for a failed (empty) pop
+	utsCbCS      = 10  // ns inside cb_lock
+	utsSeeds     = 96  // root nodes, dealt round-robin to the stacks
+	utsMaxDepth  = 9   // depth cap for ordinary subtrees
+	utsSpineLen  = 380 // length of the deep spine (the tree's imbalance)
+	utsSpineHome = 5   // the stack the spine seed lands on: stackLock[5]
+
+	// Node payload encoding: low 16 bits depth, bit 16 marks spine
+	// nodes.
+	utsSpineBit = 1 << 16
+)
+
+func newUTS(rt harness.Runtime, p Params) *utsModel {
+	m := &utsModel{
+		p:        p,
+		pool:     newWorkPool(rt, "cb_lock", "cb_cv", scaled(p, utsCbCS)),
+		nodeWork: utsNodeWork,
+		stackCS:  scaled(p, utsStackCS),
+		emptyCS:  scaled(p, utsEmptyCS),
+		maxDepth: utsMaxDepth,
+	}
+	for i := 0; i < p.Threads; i++ {
+		m.stackLocks = append(m.stackLocks, rt.NewMutex(fmt.Sprintf("stackLock[%d]", i)))
+		m.stacks = append(m.stacks, nil)
+	}
+	return m
+}
+
+// pop takes a node from stack i (LIFO, depth-first as in UTS). An
+// empty pop is much cheaper than a successful one: checking the shared
+// counter costs little, which keeps steal probes from contending the
+// victim's lock.
+func (m *utsModel) pop(q harness.Proc, i int) (int64, bool) {
+	q.Lock(m.stackLocks[i])
+	st := m.stacks[i]
+	if len(st) == 0 {
+		q.Compute(m.emptyCS)
+		q.Unlock(m.stackLocks[i])
+		return 0, false
+	}
+	q.Compute(m.stackCS)
+	v := st[len(st)-1]
+	m.stacks[i] = st[:len(st)-1]
+	q.Unlock(m.stackLocks[i])
+	return v, true
+}
+
+// steal takes the *oldest* node from stack i (work-first stealing, as
+// UTS does): thieves harvest the big old subtrees at the bottom and
+// leave the owner's current spine at the top alone.
+func (m *utsModel) steal(q harness.Proc, i int) (int64, bool) {
+	q.Lock(m.stackLocks[i])
+	st := m.stacks[i]
+	if len(st) < 2 {
+		q.Compute(m.emptyCS)
+		q.Unlock(m.stackLocks[i])
+		return 0, false
+	}
+	q.Compute(m.stackCS)
+	v := st[0]
+	m.stacks[i] = st[1:]
+	q.Unlock(m.stackLocks[i])
+	return v, true
+}
+
+// push puts nodes on stack i in one locked batch.
+func (m *utsModel) push(q harness.Proc, i int, nodes []int64) {
+	q.Lock(m.stackLocks[i])
+	q.Compute(m.stackCS)
+	m.stacks[i] = append(m.stacks[i], nodes...)
+	q.Unlock(m.stackLocks[i])
+}
+
+// expand evaluates a node and returns its children. Ordinary subtrees
+// are shallow and geometric; spine nodes chain one spine child each,
+// forming the deep imbalanced branch that gives UTS its name. Because
+// LIFO pops keep the spine child on top of its home stack, the spine
+// tends to stay on one thread — putting that thread's stackLock on
+// the critical path without contention.
+func (m *utsModel) expand(q harness.Proc, node int64) []int64 {
+	depth := int(node & 0xffff)
+	q.Compute(jittered(q, m.p, m.nodeWork))
+
+	if node&utsSpineBit != 0 {
+		var children []int64
+		if q.Rand().Float64() < 0.25 {
+			children = append(children, int64(0)) // ordinary side subtree
+		}
+		if depth+1 < utsSpineLen {
+			// Push the spine child last so the LIFO pop keeps the
+			// spine on its home thread.
+			children = append(children, int64(depth+1)|utsSpineBit)
+		}
+		return children
+	}
+
+	if depth >= m.maxDepth {
+		return nil
+	}
+	r := q.Rand().Float64()
+	var n int
+	switch {
+	case r < 0.27:
+		n = 3
+	case r < 0.57:
+		n = 1
+	default:
+		n = 0
+	}
+	children := make([]int64, 0, n)
+	for c := 0; c < n; c++ {
+		children = append(children, int64(depth+1))
+	}
+	return children
+}
+
+func (m *utsModel) worker(q harness.Proc, self int) {
+	n := len(m.stacks)
+	idleSweeps := 0
+	for {
+		node, ok := m.pop(q, self)
+		if !ok && n > 1 {
+			// Try a few random victims (UTS's randomized stealing).
+			for a := 0; a < 3 && !ok; a++ {
+				victim := q.Rand().Intn(n)
+				if victim == self {
+					continue
+				}
+				node, ok = m.steal(q, victim)
+			}
+			// Before sleeping, sweep every stack once so no published
+			// node can be missed by unlucky random probes.
+			if !ok && idleSweeps > 0 {
+				for d := 1; d < n && !ok; d++ {
+					node, ok = m.steal(q, (self+d)%n)
+				}
+			}
+		}
+		if ok {
+			idleSweeps = 0
+			children := m.expand(q, node)
+			m.pool.complete(q, len(children))
+			if len(children) > 0 {
+				m.push(q, self, children)
+				m.pool.announce(q)
+			}
+			continue
+		}
+		idleSweeps++
+		if m.pool.idle(q) {
+			return
+		}
+	}
+}
+
+func buildUTS(rt harness.Runtime, p Params) func(harness.Proc) {
+	m := newUTS(rt, p)
+	return func(main harness.Proc) {
+		m.pool.seed(main, utsSeeds+1)
+		for i := 0; i < utsSeeds; i++ {
+			m.push(main, i%len(m.stacks), []int64{0})
+		}
+		// The deep spine seed: the source of the tree's imbalance.
+		m.push(main, utsSpineHome%len(m.stacks), []int64{utsSpineBit})
+		spawnWorkers(main, p.Threads, "uts", m.worker)
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:           "uts",
+		Desc:           "unbalanced tree search with per-thread stacks: stackLock[i], cb_lock",
+		Paper:          "§V.C / Fig. 8: uncontended stackLock[5] still on the CP",
+		DefaultThreads: 24,
+		Build:          buildUTS,
+	})
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// Volrend models SPLASH-2 volrend (ray-casting volume rendering of the
+// "head" dataset): threads self-schedule image tiles by incrementing a
+// shared tile counter under Global->QLock, render the tile without
+// locks, and occasionally update the global image histogram under
+// Global->IndexLock.
+//
+// The tile counter's critical section is a few tens of nanoseconds
+// against milliseconds of rendering, so — like UTS's stackLock[5] in
+// the paper — QLock shows almost no wait time yet still sits on the
+// critical path with a small but nonzero CP share.
+type volrendModel struct {
+	p     Params
+	qlock harness.Mutex // Global->QLock: tile counter
+	index harness.Mutex // Global->IndexLock: image/histogram updates
+
+	tileWork trace.Time
+	qCS      trace.Time
+	indexCS  trace.Time
+	tiles    int
+
+	// next is the tile counter, guarded by qlock.
+	next int
+}
+
+const (
+	volTileWork = 2300 // ns to ray-cast one tile
+	volQCS      = 35   // ns inside QLock
+	volIndexCS  = 30   // ns inside IndexLock
+	volTiles    = 400  // fixed image size
+)
+
+func newVolrend(rt harness.Runtime, p Params) *volrendModel {
+	return &volrendModel{
+		p:        p,
+		qlock:    rt.NewMutex("Global->QLock"),
+		index:    rt.NewMutex("Global->IndexLock"),
+		tileWork: volTileWork,
+		qCS:      scaled(p, volQCS),
+		indexCS:  scaled(p, volIndexCS),
+		tiles:    volTiles,
+	}
+}
+
+func (m *volrendModel) worker(q harness.Proc, _ int) {
+	for {
+		q.Lock(m.qlock)
+		q.Compute(m.qCS)
+		tile := m.next
+		m.next++
+		q.Unlock(m.qlock)
+		if tile >= m.tiles {
+			return
+		}
+		// Ray-cast the tile.
+		q.Compute(jittered(q, m.p, m.tileWork))
+		// Sparse histogram updates.
+		if tile%8 == 0 {
+			q.Lock(m.index)
+			q.Compute(m.indexCS)
+			q.Unlock(m.index)
+		}
+	}
+}
+
+func buildVolrend(rt harness.Runtime, p Params) func(harness.Proc) {
+	m := newVolrend(rt, p)
+	return func(main harness.Proc) {
+		spawnWorkers(main, p.Threads, "vol", m.worker)
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:           "volrend",
+		Desc:           "self-scheduled tile rendering: Global->QLock, Global->IndexLock",
+		Paper:          "§V.C / Fig. 8",
+		DefaultThreads: 24,
+		Build:          buildVolrend,
+	})
+}

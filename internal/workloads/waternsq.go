@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"fmt"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// WaterNsq models SPLASH-2 water-nsquared (512 molecules in the
+// paper): a barrier-synchronized molecular-dynamics step loop where
+//
+//   - force computation is the bulk of the time (no locks),
+//   - cross-molecule force accumulation takes one of the per-molecule
+//     locks MolLock[j] for a very short critical section, and
+//   - the kinetic-energy reduction at the end of a step takes the
+//     global KinetiSumLock once per thread.
+//
+// Critical sections are tiny and scattered over many locks, so no lock
+// dominates the critical path — water's row in the paper's Fig. 8 is
+// small, and the interesting observation is that CP Time still ranks
+// the (uncontended) locks that are on the path.
+type waterModel struct {
+	p        Params
+	molLocks []harness.Mutex
+	kineti   harness.Mutex
+	interf   harness.Mutex
+	stepBar  harness.Barrier
+
+	pairWork  trace.Time
+	molCS     trace.Time
+	reduceCS  trace.Time
+	steps     int
+	pairChunk int // pair-computation chunks per step (fixed problem size)
+}
+
+const (
+	waterPairWork  = 1500 // ns per pair-interaction chunk
+	waterMolCS     = 45   // ns inside a molecule lock
+	waterReduceCS  = 60   // ns inside the reduction locks
+	waterSteps     = 3
+	waterChunks    = 480 // total chunks per step, divided among threads
+	waterNumLocks  = 64  // molecule lock array (hashed)
+	waterChunkMols = 2   // molecule-lock updates per chunk
+)
+
+func newWater(rt harness.Runtime, p Params) *waterModel {
+	m := &waterModel{
+		p:         p,
+		kineti:    rt.NewMutex("KinetiSumLock"),
+		interf:    rt.NewMutex("InterfVirLock"),
+		stepBar:   rt.NewBarrier("step-barrier", p.Threads),
+		pairWork:  waterPairWork,
+		molCS:     scaled(p, waterMolCS),
+		reduceCS:  scaled(p, waterReduceCS),
+		steps:     waterSteps,
+		pairChunk: waterChunks,
+	}
+	for i := 0; i < waterNumLocks; i++ {
+		m.molLocks = append(m.molLocks, rt.NewMutex(fmt.Sprintf("MolLock[%d]", i)))
+	}
+	return m
+}
+
+func (m *waterModel) worker(q harness.Proc, self int) {
+	n := m.p.Threads
+	lo := self * m.pairChunk / n
+	hi := (self + 1) * m.pairChunk / n
+	for step := 0; step < m.steps; step++ {
+		// INTERF: pair forces over this thread's chunk range, with
+		// per-molecule locked accumulation.
+		for c := lo; c < hi; c++ {
+			q.Compute(jittered(q, m.p, m.pairWork))
+			for u := 0; u < waterChunkMols; u++ {
+				l := m.molLocks[q.Rand().Intn(len(m.molLocks))]
+				q.Lock(l)
+				q.Compute(m.molCS)
+				q.Unlock(l)
+			}
+		}
+		// Accumulate the intermolecular virial once per thread.
+		q.Lock(m.interf)
+		q.Compute(m.reduceCS)
+		q.Unlock(m.interf)
+		q.BarrierWait(m.stepBar)
+
+		// KINETI: kinetic-energy reduction.
+		q.Compute(jittered(q, m.p, m.pairWork/4))
+		q.Lock(m.kineti)
+		q.Compute(m.reduceCS)
+		q.Unlock(m.kineti)
+		q.BarrierWait(m.stepBar)
+	}
+}
+
+func buildWater(rt harness.Runtime, p Params) func(harness.Proc) {
+	m := newWater(rt, p)
+	return func(main harness.Proc) {
+		spawnWorkers(main, p.Threads, "water", m.worker)
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:           "waternsq",
+		Desc:           "barrier-stepped molecular dynamics: MolLock[i], KinetiSumLock, InterfVirLock",
+		Paper:          "§V.C / Fig. 8: tiny scattered critical sections",
+		DefaultThreads: 24,
+		Build:          buildWater,
+	})
+}

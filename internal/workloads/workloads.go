@@ -1,0 +1,149 @@
+// Package workloads models the multithreaded applications of the
+// paper's case study (§V): a micro-benchmark plus Radiosity,
+// Water-nsquared, Volrend and Raytrace from SPLASH-2, TSP, UTS and
+// OpenLDAP.
+//
+// The models are not source ports; they are faithful reproductions of
+// each application's *lock structure* — which locks exist, what they
+// protect, how big the critical sections are relative to the work, and
+// how traffic shifts with the thread count — because that structure is
+// what the paper's results are statements about. Lock names match the
+// paper's tables (tq[0].qlock, freeInter, Qlock, mem, stackLock[5],
+// ...). Every model is written against the harness API and therefore
+// runs identically on the simulator and the live backend.
+//
+// All compute durations are virtual nanoseconds and are multiplied by
+// Params.Scale, so experiment running time can be traded against
+// trace size without changing contention ratios.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// Params configures a workload run.
+type Params struct {
+	// Threads is the number of worker threads (the paper sweeps 4–24).
+	Threads int
+	// Seed drives all randomness; equal seeds give equal simulator
+	// traces.
+	Seed int64
+	// Scale multiplies every compute duration; 1.0 (or 0, treated as
+	// 1.0) is the calibrated default.
+	Scale float64
+	// TwoLock switches workloads with a central task queue (radiosity,
+	// tsp) to the Michael–Scott two-lock queue — the paper's
+	// optimization under validation.
+	TwoLock bool
+}
+
+func (p Params) withDefaults(defThreads int) Params {
+	if p.Threads <= 0 {
+		p.Threads = defThreads
+	}
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	return p
+}
+
+// scaled multiplies a base duration by the scale factor (zero or
+// negative scale means 1.0).
+func scaled(p Params, d trace.Time) trace.Time {
+	if p.Scale <= 0 || p.Scale == 1 {
+		return d
+	}
+	v := trace.Time(float64(d) * p.Scale)
+	if v < 1 && d > 0 {
+		v = 1
+	}
+	return v
+}
+
+// jittered returns a duration uniformly in [d/2, 3d/2), scaled.
+func jittered(p harness.Proc, params Params, d trace.Time) trace.Time {
+	base := scaled(params, d)
+	if base <= 1 {
+		return base
+	}
+	return base/2 + trace.Time(p.Rand().Int63n(int64(base)))
+}
+
+// BuildFunc constructs a workload's main-thread body against a
+// runtime.
+type BuildFunc func(rt harness.Runtime, p Params) func(harness.Proc)
+
+// Spec describes one registered workload.
+type Spec struct {
+	// Name is the registry key (e.g. "radiosity").
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Paper notes which part of the paper the model reproduces.
+	Paper string
+	// DefaultThreads is used when Params.Threads is zero.
+	DefaultThreads int
+	// SupportsTwoLock reports whether Params.TwoLock changes anything.
+	SupportsTwoLock bool
+	// Build constructs the workload.
+	Build BuildFunc
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("workloads: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Get returns the workload registered under name.
+func Get(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists registered workloads alphabetically.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run builds the workload on rt with params (applying its default
+// thread count), runs it and returns the trace and elapsed time.
+func Run(rt harness.Runtime, spec Spec, p Params) (*trace.Trace, trace.Time, error) {
+	p = p.withDefaults(spec.DefaultThreads)
+	rt.SetMeta("workload", spec.Name)
+	rt.SetMeta("threads", fmt.Sprint(p.Threads))
+	if p.TwoLock {
+		rt.SetMeta("variant", "twolock")
+	}
+	return rt.Run(spec.Build(rt, p))
+}
+
+// spawnWorkers launches n worker threads named prefix-0..n-1 and joins
+// them all — the fork/join skeleton every model shares.
+func spawnWorkers(p harness.Proc, n int, prefix string, body func(harness.Proc, int)) {
+	kids := make([]harness.Thread, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		kids = append(kids, p.Go(fmt.Sprintf("%s-%d", prefix, i), func(q harness.Proc) {
+			body(q, i)
+		}))
+	}
+	for _, k := range kids {
+		p.Join(k)
+	}
+}

@@ -1,0 +1,313 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"critlock/internal/core"
+	"critlock/internal/livetrace"
+	"critlock/internal/sim"
+	"critlock/internal/trace"
+)
+
+// analyzeRun executes a workload on the simulator and analyzes it.
+func analyzeRun(t *testing.T, name string, p Params) (*core.Analysis, trace.Time) {
+	t.Helper()
+	spec, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sim.Config{Contexts: 24, Seed: p.Seed})
+	tr, elapsed, err := Run(s, spec, p)
+	if err != nil {
+		t.Fatalf("running %s: %v", name, err)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("%s produced invalid trace: %v", name, err)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", name, err)
+	}
+	return an, elapsed
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"ldap", "micro", "radiosity", "raytrace", "tsp", "uts", "volrend", "waternsq"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("Names() = %v, want %v", names, want)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) succeeded")
+	}
+	for _, n := range names {
+		s, err := Get(n)
+		if err != nil || s.Build == nil || s.Desc == "" || s.Paper == "" || s.DefaultThreads <= 0 {
+			t.Errorf("spec %q incomplete: %+v err=%v", n, s, err)
+		}
+	}
+}
+
+// TestAllWorkloadsRunClean: every model runs to completion at a small
+// and at its default thread count, produces a valid trace with full
+// critical-path coverage and no unattributed waits.
+func TestAllWorkloadsRunClean(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, threads := range []int{2, 0} { // 0 → spec default
+				an, elapsed := analyzeRun(t, name, Params{Threads: threads, Seed: 7})
+				if elapsed <= 0 {
+					t.Fatalf("threads=%d: elapsed = %d", threads, elapsed)
+				}
+				if an.CP.Length != elapsed {
+					t.Errorf("threads=%d: CP length %d != elapsed %d", threads, an.CP.Length, elapsed)
+				}
+				if an.CP.WaitTime != 0 {
+					t.Errorf("threads=%d: unattributed CP wait %d", threads, an.CP.WaitTime)
+				}
+				if an.Totals.Invocations == 0 {
+					t.Errorf("threads=%d: no lock invocations traced", threads)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministic: same seed → identical virtual completion
+// time; different seed → (almost surely) different time.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range []string{"radiosity", "tsp", "uts"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, e1 := analyzeRun(t, name, Params{Threads: 6, Seed: 11})
+			_, e2 := analyzeRun(t, name, Params{Threads: 6, Seed: 11})
+			if e1 != e2 {
+				t.Errorf("same seed: %d vs %d", e1, e2)
+			}
+			_, e3 := analyzeRun(t, name, Params{Threads: 6, Seed: 12})
+			if e3 == e1 {
+				t.Logf("different seed gave same elapsed %d (possible but suspicious)", e1)
+			}
+		})
+	}
+}
+
+// TestMicroGolden reproduces Fig. 6's identification result exactly:
+// at 4 threads, CP Time is 16.67% for L1 and 83.33% for L2, while
+// Wait Time ranks L1 first.
+func TestMicroGolden(t *testing.T) {
+	an, elapsed := analyzeRun(t, "micro", Params{Threads: 4, Seed: 1})
+	if elapsed != 12_000_000 {
+		t.Errorf("elapsed = %d, want 12ms (4 threads serialize 2ms+2.5ms CSes)", elapsed)
+	}
+	l1, l2 := an.Lock("L1"), an.Lock("L2")
+	if l1 == nil || l2 == nil {
+		t.Fatal("L1/L2 missing")
+	}
+	approxPct(t, "L1 CP time", l1.CPTimePct, 16.67)
+	approxPct(t, "L2 CP time", l2.CPTimePct, 83.33)
+	if l1.WaitTimePct <= l2.WaitTimePct {
+		t.Errorf("Wait Time must (misleadingly) rank L1 over L2: %.2f vs %.2f",
+			l1.WaitTimePct, l2.WaitTimePct)
+	}
+	approxPct(t, "L2 cont prob on CP", l2.ContProbOnCP, 75)
+}
+
+func approxPct(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if got < want-0.5 || got > want+0.5 {
+		t.Errorf("%s = %.2f%%, want ≈%.2f%%", what, got, want)
+	}
+}
+
+// TestRadiosityShape checks the Fig. 9 shape: freeInter leads at 8
+// threads; tq[0].qlock dominates at 24 with a CP share near the
+// paper's 39% and high contention on the path.
+func TestRadiosityShape(t *testing.T) {
+	an8, _ := analyzeRun(t, "radiosity", Params{Threads: 8, Seed: 1})
+	free8 := an8.Lock("freeInter")
+	tq8 := an8.Lock("tq[0].qlock")
+	if free8.CPTimePct <= tq8.CPTimePct {
+		t.Errorf("at 8T freeInter (%.2f%%) must lead tq[0].qlock (%.2f%%)",
+			free8.CPTimePct, tq8.CPTimePct)
+	}
+
+	an24, _ := analyzeRun(t, "radiosity", Params{Threads: 24, Seed: 1})
+	if an24.Locks[0].Name != "tq[0].qlock" {
+		t.Fatalf("top lock at 24T = %s, want tq[0].qlock", an24.Locks[0].Name)
+	}
+	tq24 := an24.Lock("tq[0].qlock")
+	if tq24.CPTimePct < 25 || tq24.CPTimePct > 60 {
+		t.Errorf("tq[0].qlock CP share = %.2f%%, want ~39%% (25–60)", tq24.CPTimePct)
+	}
+	if tq24.ContProbOnCP < 60 {
+		t.Errorf("tq[0].qlock cont prob on CP = %.2f%%, want high (paper 78.69%%)", tq24.ContProbOnCP)
+	}
+	if tq24.InvIncrease < 3 {
+		t.Errorf("tq[0].qlock invocation increase = %.2f, want ≫1 (paper 7.01)", tq24.InvIncrease)
+	}
+	// CP Time must dwarf Wait Time for this lock (the paper's point).
+	if tq24.CPTimePct < 3*tq24.WaitTimePct {
+		t.Errorf("CP Time (%.2f%%) should dwarf Wait Time (%.2f%%)", tq24.CPTimePct, tq24.WaitTimePct)
+	}
+}
+
+// TestRadiosityOptimization reproduces Figs. 12–14: the two-lock
+// queue improves completion time at high thread counts, and
+// tq[0].q_head_lock becomes the (much smaller) top lock.
+func TestRadiosityOptimization(t *testing.T) {
+	_, orig := analyzeRun(t, "radiosity", Params{Threads: 24, Seed: 1})
+	anOpt, opt := analyzeRun(t, "radiosity", Params{Threads: 24, Seed: 1, TwoLock: true})
+	if opt >= orig {
+		t.Errorf("two-lock queue not faster: %d vs %d", opt, orig)
+	}
+	head := anOpt.Lock("tq[0].q_head_lock")
+	if head == nil {
+		t.Fatal("optimized run lacks tq[0].q_head_lock")
+	}
+	if head.CPTimePct > 15 {
+		t.Errorf("optimized head lock CP share = %.2f%%, want far below the original 39%%", head.CPTimePct)
+	}
+	// At a single thread the variants must be equivalent (no contention
+	// to remove).
+	_, o1 := analyzeRun(t, "radiosity", Params{Threads: 1, Seed: 1})
+	_, n1 := analyzeRun(t, "radiosity", Params{Threads: 1, Seed: 1, TwoLock: true})
+	if o1 != n1 {
+		t.Errorf("1-thread variants differ: %d vs %d", o1, n1)
+	}
+}
+
+// TestTSPShape: Qlock around the paper's 68% of the critical path at
+// 24 threads, and the two-lock split gives a double-digit improvement.
+func TestTSPShape(t *testing.T) {
+	an, orig := analyzeRun(t, "tsp", Params{Threads: 24, Seed: 1})
+	q := an.Lock("Q.qlock")
+	if q == nil {
+		t.Fatal("Q.qlock missing")
+	}
+	if q.CPTimePct < 50 || q.CPTimePct > 85 {
+		t.Errorf("Q.qlock CP share = %.2f%%, want ~68%%", q.CPTimePct)
+	}
+	_, opt := analyzeRun(t, "tsp", Params{Threads: 24, Seed: 1, TwoLock: true})
+	impr := 100 * float64(orig-opt) / float64(orig)
+	if impr < 8 {
+		t.Errorf("two-lock improvement = %.1f%%, want double digits (paper 19%%)", impr)
+	}
+}
+
+// TestUTSShape: stackLock[5] is the top lock by CP time with
+// negligible wait time — the uncontended-but-critical case.
+func TestUTSShape(t *testing.T) {
+	an, _ := analyzeRun(t, "uts", Params{Threads: 24, Seed: 1})
+	if an.Locks[0].Name != "stackLock[5]" {
+		t.Fatalf("top lock = %s, want stackLock[5]", an.Locks[0].Name)
+	}
+	s5 := an.Locks[0]
+	if s5.CPTimePct < 2 || s5.CPTimePct > 12 {
+		t.Errorf("stackLock[5] CP share = %.2f%%, want ~5%%", s5.CPTimePct)
+	}
+	if s5.WaitTimePct > 0.5 {
+		t.Errorf("stackLock[5] wait time = %.2f%%, want negligible", s5.WaitTimePct)
+	}
+}
+
+// TestRaytraceShape: mem dominates and Wait Time underestimates it.
+func TestRaytraceShape(t *testing.T) {
+	an, _ := analyzeRun(t, "raytrace", Params{Threads: 24, Seed: 1})
+	mem := an.Lock("mem")
+	if an.Locks[0].Name != "mem" {
+		t.Fatalf("top lock = %s, want mem", an.Locks[0].Name)
+	}
+	if mem.CPTimePct < 15 {
+		t.Errorf("mem CP share = %.2f%%, want substantial", mem.CPTimePct)
+	}
+	if mem.CPTimePct < 3*mem.WaitTimePct {
+		t.Errorf("Wait Time (%.2f%%) must underestimate mem vs CP Time (%.2f%%)",
+			mem.WaitTimePct, mem.CPTimePct)
+	}
+}
+
+// TestLDAPShape: the negative result — no lock above 2% of the
+// critical path.
+func TestLDAPShape(t *testing.T) {
+	an, _ := analyzeRun(t, "ldap", Params{Threads: 16, Seed: 1})
+	for _, l := range an.TopLocks(3) {
+		if l.CPTimePct > 2 {
+			t.Errorf("lock %s at %.2f%% CP — LDAP should have no critical section bottleneck", l.Name, l.CPTimePct)
+		}
+	}
+}
+
+// TestWaterShape: tiny scattered critical sections, nothing dominant.
+func TestWaterShape(t *testing.T) {
+	an, _ := analyzeRun(t, "waternsq", Params{Threads: 16, Seed: 1})
+	if top := an.Locks[0]; top.CPTimePct > 10 {
+		t.Errorf("top water lock %s at %.2f%%, want small", top.Name, top.CPTimePct)
+	}
+	// Barrier waits must exist (it is a barrier-stepped code).
+	if an.Totals.TotalBarrierWait == 0 {
+		t.Error("no barrier waits recorded")
+	}
+}
+
+// TestVolrendShape: QLock on the path with little contention at low
+// thread counts.
+func TestVolrendShape(t *testing.T) {
+	an, _ := analyzeRun(t, "volrend", Params{Threads: 8, Seed: 1})
+	q := an.Lock("Global->QLock")
+	if q == nil || !q.Critical {
+		t.Fatalf("Global->QLock missing or not critical: %+v", q)
+	}
+}
+
+// TestScaleParameter: doubling Scale roughly doubles virtual time.
+func TestScaleParameter(t *testing.T) {
+	_, e1 := analyzeRun(t, "micro", Params{Threads: 4, Seed: 1, Scale: 1})
+	_, e2 := analyzeRun(t, "micro", Params{Threads: 4, Seed: 1, Scale: 2})
+	ratio := float64(e2) / float64(e1)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("scale 2 ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+// TestWorkloadOnLiveBackend: the same model code runs unchanged on
+// real goroutines.
+func TestWorkloadOnLiveBackend(t *testing.T) {
+	spec, err := Get("radiosity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := livetrace.New(livetrace.Config{Seed: 3})
+	tr, elapsed, err := Run(rt, spec, Params{Threads: 2, Seed: 3})
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("live trace invalid: %v", err)
+	}
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Lock("tq[0].qlock") == nil {
+		t.Error("tq[0].qlock missing from live trace")
+	}
+}
+
+// TestMetaPropagated: Run stamps workload metadata.
+func TestMetaPropagated(t *testing.T) {
+	spec, _ := Get("tsp")
+	s := sim.New(sim.Config{Contexts: 8, Seed: 1})
+	tr, _, err := Run(s, spec, Params{Threads: 4, Seed: 1, TwoLock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta["workload"] != "tsp" || tr.Meta["threads"] != "4" || tr.Meta["variant"] != "twolock" {
+		t.Errorf("meta = %v", tr.Meta)
+	}
+}

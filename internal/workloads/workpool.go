@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// workPool is the termination protocol shared by the task-parallel
+// models (radiosity, tsp, uts): a count of outstanding tasks guarded
+// by a workload-named mutex, plus a condition variable idle workers
+// block on. Spawners signal after publishing work; the worker that
+// completes the final task broadcasts completion.
+//
+// Blocking (rather than poll-spinning) matters for critical-path
+// fidelity: a blocked idler's wait is jumped over by the analyzer's
+// backward walk, exactly as a Pthreads cond_wait would be, so the
+// critical path follows the threads doing work.
+type workPool struct {
+	mu harness.Mutex
+	cv harness.Cond
+	cs trace.Time
+
+	// Guarded by mu.
+	remaining int
+	done      bool
+}
+
+// newWorkPool names the mutex after the application's real lock
+// (pbar_lock, MinLock, cb_lock, ...).
+func newWorkPool(rt harness.Runtime, lockName, condName string, cs trace.Time) *workPool {
+	return &workPool{
+		mu: rt.NewMutex(lockName),
+		cv: rt.NewCond(condName),
+		cs: cs,
+	}
+}
+
+// seed credits the initial tasks. Call before workers start.
+func (w *workPool) seed(q harness.Proc, k int) {
+	q.Lock(w.mu)
+	q.Compute(w.cs)
+	w.remaining += k
+	q.Unlock(w.mu)
+}
+
+// announce wakes one idle worker after new work was published.
+func (w *workPool) announce(q harness.Proc) {
+	q.Signal(w.cv)
+}
+
+// complete records that a task finished after spawning `spawned` new
+// tasks; the final completion broadcasts termination.
+func (w *workPool) complete(q harness.Proc, spawned int) {
+	q.Lock(w.mu)
+	q.Compute(w.cs)
+	w.remaining += spawned - 1
+	if w.remaining == 0 {
+		w.done = true
+		q.Broadcast(w.cv)
+	}
+	q.Unlock(w.mu)
+}
+
+// withLock runs fn inside the pool's critical section (for workloads
+// that fold extra shared state, like TSP's bound, into the same lock).
+func (w *workPool) withLock(q harness.Proc, fn func()) {
+	q.Lock(w.mu)
+	q.Compute(w.cs)
+	fn()
+	q.Unlock(w.mu)
+}
+
+// idle blocks until either new work may be available or the pool is
+// finished. It returns true when the worker should exit. Callers must
+// re-sweep their queues after a false return (the signal only means
+// "look again").
+func (w *workPool) idle(q harness.Proc) bool {
+	q.Lock(w.mu)
+	q.Compute(w.cs)
+	if w.done {
+		q.Unlock(w.mu)
+		return true
+	}
+	q.Wait(w.cv, w.mu)
+	done := w.done
+	q.Unlock(w.mu)
+	return done
+}
