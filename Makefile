@@ -1,0 +1,32 @@
+# Developer entry points. `make ci` is what a gate should run: vet,
+# build, race-enabled tests, and one pass of the headline benchmark as
+# a smoke test (benchtime=1x — for real numbers use `make bench`).
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the headline benchmark — catches crashes and gross
+# regressions without tying up CI.
+bench-smoke:
+	$(GO) test -run=xxx -bench=BenchmarkAnalyzeLargeTrace -benchtime=1x -benchmem .
+
+# Stable numbers for the benchmarks quoted in README/BENCH_PR1.json.
+bench:
+	$(GO) test -run=xxx -bench='BenchmarkAnalyzeLargeTrace|BenchmarkAnalyzeReuse|BenchmarkMergeVsSort|BenchmarkRunAllParallel' -benchtime=30x -benchmem .
+
+ci: vet build race bench-smoke

@@ -12,6 +12,7 @@ package critlock_test
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"testing"
 
 	"critlock"
@@ -94,6 +95,110 @@ func largeTrace(n int) *trace.Trace {
 		b.Exit(tm+1, tid)
 	}
 	return b.Trace()
+}
+
+// threadBuffers partitions a trace's events into per-thread buffers in
+// emission order — the shape the collector holds before Finish.
+func threadBuffers(tr *trace.Trace) [][]trace.Event {
+	byThread := make(map[trace.ThreadID][]trace.Event)
+	var order []trace.ThreadID
+	for _, e := range tr.Events {
+		if _, ok := byThread[e.Thread]; !ok {
+			order = append(order, e.Thread)
+		}
+		byThread[e.Thread] = append(byThread[e.Thread], e)
+	}
+	bufs := make([][]trace.Event, 0, len(order))
+	for _, tid := range order {
+		bufs = append(bufs, byThread[tid])
+	}
+	return bufs
+}
+
+// BenchmarkMergeVsSort compares the two ways of flattening per-thread
+// event buffers into one globally ordered stream: the k-way heap merge
+// (what Collector.Finish does now) against a global sort.Slice over the
+// concatenation (what it did before).
+func BenchmarkMergeVsSort(b *testing.B) {
+	tr := largeTrace(200_000)
+	bufs := threadBuffers(tr)
+	n := len(tr.Events)
+
+	b.Run("merge", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(n))
+		runs := make([][]trace.Event, len(bufs))
+		for i := 0; i < b.N; i++ {
+			copy(runs, bufs)
+			out := trace.MergeSorted(runs)
+			if len(out) != n {
+				b.Fatal("short merge")
+			}
+		}
+	})
+	b.Run("sort", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(n))
+		for i := 0; i < b.N; i++ {
+			flat := make([]trace.Event, 0, n)
+			for _, buf := range bufs {
+				flat = append(flat, buf...)
+			}
+			sort.Slice(flat, func(x, y int) bool { return trace.Less(flat[x], flat[y]) })
+			if len(flat) != n {
+				b.Fatal("short sort")
+			}
+		}
+	})
+}
+
+// BenchmarkRunAllParallel runs a small experiment set through the
+// worker-pool runner at increasing parallelism. On a single-core box
+// the times converge; the benchmark still exercises the pool, the
+// deterministic ordering and the per-outcome overhead.
+func BenchmarkRunAllParallel(b *testing.B) {
+	ids := []string{"table2", "fig1", "fig6"}
+	exps := make([]experiments.Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := experiments.Options{Seed: 1, Contexts: 24, Quick: true, Parallelism: j}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				outcomes := experiments.RunSet(exps, opts, j)
+				if err := experiments.FirstError(outcomes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeReuse measures Analyze through a reused Analyzer —
+// index and scratch storage amortized across runs — against the
+// pooled package-level entry point benchmarked by
+// BenchmarkAnalyzeLargeTrace.
+func BenchmarkAnalyzeReuse(b *testing.B) {
+	tr := largeTrace(200_000)
+	a := core.NewAnalyzer()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tr.Events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := a.Analyze(tr, core.Options{ClipHold: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if an.CP.Length == 0 {
+			b.Fatal("empty critical path")
+		}
+	}
 }
 
 func BenchmarkAnalyzeLargeTrace(b *testing.B) {

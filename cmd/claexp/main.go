@@ -4,12 +4,19 @@
 //	claexp -run fig9       # one experiment
 //	claexp -all            # everything, in paper order
 //	claexp -all -quick     # reduced sweeps (CI-sized)
+//	claexp -all -j 8       # run experiments on 8 workers
+//
+// With -j N the independent experiments (and the sweeps inside them)
+// run on a worker pool; output stays byte-identical to a serial run
+// because results are rendered in paper order, not completion order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"critlock/internal/experiments"
 )
@@ -30,11 +37,15 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		contexts = fs.Int("contexts", 24, "simulated hardware contexts")
 		quick    = fs.Bool("quick", false, "reduced sweeps")
+		jobs     = fs.Int("j", runtime.NumCPU(), "parallel workers for -all and for sweeps inside experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Seed: *seed, Contexts: *contexts, Quick: *quick}
+	if *jobs < 1 {
+		return fmt.Errorf("-j must be at least 1")
+	}
+	opts := experiments.Options{Seed: *seed, Contexts: *contexts, Quick: *quick, Parallelism: *jobs}
 
 	switch {
 	case *list:
@@ -43,15 +54,23 @@ func run(args []string) error {
 		}
 		return nil
 	case *runID != "":
-		e, err := experiments.Get(*runID)
+		e, err := experiments.ByID(*runID)
 		if err != nil {
 			return err
 		}
-		return render(e, opts)
+		res, err := e.Run(opts)
+		if err != nil {
+			return err
+		}
+		return render(os.Stdout, e, res)
 	case *all:
-		for _, e := range experiments.All() {
-			if err := render(e, opts); err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
+		outcomes := experiments.RunAll(opts, *jobs)
+		for _, oc := range outcomes {
+			if oc.Err != nil {
+				return fmt.Errorf("%s: %w", oc.Experiment.ID, oc.Err)
+			}
+			if err := render(os.Stdout, oc.Experiment, oc.Result); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -61,23 +80,19 @@ func run(args []string) error {
 	}
 }
 
-func render(e experiments.Experiment, opts experiments.Options) error {
-	fmt.Printf("==========================================================================\n")
-	fmt.Printf("%s — %s\n", e.ID, e.Title)
-	fmt.Printf("reproduces: %s\n\n", e.Paper)
-	res, err := e.Run(opts)
-	if err != nil {
-		return err
-	}
+func render(w io.Writer, e experiments.Experiment, res *experiments.Result) error {
+	fmt.Fprintf(w, "==========================================================================\n")
+	fmt.Fprintf(w, "%s — %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "reproduces: %s\n\n", e.Paper)
 	for _, t := range res.Tables {
-		if err := t.Render(os.Stdout); err != nil {
+		if err := t.Render(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	for _, n := range res.Notes {
-		fmt.Println(n)
+		fmt.Fprintln(w, n)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -34,9 +35,13 @@ func run(args []string) error {
 		factorsFlag = fs.String("factors", "", "comma-separated hold factors (default 1.0,0.5 with -shrink)")
 		contexts    = fs.Int("contexts", 24, "simulated hardware contexts")
 		seed        = fs.Int64("seed", 1, "random seed")
+		jobs        = fs.Int("j", runtime.NumCPU(), "parallel workers for the sweep grid")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jobs < 1 {
+		return fmt.Errorf("-j must be at least 1")
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -52,7 +57,7 @@ func run(args []string) error {
 		return err
 	}
 
-	spec := synth.SweepSpec{ShrinkLock: *shrink, Contexts: *contexts, Seed: *seed}
+	spec := synth.SweepSpec{ShrinkLock: *shrink, Contexts: *contexts, Seed: *seed, Parallelism: *jobs}
 	if *threadsFlag != "" {
 		for _, part := range strings.Split(*threadsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

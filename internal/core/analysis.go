@@ -21,7 +21,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"critlock/internal/trace"
@@ -264,28 +263,14 @@ type Totals struct {
 	TotalCondWait    trace.Time
 }
 
-// Analyze runs critical lock analysis with the given options.
+// Analyze runs critical lock analysis with the given options. Internal
+// index storage is recycled through a pool of Analyzers, so repeated
+// calls (sweeps, what-if loops) are allocation-lean; hold an Analyzer
+// directly for explicit reuse control.
 func Analyze(tr *trace.Trace, opts Options) (*Analysis, error) {
-	if tr == nil || len(tr.Events) == 0 {
-		return nil, trace.ErrEmptyTrace
-	}
-	if opts.Validate {
-		if err := trace.Validate(tr); err != nil {
-			return nil, fmt.Errorf("core: invalid trace: %w", err)
-		}
-	}
-
-	idx, err := buildIndex(tr)
-	if err != nil {
-		return nil, err
-	}
-	cp, err := walk(tr, idx)
-	if err != nil {
-		return nil, err
-	}
-	an := &Analysis{Trace: tr, CP: *cp}
-	computeMetrics(an, idx, opts)
-	return an, nil
+	a := analyzerPool.Get().(*Analyzer)
+	defer analyzerPool.Put(a)
+	return a.Analyze(tr, opts)
 }
 
 // AnalyzeDefault runs Analyze with DefaultOptions.

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"critlock/internal/trace"
+)
+
+// Analyzer runs critical lock analysis with reusable internal storage.
+//
+// A single Analyze call allocates several event-count-sized index
+// arrays (waker edges, per-thread positions, invocation records). For
+// pipelines that analyze many traces — experiment sweeps, what-if
+// loops, online re-analysis — that allocation dominates; an Analyzer
+// keeps the storage between calls and re-derives everything from the
+// next trace, so a warm analysis is allocation-lean.
+//
+// The returned *Analysis never aliases the Analyzer's internal
+// buffers: results remain valid after further Analyze calls. An
+// Analyzer is NOT safe for concurrent use; use one per goroutine (the
+// package-level Analyze does this automatically via an internal pool).
+type Analyzer struct {
+	idx index
+}
+
+// NewAnalyzer returns an empty analyzer. The zero value is also ready
+// to use.
+func NewAnalyzer() *Analyzer { return &Analyzer{} }
+
+// Analyze runs critical lock analysis on tr, reusing the analyzer's
+// internal buffers. Semantics are identical to the package-level
+// Analyze.
+func (a *Analyzer) Analyze(tr *trace.Trace, opts Options) (*Analysis, error) {
+	if tr == nil || len(tr.Events) == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	if opts.Validate {
+		if err := trace.Validate(tr); err != nil {
+			return nil, fmt.Errorf("core: invalid trace: %w", err)
+		}
+	}
+	if err := buildIndexInto(&a.idx, tr); err != nil {
+		return nil, err
+	}
+	cp, err := walk(tr, &a.idx)
+	if err != nil {
+		return nil, err
+	}
+	an := &Analysis{Trace: tr, CP: *cp}
+	computeMetrics(an, &a.idx, opts)
+	return an, nil
+}
+
+// Reset releases the retained buffers, returning the analyzer to its
+// initial footprint. Useful for long-lived holders after analyzing an
+// unusually large trace; not required between Analyze calls.
+func (a *Analyzer) Reset() { a.idx.release() }
+
+// analyzerPool recycles warm Analyzers across package-level Analyze
+// calls (safe under concurrency: Get hands out distinct instances).
+var analyzerPool = sync.Pool{New: func() any { return NewAnalyzer() }}

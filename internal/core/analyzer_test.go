@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"critlock/internal/trace"
+)
+
+// convoyTrace builds a contended multi-thread trace with roughly n
+// events: a hot round-robin lock, a private cold lock, and a final
+// join fan-in so the critical path crosses threads.
+func convoyTrace(n, threads int) *trace.Trace {
+	b := trace.NewBuilder()
+	var tids []trace.ThreadID
+	root := b.Thread("t0", trace.NoThread)
+	tids = append(tids, root)
+	for i := 1; i < threads; i++ {
+		tids = append(tids, b.Thread(fmt.Sprintf("t%d", i), root))
+	}
+	m := b.Mutex("hot")
+	m2 := b.Mutex("cold")
+	for _, tid := range tids {
+		b.Start(0, tid)
+	}
+	iters := n / (threads * 6)
+	if iters == 0 {
+		iters = 1
+	}
+	tm := trace.Time(0)
+	for it := 0; it < iters; it++ {
+		for k, tid := range tids {
+			acq := tm + trace.Time(k)
+			obt := tm + trace.Time(10*(k+1))
+			rel := obt + 9
+			b.CS(tid, m, acq, obt, rel)
+			b.CS(tid, m2, rel, rel, rel+1)
+		}
+		tm += trace.Time(10*threads + 20)
+	}
+	for i := len(tids) - 1; i >= 1; i-- {
+		b.Exit(tm+trace.Time(i), tids[i])
+		b.Join(root, tids[i], tm, tm+trace.Time(i))
+	}
+	b.Exit(tm+trace.Time(len(tids)), root)
+	return b.Trace()
+}
+
+// analysesEqual compares the externally visible analysis results.
+func analysesEqual(t *testing.T, got, want *Analysis, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.CP, want.CP) {
+		t.Errorf("%s: critical path differs", label)
+	}
+	if !reflect.DeepEqual(got.Locks, want.Locks) {
+		t.Errorf("%s: lock stats differ:\n got %+v\nwant %+v", label, got.Locks, want.Locks)
+	}
+	if !reflect.DeepEqual(got.Threads, want.Threads) {
+		t.Errorf("%s: thread stats differ", label)
+	}
+	if got.Totals != want.Totals {
+		t.Errorf("%s: totals differ: got %+v want %+v", label, got.Totals, want.Totals)
+	}
+	if !reflect.DeepEqual(got.holdsByThread, want.holdsByThread) {
+		t.Errorf("%s: holdsByThread differ", label)
+	}
+	if !reflect.DeepEqual(got.hotByLock, want.hotByLock) {
+		t.Errorf("%s: hotByLock differ", label)
+	}
+}
+
+// TestAnalyzerReuseMatchesFresh: one Analyzer reused across traces of
+// different shapes and sizes must reproduce a fresh analysis exactly,
+// and earlier results must stay intact after later calls (no aliasing
+// of pooled buffers).
+func TestAnalyzerReuseMatchesFresh(t *testing.T) {
+	traces := []*trace.Trace{
+		convoyTrace(5000, 8),
+		convoyTrace(300, 3), // shrinking: reused buffers larger than needed
+		convoyTrace(20000, 16),
+		convoyTrace(60, 2),
+	}
+	a := NewAnalyzer()
+	opts := DefaultOptions()
+
+	var kept []*Analysis
+	var fresh []*Analysis
+	for _, tr := range traces {
+		got, err := a.Analyze(tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := (&Analyzer{}).Analyze(tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analysesEqual(t, got, want, "reused analyzer")
+		kept = append(kept, got)
+		fresh = append(fresh, want)
+	}
+	// Earlier results must not have been clobbered by later reuse.
+	for i := range kept {
+		analysesEqual(t, kept[i], fresh[i], fmt.Sprintf("retained result %d", i))
+	}
+
+	// Reset drops storage but the analyzer stays usable.
+	a.Reset()
+	if _, err := a.Analyze(traces[0], opts); err != nil {
+		t.Fatalf("analyze after Reset: %v", err)
+	}
+}
+
+// TestParallelMetricsMatchSerial forces the chunked parallel metric
+// pass (the 1-CPU default would gate it off) and checks bit-identical
+// results against the serial pass. Run under -race this also proves
+// the worker partitioning is sound.
+func TestParallelMetricsMatchSerial(t *testing.T) {
+	tr := convoyTrace(30000, 12)
+	opts := DefaultOptions()
+
+	metricsWorkersOverride = 1
+	serial, err := Analyze(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 12, 32} {
+		metricsWorkersOverride = workers
+		parallel, err := Analyze(tr, opts)
+		metricsWorkersOverride = 0
+		if err != nil {
+			t.Fatal(err)
+		}
+		analysesEqual(t, parallel, serial, fmt.Sprintf("workers=%d", workers))
+	}
+	metricsWorkersOverride = 0
+}
+
+// TestAnalyzerRejectsEmpty mirrors package Analyze semantics.
+func TestAnalyzerRejectsEmpty(t *testing.T) {
+	if _, err := NewAnalyzer().Analyze(nil, DefaultOptions()); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := NewAnalyzer().Analyze(&trace.Trace{}, DefaultOptions()); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

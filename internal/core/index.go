@@ -27,6 +27,11 @@ func (inv *invocation) hold() trace.Time { return inv.relT - inv.obtT }
 // index holds everything the walk and the metric pass need: per-thread
 // event sequences, waker edges for unblock events, and extracted lock
 // invocations.
+//
+// All large slices are reusable across analyses: buildIndexInto grows
+// them in place and the per-thread lists are carved out of single flat
+// backing arrays (two allocations instead of 2·threads), so a warm
+// Analyzer re-analyzes with near-zero index allocation.
 type index struct {
 	// thrEvents[tid] lists global event indices of thread tid in time
 	// order.
@@ -50,56 +55,122 @@ type index struct {
 	exitIdx []int32
 	// startIdx[tid] is the global index of the thread's start event.
 	startIdx []int32
+
+	// Reusable backing storage and scratch (never read outside
+	// buildIndexInto).
+	thrFlat     []int32 // backing array carved into thrEvents
+	invsFlat    []int32 // backing array carved into invsByThread
+	evCounts    []int   // events per thread
+	acqCounts   []int   // lock acquires per thread
+	lastRelease []int32 // per-object last release event
+	joinBeginT  []trace.Time
+	createOf    []int32
+	departs     []pendingDepart
 }
 
-// buildIndex performs one forward pass over the events, resolving
+// pendingDepart is a blocked barrier depart awaiting the post-pass.
+type pendingDepart struct {
+	idx     int32
+	obj     trace.ObjID
+	thread  trace.ThreadID
+	episode int
+}
+
+// grow returns s with length n, reusing its backing array when the
+// capacity suffices. Contents are unspecified — callers refill.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// release frees the index's retained storage.
+func (idx *index) release() { *idx = index{} }
+
+// buildIndex allocates a fresh index for tr — the one-shot form for
+// callers that keep the index alive (e.g. slack analysis); the
+// analysis hot path reuses storage via buildIndexInto.
+func buildIndex(tr *trace.Trace) (*index, error) {
+	idx := &index{}
+	if err := buildIndexInto(idx, tr); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// buildIndexInto performs one forward pass over the events, resolving
 // wakers per the paper §IV.B: "For locks, the thread holding the same
 // lock adjacently before the blocked thread is the desired one. For
 // barriers, the thread reaching the same barrier lastly is the desired
 // one. For condition variables, the thread signaling the same condition
 // variable to the blocked thread is the desired one."
-func buildIndex(tr *trace.Trace) (*index, error) {
+//
+// The index's storage is reused across calls; everything is re-derived
+// from tr.
+func buildIndexInto(idx *index, tr *trace.Trace) error {
 	n := len(tr.Events)
 	nThreads := len(tr.Threads)
-	idx := &index{
-		thrEvents:    make([][]int32, nThreads),
-		posInThread:  make([]int32, n),
-		waker:        make([]int32, n),
-		blocked:      make([]bool, n),
-		invsByThread: make([][]int32, nThreads),
-		exitIdx:      make([]int32, nThreads),
-		startIdx:     make([]int32, nThreads),
-	}
+
+	idx.posInThread = grow(idx.posInThread, n)
+	idx.waker = grow(idx.waker, n)
+	idx.blocked = grow(idx.blocked, n)
+	idx.thrEvents = grow(idx.thrEvents, nThreads)
+	idx.invsByThread = grow(idx.invsByThread, nThreads)
+	idx.exitIdx = grow(idx.exitIdx, nThreads)
+	idx.startIdx = grow(idx.startIdx, nThreads)
 	for i := range idx.waker {
 		idx.waker[i] = -1
+		idx.blocked[i] = false
 	}
-	for i := range idx.exitIdx {
-		idx.exitIdx[i] = -1
-		idx.startIdx[i] = -1
+	for tid := 0; tid < nThreads; tid++ {
+		idx.exitIdx[tid] = -1
+		idx.startIdx[tid] = -1
 	}
 
-	// Pre-size the per-thread event lists and the invocation store to
-	// avoid repeated slice growth (the dominant allocation cost on
-	// large traces).
-	perThread := make([]int, nThreads)
+	// Counting pass: events and acquires per thread, so the per-thread
+	// lists and the invocation store are sized exactly once up front
+	// (the dominant allocation cost on large traces).
+	idx.evCounts = grow(idx.evCounts, nThreads)
+	idx.acqCounts = grow(idx.acqCounts, nThreads)
+	for tid := 0; tid < nThreads; tid++ {
+		idx.evCounts[tid], idx.acqCounts[tid] = 0, 0
+	}
 	acquires := 0
 	for i := range tr.Events {
 		e := &tr.Events[i]
 		if e.Thread >= 0 && int(e.Thread) < nThreads {
-			perThread[e.Thread]++
+			idx.evCounts[e.Thread]++
+			if e.Kind == trace.EvLockAcquire {
+				idx.acqCounts[e.Thread]++
+			}
 		}
 		if e.Kind == trace.EvLockAcquire {
 			acquires++
 		}
 	}
-	for tid, n := range perThread {
-		idx.thrEvents[tid] = make([]int32, 0, n)
+	// Carve the per-thread lists out of flat backing arrays.
+	idx.thrFlat = grow(idx.thrFlat, n)
+	idx.invsFlat = grow(idx.invsFlat, acquires)
+	evOff, acqOff := 0, 0
+	for tid := 0; tid < nThreads; tid++ {
+		c := idx.evCounts[tid]
+		idx.thrEvents[tid] = idx.thrFlat[evOff:evOff : evOff+c]
+		evOff += c
+		c = idx.acqCounts[tid]
+		idx.invsByThread[tid] = idx.invsFlat[acqOff:acqOff : acqOff+c]
+		acqOff += c
 	}
-	idx.invocations = make([]invocation, 0, acquires)
+	if cap(idx.invocations) < acquires {
+		idx.invocations = make([]invocation, 0, acquires)
+	} else {
+		idx.invocations = idx.invocations[:0]
+	}
 
 	// Per-mutex: index of the last release event seen (dense by
 	// ObjID).
-	lastRelease := make([]int32, len(tr.Objects))
+	idx.lastRelease = grow(idx.lastRelease, len(tr.Objects))
+	lastRelease := idx.lastRelease
 	for i := range lastRelease {
 		lastRelease[i] = -1
 	}
@@ -150,22 +221,20 @@ func buildIndex(tr *trace.Trace) (*index, error) {
 
 	// joinBeginT[(joiner)] stamps the last join-begin per thread; the
 	// join-end is blocked iff the joinee exited after it.
-	joinBeginT := make([]trace.Time, nThreads)
+	idx.joinBeginT = grow(idx.joinBeginT, nThreads)
+	joinBeginT := idx.joinBeginT
+	for i := range joinBeginT {
+		joinBeginT[i] = 0
+	}
 
 	// Blocked barrier departs awaiting the post-pass.
-	type pendingDepart struct {
-		idx     int32
-		obj     trace.ObjID
-		thread  trace.ThreadID
-		episode int
-	}
-	var departs []pendingDepart
+	departs := idx.departs[:0]
 
 	for i32 := 0; i32 < n; i32++ {
 		e := tr.Events[i32]
 		i := int32(i32)
 		if e.Thread < 0 || int(e.Thread) >= nThreads {
-			return nil, fmt.Errorf("core: event %d references thread %d out of range", i, e.Thread)
+			return fmt.Errorf("core: event %d references thread %d out of range", i, e.Thread)
 		}
 		idx.posInThread[i] = int32(len(idx.thrEvents[e.Thread]))
 		idx.thrEvents[e.Thread] = append(idx.thrEvents[e.Thread], i)
@@ -188,7 +257,7 @@ func buildIndex(tr *trace.Trace) (*index, error) {
 		case trace.EvLockObtain:
 			pi, ok := pending[pendKey{e.Obj, e.Thread}]
 			if !ok {
-				return nil, fmt.Errorf("core: event %d: obtain of %q without acquire", i, tr.ObjName(e.Obj))
+				return fmt.Errorf("core: event %d: obtain of %q without acquire", i, tr.ObjName(e.Obj))
 			}
 			inv := &idx.invocations[pi]
 			inv.obtainIdx = i
@@ -210,7 +279,7 @@ func buildIndex(tr *trace.Trace) (*index, error) {
 		case trace.EvLockRelease:
 			pi, ok := pending[pendKey{e.Obj, e.Thread}]
 			if !ok {
-				return nil, fmt.Errorf("core: event %d: release of %q without hold", i, tr.ObjName(e.Obj))
+				return fmt.Errorf("core: event %d: release of %q without hold", i, tr.ObjName(e.Obj))
 			}
 			inv := &idx.invocations[pi]
 			inv.releaseIdx = i
@@ -297,6 +366,7 @@ func buildIndex(tr *trace.Trace) (*index, error) {
 			// lazily below (create always precedes start in time).
 		}
 	}
+	idx.departs = departs
 
 	// Barrier post-pass: now that all arrivals are known, a blocked
 	// depart's waker is its episode's last arrive (by the thread that
@@ -311,7 +381,8 @@ func buildIndex(tr *trace.Trace) (*index, error) {
 
 	// Thread-start wakers: the creator's matching create event. Scan
 	// creates once.
-	createOf := make([]int32, nThreads)
+	idx.createOf = grow(idx.createOf, nThreads)
+	createOf := idx.createOf
 	for i := range createOf {
 		createOf[i] = -1
 	}
@@ -349,7 +420,7 @@ func buildIndex(tr *trace.Trace) (*index, error) {
 		}
 		idx.invsByThread[inv.thread] = append(idx.invsByThread[inv.thread], int32(pi))
 	}
-	return idx, nil
+	return nil
 }
 
 // prevInThread returns the global index of the event preceding i on

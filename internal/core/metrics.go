@@ -1,13 +1,101 @@
 package core
 
 import (
+	"runtime"
 	"slices"
 
+	"critlock/internal/par"
 	"critlock/internal/trace"
 )
 
+// lockAcc accumulates one mutex's statistics during the metric pass.
+type lockAcc struct {
+	stats LockStats
+	// waitByThread / holdByThread accumulate per-thread totals for
+	// the TYPE 2 percentage averages (dense by ThreadID).
+	waitByThread []trace.Time
+	holdByThread []trace.Time
+}
+
+// merge folds src (accumulated over a disjoint set of threads) into a.
+func (a *lockAcc) merge(src *lockAcc) {
+	d, s := &a.stats, &src.stats
+	d.Critical = d.Critical || s.Critical
+	d.HoldOnCP += s.HoldOnCP
+	d.InvocationsOnCP += s.InvocationsOnCP
+	d.ContendedOnCP += s.ContendedOnCP
+	d.TotalInvocations += s.TotalInvocations
+	d.SharedInvocations += s.SharedInvocations
+	d.TotalContended += s.TotalContended
+	d.TotalWait += s.TotalWait
+	d.TotalHold += s.TotalHold
+	if s.MaxWait > d.MaxWait {
+		d.MaxWait = s.MaxWait
+	}
+	if s.MaxHold > d.MaxHold {
+		d.MaxHold = s.MaxHold
+	}
+	for tid, w := range src.waitByThread {
+		a.waitByThread[tid] += w
+	}
+	for tid, h := range src.holdByThread {
+		a.holdByThread[tid] += h
+	}
+}
+
+// lockSink is one accumulation domain: the serial pass uses a single
+// sink; the parallel pass gives each worker its own and merges them in
+// chunk order afterwards, so results are bit-identical either way (all
+// merged quantities are integer sums, maxima or bools).
+type lockSink struct {
+	nThreads int
+	accs     map[trace.ObjID]*lockAcc
+	hot      map[trace.ObjID][]interval
+}
+
+func newLockSink(nThreads int) *lockSink {
+	return &lockSink{
+		nThreads: nThreads,
+		accs:     map[trace.ObjID]*lockAcc{},
+		hot:      map[trace.ObjID][]interval{},
+	}
+}
+
+func (s *lockSink) accOf(lock trace.ObjID, name string) *lockAcc {
+	a := s.accs[lock]
+	if a == nil {
+		a = &lockAcc{
+			stats:        LockStats{Lock: lock, Name: name},
+			waitByThread: make([]trace.Time, s.nThreads),
+			holdByThread: make([]trace.Time, s.nThreads),
+		}
+		s.accs[lock] = a
+	}
+	return a
+}
+
+// metricsParallelMin is the invocation count below which the parallel
+// metric pass is not worth its goroutine and merge overhead.
+const metricsParallelMin = 4096
+
+// metricsWorkersOverride forces the worker count (test hook; 0 = off).
+var metricsWorkersOverride int
+
+func metricsWorkers(nInvocations, nThreads int) int {
+	if metricsWorkersOverride > 0 {
+		return metricsWorkersOverride
+	}
+	if nThreads < 2 || nInvocations < metricsParallelMin {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // computeMetrics fills Analysis.Locks, Analysis.Threads and
-// Analysis.Totals from the walked critical path.
+// Analysis.Totals from the walked critical path. The per-thread
+// accumulation (blocking-time accounting, per-lock sums, critical-path
+// clipping) runs on a bounded worker group when the trace is large
+// enough to pay for it; the output is independent of the worker count.
 func computeMetrics(an *Analysis, idx *index, opts Options) {
 	tr := an.Trace
 	nThreads := len(tr.Threads)
@@ -28,139 +116,51 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 		ts.Lifetime = ts.End - ts.Start
 	}
 
-	// Blocking-time accounting per thread (barrier, cond, join waits).
-	// Condition waits are matched begin→end because the backend may
-	// emit mutex-reacquisition events between them.
-	for tid := 0; tid < nThreads; tid++ {
-		evs := idx.thrEvents[tid]
-		ts := &an.Threads[tid]
-		condBegin := map[trace.ObjID]trace.Time{}
-		for pos, gi := range evs {
-			e := tr.Events[gi]
-			if pos == 0 {
-				continue
-			}
-			prevT := tr.Events[evs[pos-1]].T
-			switch e.Kind {
-			case trace.EvBarrierDepart:
-				if e.Arg == 0 {
-					ts.BarrierWait += e.T - prevT
-				}
-			case trace.EvCondWaitBegin:
-				condBegin[e.Obj] = e.T
-			case trace.EvCondWaitEnd:
-				if begin, ok := condBegin[e.Obj]; ok {
-					ts.CondWait += e.T - begin
-					delete(condBegin, e.Obj)
-				}
-			case trace.EvJoinEnd:
-				if idx.blocked[gi] {
-					ts.JoinWait += e.T - prevT
-				}
-			}
-		}
-	}
-
-	// Critical-path pieces per thread, sorted by time, for clipping.
+	// Critical-path pieces per thread, for clipping; sorted by time in
+	// the per-thread pass below.
 	piecesByThread := make([][]Piece, nThreads)
 	for _, p := range an.CP.Pieces {
 		piecesByThread[p.Thread] = append(piecesByThread[p.Thread], p)
 		an.Threads[p.Thread].TimeOnCP += p.Dur()
 	}
-	for tid := range piecesByThread {
-		slices.SortFunc(piecesByThread[tid], func(a, b Piece) int {
-			switch {
-			case a.From < b.From:
-				return -1
-			case a.From > b.From:
-				return 1
-			}
-			return 0
-		})
-	}
 
-	// Per-lock accumulation.
-	type lockAcc struct {
-		stats LockStats
-		// waitByThread / holdByThread accumulate per-thread totals for
-		// the TYPE 2 percentage averages (dense by ThreadID).
-		waitByThread []trace.Time
-		holdByThread []trace.Time
-	}
-	accs := map[trace.ObjID]*lockAcc{}
-	accOf := func(lock trace.ObjID) *lockAcc {
-		a := accs[lock]
-		if a == nil {
-			a = &lockAcc{
-				stats:        LockStats{Lock: lock, Name: tr.ObjName(lock)},
-				waitByThread: make([]trace.Time, nThreads),
-				holdByThread: make([]trace.Time, nThreads),
-			}
-			accs[lock] = a
+	// Per-thread accumulation, chunked across workers. Each worker
+	// owns a disjoint thread range: ThreadStats and holdsByThread are
+	// indexed by tid (no sharing), per-lock sums go to the worker's
+	// private sink and merge below.
+	an.holdsByThread = make([][]interval, nThreads)
+	an.hotByLock = map[trace.ObjID][]interval{}
+	workers := metricsWorkers(len(idx.invocations), nThreads)
+	sinks := make([]*lockSink, min(workers, nThreads))
+	par.Chunks(nThreads, workers, func(chunk, lo, hi int) {
+		sink := newLockSink(nThreads)
+		sinks[chunk] = sink
+		for tid := lo; tid < hi; tid++ {
+			accumulateThread(an, idx, opts, tid, piecesByThread[tid], sink)
 		}
-		return a
+	})
+
+	// Merge the workers' sinks in chunk (= thread) order.
+	merged := newLockSink(nThreads)
+	if len(sinks) > 0 && sinks[0] != nil {
+		merged = sinks[0]
+	}
+	for _, sink := range sinks[1:] {
+		for lock, acc := range sink.accs {
+			if dst := merged.accs[lock]; dst != nil {
+				dst.merge(acc)
+			} else {
+				merged.accs[lock] = acc
+			}
+		}
+		for lock, ivs := range sink.hot {
+			merged.hot[lock] = append(merged.hot[lock], ivs...)
+		}
 	}
 	// Register every mutex, even unused ones, so reports list them.
 	for _, o := range tr.Objects {
 		if o.Kind == trace.ObjMutex {
-			accOf(o.ID)
-		}
-	}
-
-	// Clip invocations against critical-path pieces with a per-thread
-	// two-pointer sweep (invocations are in obtain order per thread).
-	an.holdsByThread = make([][]interval, nThreads)
-	an.hotByLock = map[trace.ObjID][]interval{}
-	cursor := make([]int, nThreads)
-	for tid := 0; tid < nThreads; tid++ {
-		for _, pi := range idx.invsByThread[tid] {
-			inv := &idx.invocations[pi]
-			a := accOf(inv.lock)
-			st := &a.stats
-
-			w, h := inv.wait(), inv.hold()
-			st.TotalInvocations++
-			if inv.shared {
-				st.SharedInvocations++
-			}
-			if inv.contended {
-				st.TotalContended++
-			}
-			st.TotalWait += w
-			st.TotalHold += h
-			if w > st.MaxWait {
-				st.MaxWait = w
-			}
-			if h > st.MaxHold {
-				st.MaxHold = h
-			}
-			a.waitByThread[tid] += w
-			a.holdByThread[tid] += h
-
-			ts := &an.Threads[tid]
-			ts.LockWait += w
-			ts.LockHold += h
-			ts.Invocations++
-
-			an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
-
-			onCP, clipped := clipAgainst(piecesByThread[tid], &cursor[tid], inv.obtT, inv.relT,
-				func(lo, hi trace.Time) {
-					an.hotByLock[inv.lock] = append(an.hotByLock[inv.lock], interval{lo, hi})
-				})
-			if !onCP {
-				continue
-			}
-			st.Critical = true
-			st.InvocationsOnCP++
-			if inv.contended {
-				st.ContendedOnCP++
-			}
-			if opts.ClipHold {
-				st.HoldOnCP += clipped
-			} else {
-				st.HoldOnCP += h
-			}
+			merged.accOf(o.ID, o.Name)
 		}
 	}
 
@@ -185,13 +185,13 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 
 	// Sort the per-lock on-path intervals (a mutex is held by one
 	// thread at a time, so they never overlap and merging just sorts).
-	for lock, ivs := range an.hotByLock {
+	for lock, ivs := range merged.hot {
 		an.hotByLock[lock] = mergeIntervals(ivs)
 	}
 
 	// Finalize percentages.
 	cpLen := an.CP.Length
-	for _, a := range accs {
+	for _, a := range merged.accs {
 		st := &a.stats
 		an.Totals.ContendedInvs += st.TotalContended
 		if cpLen > 0 {
@@ -228,6 +228,114 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 		an.Locks = append(an.Locks, *st)
 	}
 	sortLocks(an.Locks)
+}
+
+// accumulateThread runs the full per-thread metric pass for tid:
+// blocking-time accounting, per-lock accumulation into sink, and
+// critical-path clipping of the thread's invocations. It writes only
+// tid-indexed analysis state and the sink, so disjoint thread ranges
+// accumulate concurrently.
+func accumulateThread(an *Analysis, idx *index, opts Options, tid int, pieces []Piece, sink *lockSink) {
+	tr := an.Trace
+	evs := idx.thrEvents[tid]
+	ts := &an.Threads[tid]
+
+	// Blocking-time accounting (barrier, cond, join waits). Condition
+	// waits are matched begin→end because the backend may emit
+	// mutex-reacquisition events between them.
+	var condBegin map[trace.ObjID]trace.Time
+	for pos, gi := range evs {
+		e := tr.Events[gi]
+		if pos == 0 {
+			continue
+		}
+		switch e.Kind {
+		case trace.EvBarrierDepart:
+			if e.Arg == 0 {
+				ts.BarrierWait += e.T - tr.Events[evs[pos-1]].T
+			}
+		case trace.EvCondWaitBegin:
+			if condBegin == nil {
+				condBegin = map[trace.ObjID]trace.Time{}
+			}
+			condBegin[e.Obj] = e.T
+		case trace.EvCondWaitEnd:
+			if begin, ok := condBegin[e.Obj]; ok {
+				ts.CondWait += e.T - begin
+				delete(condBegin, e.Obj)
+			}
+		case trace.EvJoinEnd:
+			if idx.blocked[gi] {
+				ts.JoinWait += e.T - tr.Events[evs[pos-1]].T
+			}
+		}
+	}
+
+	slices.SortFunc(pieces, func(a, b Piece) int {
+		switch {
+		case a.From < b.From:
+			return -1
+		case a.From > b.From:
+			return 1
+		}
+		return 0
+	})
+
+	// Clip invocations against critical-path pieces with a two-pointer
+	// sweep (invocations are in obtain order per thread).
+	invs := idx.invsByThread[tid]
+	if len(invs) > 0 {
+		an.holdsByThread[tid] = make([]interval, 0, len(invs))
+	}
+	cursor := 0
+	for _, pi := range invs {
+		inv := &idx.invocations[pi]
+		a := sink.accOf(inv.lock, tr.ObjName(inv.lock))
+		st := &a.stats
+
+		w, h := inv.wait(), inv.hold()
+		st.TotalInvocations++
+		if inv.shared {
+			st.SharedInvocations++
+		}
+		if inv.contended {
+			st.TotalContended++
+		}
+		st.TotalWait += w
+		st.TotalHold += h
+		if w > st.MaxWait {
+			st.MaxWait = w
+		}
+		if h > st.MaxHold {
+			st.MaxHold = h
+		}
+		a.waitByThread[tid] += w
+		a.holdByThread[tid] += h
+
+		ts.LockWait += w
+		ts.LockHold += h
+		ts.Invocations++
+
+		an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
+
+		onCP, clipped := clipAgainst(pieces, &cursor, inv.obtT, inv.relT,
+			func(lo, hi trace.Time) {
+				sink.hot[inv.lock] = append(sink.hot[inv.lock], interval{lo, hi})
+			})
+		if !onCP {
+			continue
+		}
+		st.Critical = true
+		st.InvocationsOnCP++
+		if inv.contended {
+			st.ContendedOnCP++
+		}
+		if opts.ClipHold {
+			st.HoldOnCP += clipped
+		} else {
+			st.HoldOnCP += h
+		}
+	}
 }
 
 // clipAgainst intersects [from, to] with the sorted pieces, advancing

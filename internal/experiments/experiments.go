@@ -14,6 +14,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"critlock/internal/core"
 	"critlock/internal/report"
@@ -31,6 +32,10 @@ type Options struct {
 	Contexts int
 	// Quick shrinks sweeps (used by tests); results keep their shape.
 	Quick bool
+	// Parallelism bounds the worker count for sweeps inside one
+	// experiment (fig9/fig12 thread scans and the like). 0 or 1 runs
+	// serially; results are identical either way.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -39,6 +44,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Contexts == 0 {
 		o.Contexts = 24
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -97,12 +105,29 @@ func All() []Experiment {
 	return out
 }
 
-// Get finds an experiment by ID.
-func Get(id string) (Experiment, error) {
-	for _, e := range all {
-		if e.ID == id {
-			return e, nil
+// byID is the lazily built ID → experiment lookup map. Registration
+// happens in package init functions, so building on first use (always
+// after init) sees the complete registry.
+var (
+	byIDOnce sync.Once
+	byIDMap  map[string]Experiment
+)
+
+// ByID finds an experiment by ID in O(1). Unknown IDs get a "did you
+// mean" suggestion when a registered ID is close (edit distance), or
+// the full sorted ID list otherwise.
+func ByID(id string) (Experiment, error) {
+	byIDOnce.Do(func() {
+		byIDMap = make(map[string]Experiment, len(all))
+		for _, e := range all {
+			byIDMap[e.ID] = e
 		}
+	})
+	if e, ok := byIDMap[id]; ok {
+		return e, nil
+	}
+	if s := closestID(id); s != "" {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q, did you mean %q? (use -list for all)", id, s)
 	}
 	ids := make([]string, 0, len(all))
 	for _, e := range all {
@@ -110,6 +135,59 @@ func Get(id string) (Experiment, error) {
 	}
 	sort.Strings(ids)
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// Get finds an experiment by ID.
+//
+// Deprecated: use ByID; Get is kept as an alias for older callers.
+func Get(id string) (Experiment, error) { return ByID(id) }
+
+// closestID returns the registered ID nearest to id by edit distance,
+// or "" when nothing is plausibly close. Distance ties go to the
+// candidate sharing the longest prefix with the typo (then the
+// lexicographically smaller one, for determinism).
+func closestID(id string) string {
+	best, bestDist, bestPfx := "", len(id)/2+2, -1
+	for _, e := range all {
+		d := editDistance(id, e.ID)
+		if d > bestDist {
+			continue
+		}
+		pfx := commonPrefixLen(id, e.ID)
+		if d < bestDist || pfx > bestPfx || (pfx == bestPfx && best != "" && e.ID < best) {
+			best, bestDist, bestPfx = e.ID, d, pfx
+		}
+	}
+	return best
+}
+
+func commonPrefixLen(a, b string) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // runWorkload executes one workload on a fresh simulator and analyzes

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"critlock/internal/core"
+	"critlock/internal/par"
 	"critlock/internal/report"
 	"critlock/internal/trace"
 	"critlock/internal/workloads"
@@ -29,12 +30,20 @@ func init() {
 			o = o.withDefaults()
 			r := &Result{ID: "fig9", Title: "Radiosity: CP Time vs Wait Time across 4–24 threads"}
 			t := report.NewTable("", "Threads", "Lock", "CP Time %", "Wait Time %")
-			for _, threads := range radiositySweepThreads(o) {
-				an, _, err := runWorkload("radiosity", workloads.Params{Threads: threads}, o)
-				if err != nil {
-					return nil, err
-				}
-				for _, l := range an.TopLocks(2) {
+			// Sweep points are independent simulations: run them on a
+			// worker pool, then assemble rows in sweep order so the
+			// table is identical at any parallelism.
+			sweep := radiositySweepThreads(o)
+			ans := make([]*core.Analysis, len(sweep))
+			errs := make([]error, len(sweep))
+			par.ForEach(len(sweep), o.Parallelism, func(i int) {
+				ans[i], _, errs[i] = runWorkload("radiosity", workloads.Params{Threads: sweep[i]}, o)
+			})
+			if err := par.FirstError(errs); err != nil {
+				return nil, err
+			}
+			for i, threads := range sweep {
+				for _, l := range ans[i].TopLocks(2) {
 					t.AddRow(fmt.Sprint(threads), l.Name, report.Pct(l.CPTimePct), report.Pct(l.WaitTimePct))
 				}
 			}
@@ -129,16 +138,33 @@ func init() {
 			}
 			r := &Result{ID: "fig12", Title: "Radiosity speedup curves"}
 			t := report.NewTable("", "Threads", "Original ns", "Optimized ns", "Speedup orig", "Speedup opt", "Improvement")
+			// Each thread count needs an original and an optimized run;
+			// all are independent, so fan them out and assemble rows in
+			// sweep order afterwards.
+			origs := make([]trace.Time, len(threads))
+			opts := make([]trace.Time, len(threads))
+			errs := make([]error, len(threads))
+			par.ForEach(len(threads), o.Parallelism, func(i int) {
+				n := threads[i]
+				if _, elapsed, err := runWorkload("radiosity", workloads.Params{Threads: n}, o); err != nil {
+					errs[i] = err
+					return
+				} else {
+					origs[i] = elapsed
+				}
+				_, elapsed, err := runWorkload("radiosity", workloads.Params{Threads: n, TwoLock: true}, o)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				opts[i] = elapsed
+			})
+			if err := par.FirstError(errs); err != nil {
+				return nil, err
+			}
 			var last float64
-			for _, n := range threads {
-				_, orig, err := runWorkload("radiosity", workloads.Params{Threads: n}, o)
-				if err != nil {
-					return nil, err
-				}
-				_, opt, err := runWorkload("radiosity", workloads.Params{Threads: n, TwoLock: true}, o)
-				if err != nil {
-					return nil, err
-				}
+			for i, n := range threads {
+				orig, opt := origs[i], opts[i]
 				impr := 100 * float64(orig-opt) / float64(orig)
 				last = impr
 				t.AddRow(fmt.Sprint(n), fmt.Sprint(orig), fmt.Sprint(opt),

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"critlock/internal/par"
+)
+
+// RunOutcome pairs one experiment with its result or error.
+type RunOutcome struct {
+	Experiment Experiment
+	Result     *Result
+	Err        error
+}
+
+// RunAll runs every registered experiment with up to parallelism
+// concurrent runners. Experiments are independent (each builds its own
+// simulator and analyzer state), so they scale to the core count; the
+// returned outcomes are in paper order regardless of completion order,
+// so downstream rendering is byte-identical for any parallelism.
+func RunAll(opts Options, parallelism int) []RunOutcome {
+	return RunSet(All(), opts, parallelism)
+}
+
+// RunSet runs the given experiments with up to parallelism concurrent
+// runners, returning outcomes in input order. A panicking experiment
+// is converted to an error outcome rather than taking down its
+// siblings.
+func RunSet(exps []Experiment, opts Options, parallelism int) []RunOutcome {
+	out := make([]RunOutcome, len(exps))
+	par.ForEach(len(exps), parallelism, func(i int) {
+		e := exps[i]
+		out[i].Experiment = e
+		defer func() {
+			if r := recover(); r != nil {
+				out[i].Err = fmt.Errorf("experiments: %s panicked: %v", e.ID, r)
+			}
+		}()
+		out[i].Result, out[i].Err = e.Run(opts)
+	})
+	return out
+}
+
+// FirstError returns the first failed outcome in order, or nil.
+func FirstError(outcomes []RunOutcome) error {
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			return fmt.Errorf("%s: %w", oc.Experiment.ID, oc.Err)
+		}
+	}
+	return nil
+}

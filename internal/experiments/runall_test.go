@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderOutcomes flattens outcomes to the bytes claexp would print —
+// the determinism yardstick.
+func renderOutcomes(t *testing.T, outcomes []RunOutcome) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			t.Fatalf("%s: %v", oc.Experiment.ID, oc.Err)
+		}
+		buf.WriteString(oc.Experiment.ID)
+		buf.WriteByte('\n')
+		for _, tab := range oc.Result.Tables {
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, n := range oc.Result.Notes {
+			buf.WriteString(n)
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.String()
+}
+
+// TestRunSetParallelDeterministic: the rendered output of a set of
+// experiments must be byte-identical for any worker count, and
+// outcomes must come back in input order. Run with -race this also
+// shakes out data races between concurrently running experiments and
+// the parallel sweeps inside them.
+func TestRunSetParallelDeterministic(t *testing.T) {
+	exps := make([]Experiment, 0, 6)
+	for _, id := range []string{"table2", "fig1", "fig6", "fig9", "fig12", "ablation-clipping"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	serialOpts := quick()
+	serial := renderOutcomes(t, RunSet(exps, serialOpts, 1))
+
+	for _, j := range []int{2, 4, 8} {
+		opts := quick()
+		opts.Parallelism = j
+		outcomes := RunSet(exps, opts, j)
+		for i, oc := range outcomes {
+			if oc.Experiment.ID != exps[i].ID {
+				t.Fatalf("j=%d: outcome %d is %s, want %s (order must be input order)",
+					j, i, oc.Experiment.ID, exps[i].ID)
+			}
+		}
+		if got := renderOutcomes(t, outcomes); got != serial {
+			t.Errorf("j=%d: output differs from serial run", j)
+		}
+	}
+}
+
+// TestRunSetPanicIsolated: a panicking experiment becomes an error
+// outcome without poisoning its siblings.
+func TestRunSetPanicIsolated(t *testing.T) {
+	boom := Experiment{ID: "boom", Title: "panics", Paper: "-",
+		Run: func(Options) (*Result, error) { panic("kaboom") }}
+	ok, err := ByID("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := RunSet([]Experiment{boom, ok}, quick(), 2)
+	if outcomes[0].Err == nil || !strings.Contains(outcomes[0].Err.Error(), "kaboom") {
+		t.Errorf("panic outcome = %v", outcomes[0].Err)
+	}
+	if outcomes[1].Err != nil {
+		t.Errorf("sibling failed: %v", outcomes[1].Err)
+	}
+	if err := FirstError(outcomes); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+// TestByIDSuggestion: near-miss IDs get a useful suggestion.
+func TestByIDSuggestion(t *testing.T) {
+	if _, err := ByID("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ByID("fig91")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "fig9"`) {
+		t.Errorf("ByID(fig91) error = %v, want fig9 suggestion", err)
+	}
+	_, err = ByID("tabel2")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "table2"`) {
+		t.Errorf("ByID(tabel2) error = %v, want table2 suggestion", err)
+	}
+	_, err = ByID("zzzzzzzzzzzzzzz")
+	if err == nil || !strings.Contains(err.Error(), "have [") {
+		t.Errorf("ByID(garbage) error = %v, want full id list", err)
+	}
+}

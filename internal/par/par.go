@@ -1,0 +1,91 @@
+// Package par provides the tiny bounded-parallelism primitives the
+// analysis pipeline shares: a parallel for over indexed work items and
+// a chunked variant for workers that carry per-worker state. Both are
+// deterministic in the sense that callers index results by item, so
+// output order never depends on completion order.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers
+// goroutines. Work items are handed out dynamically (an atomic
+// counter), so uneven item costs still balance. workers <= 1 runs
+// inline with zero goroutine overhead. fn must be safe for concurrent
+// invocation with distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Chunks splits [0, n) into at most workers contiguous ranges and runs
+// fn(chunk, lo, hi) for each range on its own goroutine (inline when a
+// single chunk suffices); chunk is the dense range index, 0 <= chunk <
+// min(workers, n). Each fn call owns its range exclusively, so workers
+// can keep per-chunk state (indexed by chunk) without synchronization
+// and merge it after Chunks returns. The split is deterministic:
+// ranges are assigned in order and differ in size by at most one item.
+func Chunks(n, workers int, fn func(chunk, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := n / workers
+		if w < n%workers {
+			size++
+		}
+		hi := lo + size
+		go func(chunk, lo, hi int) {
+			defer wg.Done()
+			fn(chunk, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// FirstError returns the first non-nil error in errs — the helper for
+// fan-outs that collect one error per work item and must report
+// deterministically (first in item order, not completion order).
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

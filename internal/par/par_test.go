@@ -1,0 +1,58 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		var hits [100]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		n := 23
+		var hits [23]atomic.Int32
+		seen := make([]atomic.Int32, 16)
+		Chunks(n, workers, func(chunk, lo, hi int) {
+			if lo >= hi {
+				t.Errorf("workers=%d: empty chunk [%d,%d)", workers, lo, hi)
+			}
+			if chunk < 0 || chunk >= 16 || seen[chunk].Add(1) != 1 {
+				t.Errorf("workers=%d: bad or repeated chunk index %d", workers, chunk)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d covered %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if FirstError([]error{nil, nil}) != nil {
+		t.Error("nil errs")
+	}
+	if FirstError([]error{nil, e1, e2}) != e1 {
+		t.Error("want first error in item order")
+	}
+}

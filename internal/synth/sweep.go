@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"critlock/internal/core"
+	"critlock/internal/par"
 	"critlock/internal/sim"
 	"critlock/internal/trace"
 	"critlock/internal/workloads"
@@ -26,6 +27,10 @@ type SweepSpec struct {
 	Contexts int
 	// Seed drives the deterministic runs (0 = 1).
 	Seed int64
+	// Parallelism bounds concurrent simulations of the sweep grid
+	// (0 or 1 = serial). Every cell is an independent deterministic
+	// run, so rows are identical at any parallelism.
+	Parallelism int
 }
 
 // SweepRow is one (threads, factor) cell of the study.
@@ -80,35 +85,54 @@ func Sweep(cfg *Config, spec SweepSpec) ([]SweepRow, error) {
 		seed = 1
 	}
 
-	var rows []SweepRow
-	for _, f := range factors {
-		variant := cfg
+	// Materialize the (factor, thread) grid, factor-major, and derive
+	// each factor's config variant once up front.
+	variants := make([]*Config, len(factors))
+	for fi, f := range factors {
+		variants[fi] = cfg
 		if spec.ShrinkLock != "" && f != 1.0 {
-			variant = shrinkLock(cfg, spec.ShrinkLock, f)
+			variants[fi] = shrinkLock(cfg, spec.ShrinkLock, f)
 		}
-		var base trace.Time
-		for i, n := range threads {
-			s := sim.New(sim.Config{Contexts: contexts, Seed: seed})
-			tr, elapsed, err := workloads.Run(s, variant.Spec(), workloads.Params{Threads: n, Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("synth: sweep threads=%d factor=%v: %w", n, f, err)
+	}
+	rows := make([]SweepRow, len(factors)*len(threads))
+	errs := make([]error, len(rows))
+
+	// Every cell is an independent simulation+analysis: fan out on a
+	// bounded worker pool, write results by cell index, normalize
+	// speedups serially afterwards — row order and contents never
+	// depend on completion order.
+	par.ForEach(len(rows), spec.Parallelism, func(cell int) {
+		fi, ti := cell/len(threads), cell%len(threads)
+		f, n := factors[fi], threads[ti]
+		s := sim.New(sim.Config{Contexts: contexts, Seed: seed})
+		tr, elapsed, err := workloads.Run(s, variants[fi].Spec(), workloads.Params{Threads: n, Seed: seed})
+		if err != nil {
+			errs[cell] = fmt.Errorf("synth: sweep threads=%d factor=%v: %w", n, f, err)
+			return
+		}
+		an, err := core.AnalyzeDefault(tr)
+		if err != nil {
+			errs[cell] = err
+			return
+		}
+		row := SweepRow{Threads: n, Factor: f, Completion: elapsed}
+		if len(an.Locks) > 0 {
+			row.TopLock = an.Locks[0].Name
+			row.TopCPPct = an.Locks[0].CPTimePct
+		}
+		rows[cell] = row
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	// Speedups are relative to each factor's first thread count.
+	for fi := range factors {
+		base := rows[fi*len(threads)].Completion
+		for ti := range threads {
+			row := &rows[fi*len(threads)+ti]
+			if row.Completion > 0 {
+				row.Speedup = float64(base) / float64(row.Completion)
 			}
-			an, err := core.AnalyzeDefault(tr)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = elapsed
-			}
-			row := SweepRow{Threads: n, Factor: f, Completion: elapsed}
-			if elapsed > 0 {
-				row.Speedup = float64(base) / float64(elapsed)
-			}
-			if len(an.Locks) > 0 {
-				row.TopLock = an.Locks[0].Name
-				row.TopCPPct = an.Locks[0].CPTimePct
-			}
-			rows = append(rows, row)
 		}
 	}
 	return rows, nil

@@ -1,7 +1,5 @@
 package trace
 
-import "sort"
-
 // Builder constructs traces by hand, with explicit timestamps. It is
 // used by tests and by the fig1 experiment, which reproduces the
 // paper's illustrative execution exactly.
@@ -122,15 +120,10 @@ func (b *Builder) Join(thread ThreadID, target ThreadID, begin, end Time) *Build
 	return b
 }
 
-// Trace finalizes the builder into a sorted Trace.
+// Trace finalizes the builder into a canonically ordered Trace.
 func (b *Builder) Trace() *Trace {
 	events := append([]Event(nil), b.events...)
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].T != events[j].T {
-			return events[i].T < events[j].T
-		}
-		return events[i].Seq < events[j].Seq
-	})
+	SortEvents(events)
 	meta := make(map[string]string, len(b.meta))
 	for k, v := range b.meta {
 		meta[k] = v

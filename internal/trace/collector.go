@@ -2,7 +2,6 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -108,9 +107,10 @@ func (c *Collector) NumThreads() int {
 	return len(c.threads)
 }
 
-// Finish merges all per-thread buffers into a Trace sorted by (T, Seq).
-// The collector remains usable; Finish may be called repeatedly to
-// snapshot progress.
+// Finish merges all per-thread buffers into a Trace in canonical
+// (T, Seq) order via a k-way merge — the buffers are already ordered,
+// so no global sort is needed. The collector remains usable; Finish
+// may be called repeatedly to snapshot progress.
 func (c *Collector) Finish() *Trace {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -118,16 +118,18 @@ func (c *Collector) Finish() *Trace {
 	for _, b := range c.buffers {
 		total += b.len()
 	}
-	events := make([]Event, 0, total)
+	// Snapshot every buffer into one flat scratch slice and merge the
+	// per-thread runs. (If a buffer grows between the count above and
+	// its snapshot, append reallocates; earlier runs keep pointing at
+	// the old backing, which is correct — they are copies either way.)
+	flat := make([]Event, 0, total)
+	runs := make([][]Event, 0, len(c.buffers))
 	for _, b := range c.buffers {
-		events = append(events, b.snapshot()...)
+		start := len(flat)
+		flat = b.appendEvents(flat)
+		runs = append(runs, flat[start:len(flat):len(flat)])
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].T != events[j].T {
-			return events[i].T < events[j].T
-		}
-		return events[i].Seq < events[j].Seq
-	})
+	events := MergeSorted(runs)
 	tr := &Trace{
 		Events:  events,
 		Objects: append([]ObjectInfo(nil), c.objects...),
@@ -173,8 +175,9 @@ func (b *ThreadBuffer) len() int {
 	return len(b.events)
 }
 
-func (b *ThreadBuffer) snapshot() []Event {
+// appendEvents appends a snapshot of the buffer to dst.
+func (b *ThreadBuffer) appendEvents(dst []Event) []Event {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return append([]Event(nil), b.events...)
+	return append(dst, b.events...)
 }

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSort is the pre-merge reference ordering: a global comparison
+// sort with the canonical comparator. Every merge/sort path must
+// reproduce it event-for-event.
+func refSort(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// genBuffers simulates a Collector run: nThreads per-thread buffers,
+// each with non-decreasing timestamps, sequence numbers assigned by a
+// global counter in interleaved emission order, and deliberately many
+// cross-thread timestamp ties.
+func genBuffers(rng *rand.Rand, nThreads, nEvents int) [][]Event {
+	buffers := make([][]Event, nThreads)
+	clocks := make([]Time, nThreads)
+	seq := uint64(0)
+	for i := 0; i < nEvents; i++ {
+		tid := rng.Intn(nThreads)
+		// Advance the thread clock by 0..3 so equal timestamps are
+		// common, both within and across threads.
+		clocks[tid] += Time(rng.Intn(4))
+		seq++
+		buffers[tid] = append(buffers[tid], Event{
+			T: clocks[tid], Seq: seq, Thread: ThreadID(tid),
+			Kind: EvLockAcquire, Obj: ObjID(rng.Intn(3)),
+		})
+	}
+	return buffers
+}
+
+func flatten(buffers [][]Event) []Event {
+	var all []Event
+	for _, b := range buffers {
+		all = append(all, b...)
+	}
+	return all
+}
+
+func eventsEqual(t *testing.T, got, want []Event, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: event %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeSortedMatchesSort is the property test of the k-way merge:
+// for random per-thread buffers presented in shuffled order, the merge
+// must equal the old global sort result event-for-event.
+func TestMergeSortedMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 200; round++ {
+		nThreads := 1 + rng.Intn(12)
+		nEvents := rng.Intn(400)
+		buffers := genBuffers(rng, nThreads, nEvents)
+		want := refSort(flatten(buffers))
+
+		// The merge must not depend on buffer presentation order.
+		rng.Shuffle(len(buffers), func(i, j int) {
+			buffers[i], buffers[j] = buffers[j], buffers[i]
+		})
+		got := MergeSorted(buffers)
+		eventsEqual(t, got, want, "merge")
+	}
+}
+
+// TestMergeSortedUnsortedBuffer: a buffer violating per-thread order
+// (possible with hand-built traces) is detected and sorted, so the
+// result is still canonical.
+func TestMergeSortedUnsortedBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	buffers := genBuffers(rng, 4, 100)
+	// Scramble one buffer.
+	b := buffers[2]
+	rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	want := refSort(flatten(buffers))
+	got := MergeSorted(buffers)
+	eventsEqual(t, got, want, "merge with unsorted buffer")
+}
+
+// TestSortEventsMatchesSort: the partition-and-merge SortEvents equals
+// a plain comparison sort on arbitrary interleavings.
+func TestSortEventsMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for round := 0; round < 200; round++ {
+		nThreads := 1 + rng.Intn(8)
+		events := flatten(genBuffers(rng, nThreads, rng.Intn(300)))
+		rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+		want := refSort(events)
+		SortEvents(events)
+		eventsEqual(t, events, want, "SortEvents")
+	}
+}
+
+// TestSortEventsNegativeThread: out-of-range thread IDs take the
+// comparison-sort fallback rather than indexing out of bounds.
+func TestSortEventsNegativeThread(t *testing.T) {
+	events := []Event{
+		{T: 5, Seq: 2, Thread: NoThread},
+		{T: 1, Seq: 1, Thread: 0},
+		{T: 5, Seq: 1, Thread: 3},
+	}
+	want := refSort(events)
+	SortEvents(events)
+	eventsEqual(t, events, want, "fallback sort")
+}
+
+// TestLessTieBreak pins the canonical order: time first, then sequence
+// (emission causality), then thread.
+func TestLessTieBreak(t *testing.T) {
+	a := Event{T: 10, Seq: 7, Thread: 5}
+	b := Event{T: 10, Seq: 8, Thread: 1}
+	if !Less(a, b) || Less(b, a) {
+		t.Error("sequence must dominate thread at equal timestamps")
+	}
+	c := Event{T: 10, Seq: 7, Thread: 6}
+	if !Less(a, c) || Less(c, a) {
+		t.Error("thread breaks duplicate-sequence ties")
+	}
+	if Less(a, a) {
+		t.Error("Less must be irreflexive")
+	}
+	if Compare(a, b) != -1 || Compare(b, a) != 1 || Compare(a, a) != 0 {
+		t.Error("Compare disagrees with Less")
+	}
+}
+
+// TestCollectorFinishMerges: end-to-end through the Collector, the
+// merged trace is canonically ordered with all events present.
+func TestCollectorFinishMerges(t *testing.T) {
+	c := NewCollector()
+	rng := rand.New(rand.NewSource(44))
+	var bufs []*ThreadBuffer
+	for i := 0; i < 6; i++ {
+		creator := NoThread
+		if i > 0 {
+			creator = 0
+		}
+		bufs = append(bufs, c.RegisterThread("", creator))
+	}
+	m := c.RegisterObject(ObjMutex, "m", 0)
+	clocks := make([]Time, len(bufs))
+	total := 500
+	for i := 0; i < total; i++ {
+		tid := rng.Intn(len(bufs))
+		clocks[tid] += Time(rng.Intn(3))
+		bufs[tid].Emit(clocks[tid], EvLockAcquire, m, 0)
+	}
+	tr := c.Finish()
+	if len(tr.Events) != total {
+		t.Fatalf("%d events, want %d", len(tr.Events), total)
+	}
+	if !EventsSorted(tr.Events) {
+		t.Fatal("Finish produced unsorted events")
+	}
+	eventsEqual(t, tr.Events, refSort(tr.Events), "collector merge")
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 )
 
@@ -266,12 +265,7 @@ loop:
 		}
 	}
 
-	sort.Slice(tr.Events, func(i, j int) bool {
-		if tr.Events[i].T != tr.Events[j].T {
-			return tr.Events[i].T < tr.Events[j].T
-		}
-		return tr.Events[i].Seq < tr.Events[j].Seq
-	})
+	SortEvents(tr.Events)
 	if !ended {
 		return tr, fmt.Errorf("trace: %w", ErrTruncatedStream)
 	}
@@ -284,15 +278,6 @@ var ErrTruncatedStream = fmt.Errorf("stream truncated (no end record)")
 
 // partialStream is returned when a record was cut mid-way.
 func partialStream(tr *Trace, cause error) (*Trace, error) {
-	sortStream(tr)
+	SortEvents(tr.Events)
 	return tr, fmt.Errorf("trace: %w (last record cut: %v)", ErrTruncatedStream, cause)
-}
-
-func sortStream(tr *Trace) {
-	sort.Slice(tr.Events, func(i, j int) bool {
-		if tr.Events[i].T != tr.Events[j].T {
-			return tr.Events[i].T < tr.Events[j].T
-		}
-		return tr.Events[i].Seq < tr.Events[j].Seq
-	})
 }
