@@ -1,10 +1,16 @@
 # Developer entry points. `make ci` is what a gate should run: vet,
-# build, race-enabled tests, and one pass of the headline benchmark as
-# a smoke test (benchtime=1x — for real numbers use `make bench`).
+# build, race-enabled tests, a fuzz smoke pass over every fuzz target,
+# the streaming-vs-in-memory differential, and one pass of the headline
+# benchmark (benchtime=1x — for real numbers use `make bench`).
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke ci
+# Seconds per fuzz target in fuzz-smoke. 30s each keeps a CI run under
+# three minutes while still exercising the mutation engine beyond the
+# seed corpus.
+FUZZTIME ?= 30s
+
+.PHONY: all build vet test race fuzz-smoke stream-diff bench bench-smoke ci
 
 all: ci
 
@@ -20,13 +26,31 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration of the headline benchmark — catches crashes and gross
+# Short mutation run of every fuzz target: the segment frame/footer
+# decoders and manifest reader (hostile bytes must error, never panic),
+# the trace codec, and trace.Validate. Go allows one fuzz target per
+# `go test -fuzz` invocation, so they run back to back.
+fuzz-smoke:
+	$(GO) test ./internal/segment -run '^$$' -fuzz FuzzSegmentFile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/segment -run '^$$' -fuzz FuzzManifest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzDecodeEvent -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME)
+
+# Differential oracle: AnalyzeStream over segmented + spilled traces
+# must be bit-identical to the in-memory analyzer, under the race
+# detector.
+stream-diff:
+	$(GO) test -race ./internal/core -run 'TestAnalyzeStream' -count=1 -v
+
+# One iteration of the headline benchmarks — catches crashes and gross
 # regressions without tying up CI.
 bench-smoke:
-	$(GO) test -run=xxx -bench=BenchmarkAnalyzeLargeTrace -benchtime=1x -benchmem .
+	$(GO) test -run=xxx -bench='BenchmarkAnalyzeLargeTrace|BenchmarkAnalyzeStream2M' -benchtime=1x -benchmem .
 
-# Stable numbers for the benchmarks quoted in README/BENCH_PR1.json.
+# Stable numbers for the benchmarks quoted in README/BENCH_PR*.json.
 bench:
 	$(GO) test -run=xxx -bench='BenchmarkAnalyzeLargeTrace|BenchmarkAnalyzeReuse|BenchmarkMergeVsSort|BenchmarkRunAllParallel' -benchtime=30x -benchmem .
+	$(GO) test -run=xxx -bench=BenchmarkAnalyzeStream2M -benchtime=2x -benchmem .
 
-ci: vet build race bench-smoke
+ci: vet build race stream-diff fuzz-smoke bench-smoke

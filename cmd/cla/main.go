@@ -7,6 +7,8 @@
 //	cla -json trace.json
 //	cla -top 0 -threadstats -gantt trace.cltr
 //	cla -csv trace.cltr            # lock table as CSV
+//	cla -segdir segs/              # stream a segmented trace, bounded memory
+//	cla -stream -segdir segs/ trace.cltr   # convert a trace into segments
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"critlock/internal/core"
 	"critlock/internal/report"
+	"critlock/internal/segment"
 	"critlock/internal/trace"
 )
 
@@ -48,41 +51,82 @@ func run(args []string) error {
 		markdown  = fs.Bool("markdown", false, "emit the lock table as GitHub markdown instead of text")
 		reportOut = fs.String("report", "", "write a complete markdown report to this file")
 		narrate   = fs.Int("narrate", -1, "narrate the critical path's thread hops (0 = all, N = cap)")
+		segdir    = fs.String("segdir", "", "segmented trace directory: analyze it in bounded memory (no file argument), or convert the file argument into it")
+		window    = fs.Int("window", 0, "segments resident during the streaming backward walk (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		fs.Usage()
-		return fmt.Errorf("expected exactly one trace file argument")
-	}
-	path := fs.Arg(0)
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 
 	var tr *trace.Trace
-	switch {
-	case *streamIn:
-		tr, err = trace.ReadStream(f)
-		if err != nil && errors.Is(err, trace.ErrTruncatedStream) && len(tr.Events) > 0 {
-			fmt.Fprintf(os.Stderr, "cla: warning: %v — analyzing the durable prefix (%d events)\n", err, len(tr.Events))
-			err = nil
-		}
-	case *jsonIn:
-		tr, err = trace.ReadJSON(f)
-	default:
-		tr, err = trace.ReadBinary(f)
-	}
-	if err != nil {
-		return fmt.Errorf("reading %s: %w", path, err)
-	}
+	var an *core.Analysis
 
-	an, err := core.Analyze(tr, core.Options{ClipHold: !*noClip, Validate: !*noCheck})
-	if err != nil {
-		return fmt.Errorf("analyzing: %w", err)
+	if *segdir != "" && fs.NArg() == 0 {
+		// Streaming mode: analyze the segment directory without ever
+		// materializing the event array. Sections that replay the raw
+		// event stream are unavailable by construction.
+		for flagName, set := range map[string]bool{
+			"-gantt": *gantt, "-svg": *svgOut != "", "-predict": *predict,
+			"-lockorder": *lockOrder, "-slack": *slack, "-report": *reportOut != "",
+		} {
+			if set {
+				return fmt.Errorf("%s needs the full event stream; rerun on a trace file without -segdir", flagName)
+			}
+		}
+		r, err := segment.Open(*segdir)
+		if err != nil {
+			return fmt.Errorf("opening %s: %w", *segdir, err)
+		}
+		an, err = core.AnalyzeStream(r, core.StreamOptions{
+			Options:       core.Options{ClipHold: !*noClip},
+			CacheSegments: *window,
+			Composition:   *compose,
+		})
+		if err != nil {
+			return fmt.Errorf("analyzing %s: %w", *segdir, err)
+		}
+		tr = an.Trace // registration skeleton: names and metadata only
+	} else {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return fmt.Errorf("expected exactly one trace file argument (or -segdir DIR alone)")
+		}
+		path := fs.Arg(0)
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+
+		switch {
+		case *streamIn:
+			tr, err = trace.ReadStream(f)
+			if err != nil && errors.Is(err, trace.ErrTruncatedStream) && len(tr.Events) > 0 {
+				fmt.Fprintf(os.Stderr, "cla: warning: %v — analyzing the durable prefix (%d events)\n", err, len(tr.Events))
+				err = nil
+			}
+		case *jsonIn:
+			tr, err = trace.ReadJSON(f)
+		default:
+			tr, err = trace.ReadBinary(f)
+		}
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+
+		if *segdir != "" {
+			// Conversion mode: a trace file plus -segdir rewrites the
+			// trace as a segmented directory for later streaming runs.
+			if err := segment.WriteTrace(*segdir, tr, segment.Options{}); err != nil {
+				return fmt.Errorf("writing segments to %s: %w", *segdir, err)
+			}
+			fmt.Printf("wrote segmented trace to %s (%d events)\n", *segdir, len(tr.Events))
+		}
+
+		an, err = core.Analyze(tr, core.Options{ClipHold: !*noClip, Validate: !*noCheck})
+		if err != nil {
+			return fmt.Errorf("analyzing: %w", err)
+		}
 	}
 
 	if *csvOut {

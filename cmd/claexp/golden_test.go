@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite CLAEXP_OUTPUT.txt with the current claexp -all output")
+
+// TestGoldenAll pins the entire experiment suite's rendered output to
+// the checked-in CLAEXP_OUTPUT.txt. Everything claexp prints flows
+// from the analyzer's numbers, so any drift — a changed metric, a
+// reordered table, a perturbed critical path — fails here first.
+//
+// After an intentional change: go test ./cmd/claexp -run TestGoldenAll -update
+func TestGoldenAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	golden := filepath.Join("..", "..", "CLAEXP_OUTPUT.txt")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-all"}, &buf); err != nil {
+		t.Fatalf("claexp -all: %v", err)
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, buf.Len())
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	// Point at the first divergent line rather than dumping both.
+	gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w []byte
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if !bytes.Equal(g, w) {
+			t.Fatalf("output diverges from %s at line %d:\n got: %s\nwant: %s\n(re-run with -update if the change is intentional)",
+				golden, i+1, g, w)
+		}
+	}
+	t.Fatal(fmt.Sprintf("output differs from %s (lengths: got %d, want %d)", golden, buf.Len(), len(want)))
+}

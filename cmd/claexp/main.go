@@ -22,13 +22,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "claexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("claexp", flag.ContinueOnError)
 	var (
 		list     = fs.Bool("list", false, "list experiments and exit")
@@ -50,7 +50,7 @@ func run(args []string) error {
 	switch {
 	case *list:
 		for _, e := range experiments.All() {
-			fmt.Printf("%-18s %s\n%-18s   reproduces: %s\n", e.ID, e.Title, "", e.Paper)
+			fmt.Fprintf(out, "%-18s %s\n%-18s   reproduces: %s\n", e.ID, e.Title, "", e.Paper)
 		}
 		return nil
 	case *runID != "":
@@ -62,14 +62,14 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return render(os.Stdout, e, res)
+		return render(out, e, res)
 	case *all:
 		outcomes := experiments.RunAll(opts, *jobs)
 		for _, oc := range outcomes {
 			if oc.Err != nil {
 				return fmt.Errorf("%s: %w", oc.Experiment.ID, oc.Err)
 			}
-			if err := render(os.Stdout, oc.Experiment, oc.Result); err != nil {
+			if err := render(out, oc.Experiment, oc.Result); err != nil {
 				return err
 			}
 		}

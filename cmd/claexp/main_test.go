@@ -1,30 +1,33 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 func TestList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOne(t *testing.T) {
-	if err := run([]string{"-run", "fig1", "-quick"}); err != nil {
+	if err := run([]string{"-run", "fig1", "-quick"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-run", "table2"}); err != nil {
+	if err := run([]string{"-run", "table2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	if err := run([]string{"-run", "fig99"}); err == nil {
+	if err := run([]string{"-run", "fig99"}, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestNoModeIsError(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("no mode accepted")
 	}
 }

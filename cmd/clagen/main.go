@@ -8,6 +8,7 @@
 //	clasim -w radiosity -threads 24 -o rad.cltr
 //	clagen rad.cltr > rad-model.json
 //	clasim -synth rad-model.json
+//	clagen -segdir segs/ > model.json     # from a segmented trace
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"critlock/internal/core"
+	"critlock/internal/segment"
 	"critlock/internal/synth"
 	"critlock/internal/trace"
 )
@@ -31,31 +33,48 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("clagen", flag.ContinueOnError)
 	jsonIn := fs.Bool("json", false, "input trace is JSON instead of binary")
+	segdir := fs.String("segdir", "", "read a segmented trace directory (streamed, bounded memory) instead of a trace file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		fs.Usage()
-		return fmt.Errorf("expected exactly one trace file argument")
-	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 
-	var tr *trace.Trace
-	if *jsonIn {
-		tr, err = trace.ReadJSON(f)
+	var an *core.Analysis
+	if *segdir != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-segdir replaces the trace file argument")
+		}
+		r, err := segment.Open(*segdir)
+		if err != nil {
+			return fmt.Errorf("opening %s: %w", *segdir, err)
+		}
+		an, err = core.AnalyzeStream(r, core.DefaultStreamOptions())
+		if err != nil {
+			return fmt.Errorf("analyzing %s: %w", *segdir, err)
+		}
 	} else {
-		tr, err = trace.ReadBinary(f)
-	}
-	if err != nil {
-		return fmt.Errorf("reading %s: %w", fs.Arg(0), err)
-	}
-	an, err := core.AnalyzeDefault(tr)
-	if err != nil {
-		return fmt.Errorf("analyzing: %w", err)
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return fmt.Errorf("expected exactly one trace file argument (or -segdir DIR)")
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+
+		var tr *trace.Trace
+		if *jsonIn {
+			tr, err = trace.ReadJSON(f)
+		} else {
+			tr, err = trace.ReadBinary(f)
+		}
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", fs.Arg(0), err)
+		}
+		an, err = core.AnalyzeDefault(tr)
+		if err != nil {
+			return fmt.Errorf("analyzing: %w", err)
+		}
 	}
 	cfg, err := synth.FromAnalysis(an)
 	if err != nil {

@@ -10,6 +10,9 @@
 //	clasim -w micro -threads 4 -gantt
 //	clasim -w tsp -threads 24 -o tsp.cltr        # save binary trace
 //	clasim -w tsp -backend live -threads 8       # run on real goroutines
+//	clasim -w tsp -segdir segs/                  # save segmented trace
+//	clasim -w tsp -segdir segs/ -spill 65536     # spill during the run,
+//	                                             # stream the analysis
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"critlock/internal/harness"
 	"critlock/internal/livetrace"
 	"critlock/internal/report"
+	"critlock/internal/segment"
 	"critlock/internal/sim"
 	"critlock/internal/synth"
 	"critlock/internal/trace"
@@ -53,6 +57,8 @@ func run(args []string) error {
 		gantt    = fs.Bool("gantt", false, "print an ASCII timeline with the critical path")
 		thr      = fs.Bool("threadstats", false, "print per-thread statistics")
 		svgOut   = fs.String("svg", "", "write an SVG timeline to this file")
+		segdir   = fs.String("segdir", "", "write a segmented trace directory")
+		spill    = fs.Int("spill", 0, "spill threshold in buffered events per thread (0 = off; requires -segdir): bounds collection memory and streams the analysis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,18 +97,74 @@ func run(args []string) error {
 	params := workloads.Params{Threads: *threads, Seed: *seed, Scale: *scale, TwoLock: *twoLock}
 
 	var rt harness.Runtime
+	var col *trace.Collector
 	switch *backend {
 	case "sim":
-		rt = sim.New(sim.Config{Contexts: *contexts, Seed: *seed})
+		s := sim.New(sim.Config{Contexts: *contexts, Seed: *seed})
+		rt, col = s, s.Collector()
 	case "live":
-		rt = livetrace.New(livetrace.Config{Seed: *seed})
+		l := livetrace.New(livetrace.Config{Seed: *seed})
+		rt, col = l, l.Collector()
 	default:
 		return fmt.Errorf("unknown backend %q (want sim or live)", *backend)
+	}
+
+	if *spill > 0 && *segdir == "" {
+		return fmt.Errorf("-spill requires -segdir")
+	}
+	var spiller *segment.Spiller
+	if *spill > 0 {
+		// Spilling keeps collection memory bounded: per-thread buffers
+		// flush to sorted run files mid-run and the full event array is
+		// never materialized, so the trace must be analyzed by
+		// streaming and cannot also be written as one file.
+		if *out != "" || *jsonOut != "" || *gantt || *svgOut != "" {
+			return fmt.Errorf("-spill streams the trace; -o, -json, -gantt and -svg need it in memory")
+		}
+		var err error
+		spiller, err = segment.NewSpiller(*segdir, segment.Options{})
+		if err != nil {
+			return err
+		}
+		col.SetSpill(spiller, *spill)
 	}
 
 	tr, elapsed, err := workloads.Run(rt, spec, params)
 	if err != nil {
 		return fmt.Errorf("running %s: %w", spec.Name, err)
+	}
+
+	if spiller != nil {
+		rdr, err := spiller.Finish(col)
+		if err != nil {
+			return fmt.Errorf("finishing spill: %w", err)
+		}
+		fmt.Printf("wrote segmented trace to %s (%d events, %d segments)\n",
+			*segdir, rdr.NumEvents(), rdr.NumSegments())
+		an, err := core.AnalyzeStream(rdr, core.DefaultStreamOptions())
+		if err != nil {
+			return fmt.Errorf("analyzing: %w", err)
+		}
+		fmt.Printf("completed in %d ns (virtual for sim backend)\n", elapsed)
+		report.Summary(os.Stdout, an)
+		fmt.Println()
+		if err := report.LockReport(an, *top).Render(os.Stdout); err != nil {
+			return err
+		}
+		if *thr {
+			fmt.Println()
+			if err := report.ThreadReport(an).Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if *segdir != "" {
+		if err := segment.WriteTrace(*segdir, tr, segment.Options{}); err != nil {
+			return fmt.Errorf("writing segments to %s: %w", *segdir, err)
+		}
+		fmt.Printf("wrote segmented trace to %s\n", *segdir)
 	}
 
 	if *out != "" {

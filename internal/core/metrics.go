@@ -157,6 +157,20 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 			merged.hot[lock] = append(merged.hot[lock], ivs...)
 		}
 	}
+	finalizeMetrics(an, merged, len(tr.Events))
+}
+
+// finalizeMetrics turns the merged accumulation sink into the
+// analysis's Locks, Totals and hot-interval index: it registers unused
+// mutexes, sums totals, merges per-lock on-path intervals and computes
+// the derived percentages. Shared by the in-memory and streaming
+// passes — every merged input is an integer sum/maximum/bool and every
+// float is computed here exactly once, which is what makes the two
+// passes bit-identical.
+func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
+	tr := an.Trace
+	nThreads := len(tr.Threads)
+
 	// Register every mutex, even unused ones, so reports list them.
 	for _, o := range tr.Objects {
 		if o.Kind == trace.ObjMutex {
@@ -167,7 +181,7 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 	// Totals.
 	an.Totals = Totals{
 		Threads: nThreads,
-		Events:  len(tr.Events),
+		Events:  nEvents,
 	}
 	for _, o := range tr.Objects {
 		if o.Kind == trace.ObjMutex {
@@ -290,51 +304,60 @@ func accumulateThread(an *Analysis, idx *index, opts Options, tid int, pieces []
 	cursor := 0
 	for _, pi := range invs {
 		inv := &idx.invocations[pi]
-		a := sink.accOf(inv.lock, tr.ObjName(inv.lock))
-		st := &a.stats
-
-		w, h := inv.wait(), inv.hold()
-		st.TotalInvocations++
-		if inv.shared {
-			st.SharedInvocations++
-		}
-		if inv.contended {
-			st.TotalContended++
-		}
-		st.TotalWait += w
-		st.TotalHold += h
-		if w > st.MaxWait {
-			st.MaxWait = w
-		}
-		if h > st.MaxHold {
-			st.MaxHold = h
-		}
-		a.waitByThread[tid] += w
-		a.holdByThread[tid] += h
-
-		ts.LockWait += w
-		ts.LockHold += h
-		ts.Invocations++
-
 		an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
+		accumulateInvocation(sink, ts, inv, tr.ObjName(inv.lock), opts, pieces, &cursor)
+	}
+}
 
-		onCP, clipped := clipAgainst(pieces, &cursor, inv.obtT, inv.relT,
-			func(lo, hi trace.Time) {
-				sink.hot[inv.lock] = append(sink.hot[inv.lock], interval{lo, hi})
-			})
-		if !onCP {
-			continue
-		}
-		st.Critical = true
-		st.InvocationsOnCP++
-		if inv.contended {
-			st.ContendedOnCP++
-		}
-		if opts.ClipHold {
-			st.HoldOnCP += clipped
-		} else {
-			st.HoldOnCP += h
-		}
+// accumulateInvocation folds one obtained invocation into the sink and
+// its thread's stats, clipping the hold interval against the thread's
+// time-sorted critical-path pieces via the caller's advancing cursor.
+// Invocations of a thread must arrive in obtain order. Shared by the
+// in-memory and streaming metric passes.
+func accumulateInvocation(sink *lockSink, ts *ThreadStats, inv *invocation, name string, opts Options, pieces []Piece, cursor *int) {
+	a := sink.accOf(inv.lock, name)
+	st := &a.stats
+	tid := int(inv.thread)
+
+	w, h := inv.wait(), inv.hold()
+	st.TotalInvocations++
+	if inv.shared {
+		st.SharedInvocations++
+	}
+	if inv.contended {
+		st.TotalContended++
+	}
+	st.TotalWait += w
+	st.TotalHold += h
+	if w > st.MaxWait {
+		st.MaxWait = w
+	}
+	if h > st.MaxHold {
+		st.MaxHold = h
+	}
+	a.waitByThread[tid] += w
+	a.holdByThread[tid] += h
+
+	ts.LockWait += w
+	ts.LockHold += h
+	ts.Invocations++
+
+	onCP, clipped := clipAgainst(pieces, cursor, inv.obtT, inv.relT,
+		func(lo, hi trace.Time) {
+			sink.hot[inv.lock] = append(sink.hot[inv.lock], interval{lo, hi})
+		})
+	if !onCP {
+		return
+	}
+	st.Critical = true
+	st.InvocationsOnCP++
+	if inv.contended {
+		st.ContendedOnCP++
+	}
+	if opts.ClipHold {
+		st.HoldOnCP += clipped
+	} else {
+		st.HoldOnCP += h
 	}
 }
 

@@ -1,0 +1,992 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"slices"
+	"sort"
+
+	"critlock/internal/trace"
+)
+
+// SegmentSource is the streaming analyzer's view of a segmented trace
+// (implemented by segment.Reader): the registration skeleton plus
+// random access to whole decoded segments. Segments partition the
+// canonically ordered event sequence into contiguous runs.
+type SegmentSource interface {
+	// Skeleton returns threads, objects and metadata with a nil event
+	// slice.
+	Skeleton() *trace.Trace
+	// NumEvents is the total event count.
+	NumEvents() int
+	// NumSegments is the number of segments.
+	NumSegments() int
+	// SegmentBounds returns the global index of segment i's first
+	// event and its event count.
+	SegmentBounds(i int) (first, count int)
+	// LoadSegment decodes segment i into buf, reusing its capacity.
+	LoadSegment(i int, buf []trace.Event) ([]trace.Event, error)
+}
+
+// StreamOptions tunes AnalyzeStream.
+//
+// Options.Validate is not consulted: whole-trace validation would
+// defeat the memory bound, and the streaming passes already enforce
+// the invariants the analysis depends on (canonical ordering and
+// checksums in the segment reader, thread ranges and
+// acquire/obtain/release pairing in the passes).
+type StreamOptions struct {
+	Options
+	// CacheSegments is the backward walk's window: how many decoded
+	// segments stay resident at once. Peak event memory is bounded by
+	// CacheSegments+1 segments (the +1 is the forward pass's cursor).
+	// 0 means DefaultCacheSegments; the minimum is 1.
+	CacheSegments int
+	// TmpDir hosts the waker-annotation spill file ("" = os.TempDir).
+	TmpDir string
+	// Composition retains per-thread hold intervals so
+	// Analysis.Composition works; it costs O(invocations) memory, so
+	// it is off by default in streaming mode.
+	Composition bool
+}
+
+// DefaultCacheSegments is the default backward-walk window.
+const DefaultCacheSegments = 4
+
+// DefaultStreamOptions returns the recommended streaming options.
+func DefaultStreamOptions() StreamOptions {
+	return StreamOptions{Options: Options{ClipHold: true}}
+}
+
+// AnalyzeStream runs critical lock analysis over a segmented trace in
+// bounded memory. The result is bit-identical to Analyze on the same
+// events (Analysis.Trace holds the skeleton rather than the events,
+// and holdsByThread is only populated with opts.Composition).
+//
+// Three passes, per the paper's structure:
+//
+//  1. forward over segments — waker resolution (§IV.B) written as a
+//     fixed-size annotation record per event to a temp file, plus the
+//     incremental per-thread lifecycle state;
+//  2. backward — the critical-path walk of Fig. 2 over segments loaded
+//     window-by-window in reverse through an LRU cache;
+//  3. forward again — TYPE 1/TYPE 2 metric accumulation, streaming
+//     invocations per thread in acquire order against the walked path.
+func AnalyzeStream(src SegmentSource, opts StreamOptions) (*Analysis, error) {
+	return NewAnalyzer().AnalyzeStream(src, opts)
+}
+
+// AnalyzeStream is the Analyzer form of the package-level
+// AnalyzeStream. The streaming passes keep no event-count-sized state,
+// so unlike Analyze there is no retained storage to reuse; the method
+// exists so pipelines can drive both modes through one Analyzer.
+func (a *Analyzer) AnalyzeStream(src SegmentSource, opts StreamOptions) (*Analysis, error) {
+	n := src.NumEvents()
+	if n == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	if n > math.MaxInt32-1 {
+		return nil, fmt.Errorf("core: trace has %d events, beyond the streaming index range", n)
+	}
+	if opts.CacheSegments <= 0 {
+		opts.CacheSegments = DefaultCacheSegments
+	}
+	skel := src.Skeleton()
+
+	ann, err := newAnnFile(opts.TmpDir, n)
+	if err != nil {
+		return nil, err
+	}
+	defer ann.remove()
+
+	p1, err := streamPass1(src, skel, ann)
+	if err != nil {
+		return nil, err
+	}
+
+	loader := newSegLoader(src, ann, opts.CacheSegments)
+	cp, err := streamWalk(loader, p1, n)
+	if err != nil {
+		return nil, err
+	}
+
+	an := &Analysis{Trace: skel, CP: *cp}
+	if err := streamPass3(src, skel, ann, p1, an, opts); err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// Annotation records: one fixed-size record per event in a temp file,
+// the streaming stand-in for the index's posInThread/waker/blocked
+// arrays. 9 bytes: prev (int32 LE, previous event on the same thread
+// or -1), waker (int32 LE or -1), flags (bit 0 = blocked).
+const annRecSize = 9
+
+const annBlocked = 1 << 0
+
+type annRec struct {
+	prev  int32
+	waker int32
+	flags byte
+}
+
+func putAnnRec(dst []byte, r annRec) {
+	binary.LittleEndian.PutUint32(dst[0:4], uint32(r.prev))
+	binary.LittleEndian.PutUint32(dst[4:8], uint32(r.waker))
+	dst[8] = r.flags
+}
+
+func getAnnRec(src []byte) annRec {
+	return annRec{
+		prev:  int32(binary.LittleEndian.Uint32(src[0:4])),
+		waker: int32(binary.LittleEndian.Uint32(src[4:8])),
+		flags: src[8],
+	}
+}
+
+// annFile is the annotation spill file: sequential buffered writes
+// during pass 1, point patches once deferred wakers resolve, random
+// chunk reads during passes 2 and 3.
+type annFile struct {
+	f   *os.File
+	buf []byte
+	off int64 // file offset of buf[0]
+}
+
+func newAnnFile(dir string, n int) (*annFile, error) {
+	f, err := os.CreateTemp(dir, "cla-ann-*.tmp")
+	if err != nil {
+		return nil, fmt.Errorf("core: creating annotation file: %w", err)
+	}
+	bufRecs := 1 << 16
+	if n < bufRecs {
+		bufRecs = n
+	}
+	return &annFile{f: f, buf: make([]byte, 0, bufRecs*annRecSize)}, nil
+}
+
+func (a *annFile) append(r annRec) error {
+	if len(a.buf) == cap(a.buf) {
+		if err := a.flush(); err != nil {
+			return err
+		}
+	}
+	a.buf = a.buf[:len(a.buf)+annRecSize]
+	putAnnRec(a.buf[len(a.buf)-annRecSize:], r)
+	return nil
+}
+
+func (a *annFile) flush() error {
+	if len(a.buf) == 0 {
+		return nil
+	}
+	if _, err := a.f.WriteAt(a.buf, a.off); err != nil {
+		return fmt.Errorf("core: writing annotations: %w", err)
+	}
+	a.off += int64(len(a.buf))
+	a.buf = a.buf[:0]
+	return nil
+}
+
+// patch overwrites the waker and flags of record idx. Only valid after
+// flush (pass 1 applies all patches at its end).
+func (a *annFile) patch(idx int32, waker int32, flags byte) error {
+	var b [5]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(waker))
+	b[4] = flags
+	if _, err := a.f.WriteAt(b[:], int64(idx)*annRecSize+4); err != nil {
+		return fmt.Errorf("core: patching annotation %d: %w", idx, err)
+	}
+	return nil
+}
+
+// readRange reads the records [first, first+count) into buf.
+func (a *annFile) readRange(first, count int, buf []byte) ([]byte, error) {
+	need := count * annRecSize
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if _, err := a.f.ReadAt(buf, int64(first)*annRecSize); err != nil {
+		return nil, fmt.Errorf("core: reading annotations: %w", err)
+	}
+	return buf, nil
+}
+
+func (a *annFile) remove() {
+	name := a.f.Name()
+	a.f.Close()
+	os.Remove(name)
+}
+
+// pass1Result carries the O(threads) lifecycle state pass 1 derives.
+type pass1Result struct {
+	firstT, lastT trace.Time
+	startIdx      []int32
+	startT        []trace.Time
+	exitIdx       []int32
+	exitT         []trace.Time
+	exitSeq       []uint64
+}
+
+// barEpisode tracks one barrier episode until its wakers resolve.
+type barEpisode struct {
+	lastArrive       int32
+	lastArriveThread trace.ThreadID
+	arrives          int
+	departs          int
+	// pending are blocked departs seen before the episode completed
+	// (with equal timestamps a depart can sort before the last
+	// arrive, exactly why the in-memory pass defers them too).
+	pending []pendingDepart
+}
+
+// barStream is the per-barrier streaming state: live episodes plus the
+// per-thread FIFO pairing each thread's k-th arrive with its k-th
+// depart. Completed, fully departed episodes are pruned, so memory is
+// O(open episodes), not O(trace).
+type barStream struct {
+	parties  int
+	arrivals int
+	episodes map[int]*barEpisode
+	arriveEp map[trace.ThreadID]*intQueue
+}
+
+// intQueue is a FIFO of ints with amortized O(1) pops.
+type intQueue struct {
+	vals []int
+	head int
+}
+
+func (q *intQueue) push(v int) { q.vals = append(q.vals, v) }
+
+func (q *intQueue) pop() (int, bool) {
+	if q.head >= len(q.vals) {
+		return 0, false
+	}
+	v := q.vals[q.head]
+	q.head++
+	if q.head == len(q.vals) {
+		q.vals, q.head = q.vals[:0], 0
+	} else if q.head > 64 && q.head*2 >= len(q.vals) {
+		q.vals = q.vals[:copy(q.vals, q.vals[q.head:])]
+		q.head = 0
+	}
+	return v, true
+}
+
+// condStream mirrors the in-memory per-cond state: FIFO of blocked
+// waiters plus resolved wakers.
+type condStream struct {
+	waiting []trace.ThreadID
+	wakerOf map[trace.ThreadID]int32
+}
+
+// streamPass1 is the forward waker-resolution pass: one annotation
+// record per event, deferred resolutions applied as patches. Its
+// working set is O(threads + objects + open barrier episodes + waiting
+// cond threads) — independent of trace length.
+func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile) (*pass1Result, error) {
+	nThreads := len(skel.Threads)
+	p1 := &pass1Result{
+		startIdx: make([]int32, nThreads),
+		startT:   make([]trace.Time, nThreads),
+		exitIdx:  make([]int32, nThreads),
+		exitT:    make([]trace.Time, nThreads),
+		exitSeq:  make([]uint64, nThreads),
+	}
+	lastOfThread := make([]int32, nThreads)
+	createIdx := make([]int32, nThreads)
+	pendingStart := make([]int32, nThreads)
+	joinBeginT := make([]trace.Time, nThreads)
+	for tid := 0; tid < nThreads; tid++ {
+		p1.startIdx[tid] = -1
+		p1.exitIdx[tid] = -1
+		lastOfThread[tid] = -1
+		createIdx[tid] = -1
+		pendingStart[tid] = -1
+	}
+	lastRelease := make([]int32, len(skel.Objects))
+	for i := range lastRelease {
+		lastRelease[i] = -1
+	}
+	barriers := map[trace.ObjID]*barStream{}
+	barOf := func(o trace.ObjID) *barStream {
+		bs := barriers[o]
+		if bs == nil {
+			bs = &barStream{
+				parties:  skel.Object(o).Parties,
+				episodes: map[int]*barEpisode{},
+				arriveEp: map[trace.ThreadID]*intQueue{},
+			}
+			barriers[o] = bs
+		}
+		return bs
+	}
+	conds := map[trace.ObjID]*condStream{}
+	condOf := func(o trace.ObjID) *condStream {
+		cs := conds[o]
+		if cs == nil {
+			cs = &condStream{wakerOf: map[trace.ThreadID]int32{}}
+			conds[o] = cs
+		}
+		return cs
+	}
+	type patch struct {
+		idx   int32
+		waker int32
+	}
+	var patches []patch
+
+	var buf []trace.Event
+	i := int32(0)
+	for s := 0; s < src.NumSegments(); s++ {
+		var err error
+		buf, err = src.LoadSegment(s, buf)
+		if err != nil {
+			return nil, err
+		}
+		for k := range buf {
+			e := &buf[k]
+			if e.Thread < 0 || int(e.Thread) >= nThreads {
+				return nil, fmt.Errorf("core: event %d references thread %d out of range", i, e.Thread)
+			}
+			if i == 0 {
+				p1.firstT = e.T
+			}
+			p1.lastT = e.T
+			rec := annRec{prev: lastOfThread[e.Thread], waker: -1}
+			lastOfThread[e.Thread] = i
+
+			switch e.Kind {
+			case trace.EvThreadStart:
+				p1.startIdx[e.Thread] = i
+				p1.startT[e.Thread] = e.T
+				if c := createIdx[e.Thread]; c >= 0 {
+					rec.flags |= annBlocked
+					rec.waker = c
+				} else {
+					pendingStart[e.Thread] = i
+				}
+
+			case trace.EvThreadExit:
+				p1.exitIdx[e.Thread] = i
+				p1.exitT[e.Thread] = e.T
+				p1.exitSeq[e.Thread] = e.Seq
+
+			case trace.EvThreadCreate:
+				child := trace.ThreadID(e.Arg)
+				if int(child) >= 0 && int(child) < nThreads && createIdx[child] == -1 {
+					createIdx[child] = i
+					if ps := pendingStart[child]; ps >= 0 {
+						patches = append(patches, patch{idx: ps, waker: i})
+						pendingStart[child] = -1
+					}
+				}
+
+			case trace.EvLockObtain:
+				if e.Contended() {
+					rec.flags |= annBlocked
+					if e.Obj >= 0 && int(e.Obj) < len(lastRelease) {
+						rec.waker = lastRelease[e.Obj]
+					}
+				}
+
+			case trace.EvLockRelease:
+				if e.Obj >= 0 && int(e.Obj) < len(lastRelease) {
+					lastRelease[e.Obj] = i
+				}
+
+			case trace.EvBarrierArrive:
+				bs := barOf(e.Obj)
+				ep := 0
+				if bs.parties > 0 {
+					ep = bs.arrivals / bs.parties
+				}
+				bs.arrivals++
+				epi := bs.episodes[ep]
+				if epi == nil {
+					epi = &barEpisode{}
+					bs.episodes[ep] = epi
+				}
+				epi.lastArrive = i
+				epi.lastArriveThread = e.Thread
+				epi.arrives++
+				q := bs.arriveEp[e.Thread]
+				if q == nil {
+					q = &intQueue{}
+					bs.arriveEp[e.Thread] = q
+				}
+				q.push(ep)
+				if bs.parties > 0 && epi.arrives == bs.parties {
+					// Episode complete: its last arrive is final, so
+					// deferred departs resolve now.
+					for _, d := range epi.pending {
+						if epi.lastArriveThread != d.thread {
+							patches = append(patches, patch{idx: d.idx, waker: epi.lastArrive})
+						}
+					}
+					epi.pending = nil
+					if epi.departs >= bs.parties {
+						delete(bs.episodes, ep)
+					}
+				}
+
+			case trace.EvBarrierDepart:
+				bs := barOf(e.Obj)
+				var epi *barEpisode
+				ep := -1
+				if q := bs.arriveEp[e.Thread]; q != nil {
+					if v, ok := q.pop(); ok {
+						ep = v
+						epi = bs.episodes[ep]
+					}
+				}
+				if epi != nil {
+					epi.departs++
+				}
+				if e.Arg == 0 && epi != nil {
+					rec.flags |= annBlocked
+					if bs.parties > 0 && epi.arrives >= bs.parties {
+						if epi.lastArriveThread != e.Thread {
+							rec.waker = epi.lastArrive
+						}
+					} else {
+						epi.pending = append(epi.pending, pendingDepart{idx: i, obj: e.Obj, thread: e.Thread, episode: ep})
+					}
+				}
+				if epi != nil && bs.parties > 0 && epi.arrives >= bs.parties &&
+					epi.departs >= bs.parties && len(epi.pending) == 0 {
+					delete(bs.episodes, ep)
+				}
+
+			case trace.EvCondWaitBegin:
+				cs := condOf(e.Obj)
+				cs.waiting = append(cs.waiting, e.Thread)
+
+			case trace.EvCondSignal:
+				cs := condOf(e.Obj)
+				if len(cs.waiting) > 0 {
+					cs.wakerOf[cs.waiting[0]] = i
+					cs.waiting = cs.waiting[1:]
+				}
+
+			case trace.EvCondBroadcast:
+				cs := condOf(e.Obj)
+				for _, th := range cs.waiting {
+					cs.wakerOf[th] = i
+				}
+				cs.waiting = cs.waiting[:0]
+
+			case trace.EvCondWaitEnd:
+				cs := condOf(e.Obj)
+				rec.flags |= annBlocked
+				if w, ok := cs.wakerOf[e.Thread]; ok {
+					rec.waker = w
+					delete(cs.wakerOf, e.Thread)
+				} else {
+					// Spurious wakeup or unmatched signal: drop from
+					// the waiting queue, leave the waker unknown.
+					for j, th := range cs.waiting {
+						if th == e.Thread {
+							cs.waiting = append(cs.waiting[:j], cs.waiting[j+1:]...)
+							break
+						}
+					}
+				}
+
+			case trace.EvJoinBegin:
+				joinBeginT[e.Thread] = e.T
+
+			case trace.EvJoinEnd:
+				target := trace.ThreadID(e.Arg)
+				if int(target) >= 0 && int(target) < nThreads && p1.exitIdx[target] >= 0 &&
+					p1.exitT[target] > joinBeginT[e.Thread] {
+					rec.flags |= annBlocked
+					rec.waker = p1.exitIdx[target]
+				}
+			}
+
+			if err := ann.append(rec); err != nil {
+				return nil, err
+			}
+			i++
+		}
+	}
+	if err := ann.flush(); err != nil {
+		return nil, err
+	}
+
+	// End-of-trace resolution for barrier episodes that never
+	// completed (truncated traces, zero-party barriers): their last
+	// arrive so far is the waker, as in the in-memory post-pass.
+	for _, bs := range barriers {
+		for _, epi := range bs.episodes {
+			for _, d := range epi.pending {
+				if epi.lastArriveThread != d.thread {
+					patches = append(patches, patch{idx: d.idx, waker: epi.lastArrive})
+				}
+			}
+		}
+	}
+	for _, p := range patches {
+		if err := ann.patch(p.idx, p.waker, annBlocked); err != nil {
+			return nil, err
+		}
+	}
+	return p1, nil
+}
+
+// segLoader serves random event/annotation lookups for the backward
+// walk from an LRU cache of decoded segments.
+type segLoader struct {
+	src    SegmentSource
+	ann    *annFile
+	firsts []int // global index of each segment's first event
+	total  int
+	cache  map[int]*segWindow
+	lru    []int // segment ids, least recent first
+	max    int
+}
+
+type segWindow struct {
+	first  int
+	events []trace.Event
+	ann    []byte
+}
+
+func newSegLoader(src SegmentSource, ann *annFile, cacheSegments int) *segLoader {
+	n := src.NumSegments()
+	l := &segLoader{
+		src:    src,
+		ann:    ann,
+		firsts: make([]int, n),
+		cache:  map[int]*segWindow{},
+		max:    cacheSegments,
+	}
+	for i := 0; i < n; i++ {
+		first, count := src.SegmentBounds(i)
+		l.firsts[i] = first
+		l.total = first + count
+	}
+	return l
+}
+
+// window returns the cached window containing global event index i,
+// loading (and evicting) as needed.
+func (l *segLoader) window(i int32) (*segWindow, error) {
+	seg := sort.SearchInts(l.firsts, int(i)+1) - 1
+	if w := l.cache[seg]; w != nil {
+		// Refresh LRU position.
+		for k, s := range l.lru {
+			if s == seg {
+				copy(l.lru[k:], l.lru[k+1:])
+				l.lru[len(l.lru)-1] = seg
+				break
+			}
+		}
+		return w, nil
+	}
+	var reuse *segWindow
+	if len(l.lru) >= l.max {
+		victim := l.lru[0]
+		copy(l.lru, l.lru[1:])
+		l.lru = l.lru[:len(l.lru)-1]
+		reuse = l.cache[victim]
+		delete(l.cache, victim)
+	} else {
+		reuse = &segWindow{}
+	}
+	first, count := l.src.SegmentBounds(seg)
+	events, err := l.src.LoadSegment(seg, reuse.events)
+	if err != nil {
+		return nil, err
+	}
+	ann, err := l.ann.readRange(first, count, reuse.ann)
+	if err != nil {
+		return nil, err
+	}
+	w := &segWindow{first: first, events: events, ann: ann}
+	l.cache[seg] = w
+	l.lru = append(l.lru, seg)
+	return w, nil
+}
+
+func (l *segLoader) eventAt(i int32) (trace.Event, error) {
+	w, err := l.window(i)
+	if err != nil {
+		return trace.Event{}, err
+	}
+	return w.events[int(i)-w.first], nil
+}
+
+func (l *segLoader) annAt(i int32) (annRec, error) {
+	w, err := l.window(i)
+	if err != nil {
+		return annRec{}, err
+	}
+	off := (int(i) - w.first) * annRecSize
+	return getAnnRec(w.ann[off : off+annRecSize]), nil
+}
+
+// streamWalk is the backward critical-path walk (paper Fig. 2) over
+// windowed segments. It mirrors walk() step for step — anchor choice,
+// the condition-wait re-acquisition special case, piece emission — but
+// reads events and waker edges through the loader instead of in-memory
+// arrays. The differential oracle in the test suite holds the two
+// implementations identical.
+func streamWalk(l *segLoader, p1 *pass1Result, n int) (*CriticalPath, error) {
+	// Anchor: the exit event of the last-finishing thread; fall back
+	// to the globally last event for truncated traces.
+	anchor := int32(-1)
+	var anchorT trace.Time
+	var anchorSeq uint64
+	for tid := range p1.exitIdx {
+		ei := p1.exitIdx[tid]
+		if ei < 0 {
+			continue
+		}
+		if anchor < 0 || p1.exitT[tid] > anchorT ||
+			(p1.exitT[tid] == anchorT && p1.exitSeq[tid] > anchorSeq) {
+			anchor, anchorT, anchorSeq = ei, p1.exitT[tid], p1.exitSeq[tid]
+		}
+	}
+	if anchor < 0 {
+		anchor = int32(n - 1)
+	}
+
+	anchorEv, err := l.eventAt(anchor)
+	if err != nil {
+		return nil, err
+	}
+	cp := &CriticalPath{
+		LastThread: anchorEv.Thread,
+		WallTime:   p1.lastT - p1.firstT,
+		Pieces:     make([]Piece, 0, n/3+8),
+	}
+
+	cur := anchor
+	maxSteps := 2*n + 2
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("core: critical-path walk did not terminate after %d steps", steps)
+		}
+		cp.Steps = steps
+		e, err := l.eventAt(cur)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := l.annAt(cur)
+		if err != nil {
+			return nil, err
+		}
+
+		if e.Kind == trace.EvThreadStart {
+			if rec.waker < 0 {
+				break // root thread's start: the program's beginning
+			}
+			we, err := l.eventAt(rec.waker)
+			if err != nil {
+				return nil, err
+			}
+			cp.Jumps++
+			cp.JumpLog = append(cp.JumpLog, Jump{
+				T: e.T, From: e.Thread, To: we.Thread,
+				Kind: JumpStart, Obj: trace.NoObj,
+			})
+			cur = rec.waker
+			continue
+		}
+
+		prev := rec.prev
+		if prev < 0 {
+			break // malformed thread without a start event
+		}
+
+		if rec.flags&annBlocked != 0 && rec.waker >= 0 {
+			we, err := l.eventAt(rec.waker)
+			if err != nil {
+				return nil, err
+			}
+			// A condition wait that had to re-acquire a contended
+			// mutex has two dependencies: the signaller and the
+			// previous mutex holder. The binding one is whichever
+			// released the thread last; when that is the mutex (its
+			// obtain directly precedes the wait-end, at or after the
+			// signal), step back so the obtain's own jump routes the
+			// path through the releaser without losing time.
+			if e.Kind == trace.EvCondWaitEnd {
+				pe, err := l.eventAt(prev)
+				if err != nil {
+					return nil, err
+				}
+				prec, err := l.annAt(prev)
+				if err != nil {
+					return nil, err
+				}
+				if pe.Kind == trace.EvLockObtain && prec.flags&annBlocked != 0 && prec.waker >= 0 &&
+					pe.T >= we.T {
+					cur = prev
+					continue
+				}
+			}
+			cp.Jumps++
+			cp.JumpLog = append(cp.JumpLog, Jump{
+				T: e.T, From: e.Thread, To: we.Thread,
+				Kind: jumpKindOf(e.Kind), Obj: e.Obj,
+			})
+			cur = rec.waker
+			continue
+		}
+
+		pe, err := l.eventAt(prev)
+		if err != nil {
+			return nil, err
+		}
+		from, to := pe.T, e.T
+		if to > from {
+			kind := PieceExec
+			if rec.flags&annBlocked != 0 {
+				// Blocked but waker unknown: the wait itself sits on
+				// the critical path.
+				kind = PieceWait
+			}
+			cp.Pieces = append(cp.Pieces, Piece{Thread: e.Thread, From: from, To: to, Kind: kind})
+		}
+		cur = prev
+	}
+
+	// Pieces and jumps were generated back-to-front; reverse into
+	// forward order.
+	for i, j := 0, len(cp.Pieces)-1; i < j; i, j = i+1, j-1 {
+		cp.Pieces[i], cp.Pieces[j] = cp.Pieces[j], cp.Pieces[i]
+	}
+	for i, j := 0, len(cp.JumpLog)-1; i < j; i, j = i+1, j-1 {
+		cp.JumpLog[i], cp.JumpLog[j] = cp.JumpLog[j], cp.JumpLog[i]
+	}
+	for _, p := range cp.Pieces {
+		cp.Length += p.Dur()
+		switch p.Kind {
+		case PieceExec:
+			cp.ExecTime += p.Dur()
+		case PieceWait:
+			cp.WaitTime += p.Dur()
+		}
+	}
+	return cp, nil
+}
+
+// streamThread is pass 3's per-thread state: the previous event's
+// timestamp, matched cond-wait begins, the FIFO of in-flight lock
+// invocations (acquire order) and the thread's critical-path clip
+// cursor. Everything is O(in-flight), not O(history).
+type streamThread struct {
+	seen      bool
+	prevT     trace.Time
+	condBegin map[trace.ObjID]trace.Time
+	pend      []invocation
+	head      int
+	base      int                 // absolute queue position of pend[0]
+	open      map[trace.ObjID]int // lock → absolute queue position
+	pieces    []Piece
+	cursor    int
+}
+
+// push appends an in-flight invocation, returning its absolute
+// position.
+func (st *streamThread) push(inv invocation) int {
+	st.pend = append(st.pend, inv)
+	return st.base + len(st.pend) - 1
+}
+
+// at returns the invocation at absolute position pos.
+func (st *streamThread) at(pos int) *invocation { return &st.pend[pos-st.base] }
+
+// compact reclaims delivered queue space once it dominates.
+func (st *streamThread) compact() {
+	if st.head == len(st.pend) {
+		st.base += st.head
+		st.pend, st.head = st.pend[:0], 0
+	} else if st.head > 64 && st.head*2 >= len(st.pend) {
+		st.base += st.head
+		st.pend = st.pend[:copy(st.pend, st.pend[st.head:])]
+		st.head = 0
+	}
+}
+
+// streamPass3 is the forward metric pass: per-thread blocking-time
+// accounting and per-lock accumulation, delivering each thread's
+// invocations in acquire order (identical to the in-memory
+// invsByThread order) as their critical sections close.
+func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Result, an *Analysis, opts StreamOptions) error {
+	nThreads := len(skel.Threads)
+
+	an.Threads = make([]ThreadStats, nThreads)
+	for tid := 0; tid < nThreads; tid++ {
+		ts := &an.Threads[tid]
+		ts.Thread = trace.ThreadID(tid)
+		ts.Name = skel.Threads[tid].Name
+		if p1.startIdx[tid] >= 0 {
+			ts.Start = p1.startT[tid]
+		}
+		if p1.exitIdx[tid] >= 0 {
+			ts.End = p1.exitT[tid]
+		} else {
+			ts.End = p1.lastT
+		}
+		ts.Lifetime = ts.End - ts.Start
+	}
+
+	// Critical-path pieces per thread, sorted by time for clipping —
+	// the same construction and sort the in-memory pass uses, so tie
+	// orders match exactly.
+	threads := make([]streamThread, nThreads)
+	for _, p := range an.CP.Pieces {
+		threads[p.Thread].pieces = append(threads[p.Thread].pieces, p)
+		an.Threads[p.Thread].TimeOnCP += p.Dur()
+	}
+	for tid := range threads {
+		slices.SortFunc(threads[tid].pieces, func(a, b Piece) int {
+			switch {
+			case a.From < b.From:
+				return -1
+			case a.From > b.From:
+				return 1
+			}
+			return 0
+		})
+	}
+
+	an.hotByLock = map[trace.ObjID][]interval{}
+	if opts.Composition {
+		an.holdsByThread = make([][]interval, nThreads)
+	}
+	sink := newLockSink(nThreads)
+
+	deliver := func(tid int, inv *invocation) {
+		if opts.Composition {
+			an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
+		}
+		st := &threads[tid]
+		accumulateInvocation(sink, &an.Threads[tid], inv, skel.ObjName(inv.lock), opts.Options, st.pieces, &st.cursor)
+	}
+
+	var buf []trace.Event
+	var annBuf []byte
+	i := int32(0)
+	for s := 0; s < src.NumSegments(); s++ {
+		first, count := src.SegmentBounds(s)
+		var err error
+		buf, err = src.LoadSegment(s, buf)
+		if err != nil {
+			return err
+		}
+		annBuf, err = ann.readRange(first, count, annBuf)
+		if err != nil {
+			return err
+		}
+		for k := range buf {
+			e := &buf[k]
+			tid := int(e.Thread)
+			st := &threads[tid]
+
+			// Blocking-time accounting skips each thread's first event
+			// (as the in-memory pass does: there is no preceding
+			// interval to account).
+			if st.seen {
+				ts := &an.Threads[tid]
+				switch e.Kind {
+				case trace.EvBarrierDepart:
+					if e.Arg == 0 {
+						ts.BarrierWait += e.T - st.prevT
+					}
+				case trace.EvCondWaitBegin:
+					if st.condBegin == nil {
+						st.condBegin = map[trace.ObjID]trace.Time{}
+					}
+					st.condBegin[e.Obj] = e.T
+				case trace.EvCondWaitEnd:
+					if begin, ok := st.condBegin[e.Obj]; ok {
+						ts.CondWait += e.T - begin
+						delete(st.condBegin, e.Obj)
+					}
+				case trace.EvJoinEnd:
+					rec := getAnnRec(annBuf[k*annRecSize : k*annRecSize+annRecSize])
+					if rec.flags&annBlocked != 0 {
+						ts.JoinWait += e.T - st.prevT
+					}
+				}
+			} else {
+				st.seen = true
+			}
+			st.prevT = e.T
+
+			switch e.Kind {
+			case trace.EvLockAcquire:
+				pos := st.push(invocation{
+					lock: e.Obj, thread: e.Thread,
+					acquireIdx: i, obtainIdx: -1, releaseIdx: -1,
+					acqT: e.T,
+				})
+				if st.open == nil {
+					st.open = map[trace.ObjID]int{}
+				}
+				st.open[e.Obj] = pos
+
+			case trace.EvLockObtain:
+				pos, ok := st.open[e.Obj]
+				if !ok {
+					return fmt.Errorf("core: event %d: obtain of %q without acquire", i, skel.ObjName(e.Obj))
+				}
+				inv := st.at(pos)
+				inv.obtainIdx = i
+				inv.obtT = e.T
+				inv.contended = e.Contended()
+				inv.shared = e.Shared()
+
+			case trace.EvLockRelease:
+				pos, ok := st.open[e.Obj]
+				if !ok {
+					return fmt.Errorf("core: event %d: release of %q without hold", i, skel.ObjName(e.Obj))
+				}
+				inv := st.at(pos)
+				inv.releaseIdx = i
+				inv.relT = e.T
+				delete(st.open, e.Obj)
+				// Deliver the closed prefix of the queue — acquire
+				// order, matching the in-memory pass.
+				for st.head < len(st.pend) && st.pend[st.head].releaseIdx >= 0 {
+					if st.pend[st.head].obtainIdx >= 0 {
+						deliver(tid, &st.pend[st.head])
+					}
+					st.head++
+				}
+				st.compact()
+			}
+			i++
+		}
+	}
+
+	// End of trace: invocations still open get the trace's end as
+	// their release (as the in-memory pass does), then deliver the
+	// rest of every queue in acquire order.
+	for tid := range threads {
+		st := &threads[tid]
+		for k := st.head; k < len(st.pend); k++ {
+			inv := &st.pend[k]
+			if inv.obtainIdx < 0 {
+				continue // acquire without obtain (truncated); skip
+			}
+			if inv.releaseIdx < 0 {
+				inv.relT = p1.lastT
+			}
+			deliver(tid, inv)
+		}
+	}
+
+	finalizeMetrics(an, sink, src.NumEvents())
+	return nil
+}

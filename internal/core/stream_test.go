@@ -1,0 +1,210 @@
+package core_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"critlock/internal/core"
+	"critlock/internal/segment"
+	"critlock/internal/sim"
+	"critlock/internal/trace"
+	"critlock/internal/workloads"
+)
+
+// simTrace runs a workload on the simulator and returns its trace.
+func simTrace(t *testing.T, name string, threads int, seed int64) *trace.Trace {
+	t.Helper()
+	spec, err := workloads.Get(name)
+	if err != nil {
+		t.Fatalf("workloads.Get(%q): %v", name, err)
+	}
+	rt := sim.New(sim.Config{Contexts: 8, Seed: seed})
+	tr, _, err := workloads.Run(rt, spec, workloads.Params{Threads: threads, Seed: seed, Scale: 0.25})
+	if err != nil {
+		t.Fatalf("workloads.Run(%q): %v", name, err)
+	}
+	return tr
+}
+
+// segmented writes tr under dir with the given segment/frame sizes and
+// opens it back.
+func segmented(t *testing.T, tr *trace.Trace, segEvents, frameEvents int) *segment.Reader {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "segs")
+	err := segment.WriteTrace(dir, tr, segment.Options{SegmentEvents: segEvents, FrameEvents: frameEvents})
+	if err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	r, err := segment.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if r.NumEvents() != len(tr.Events) {
+		t.Fatalf("segmented trace has %d events, want %d", r.NumEvents(), len(tr.Events))
+	}
+	return r
+}
+
+// requireIdentical asserts that the streaming analysis matches the
+// in-memory one on every exported result.
+func requireIdentical(t *testing.T, mem, str *core.Analysis, composition bool) {
+	t.Helper()
+	if !reflect.DeepEqual(mem.CP, str.CP) {
+		t.Errorf("critical path differs:\n mem: len=%d exec=%d wait=%d steps=%d jumps=%d pieces=%d\n str: len=%d exec=%d wait=%d steps=%d jumps=%d pieces=%d",
+			mem.CP.Length, mem.CP.ExecTime, mem.CP.WaitTime, mem.CP.Steps, mem.CP.Jumps, len(mem.CP.Pieces),
+			str.CP.Length, str.CP.ExecTime, str.CP.WaitTime, str.CP.Steps, str.CP.Jumps, len(str.CP.Pieces))
+	}
+	if !reflect.DeepEqual(mem.Locks, str.Locks) {
+		for i := range mem.Locks {
+			if i >= len(str.Locks) || !reflect.DeepEqual(mem.Locks[i], str.Locks[i]) {
+				t.Errorf("lock %d differs:\n mem: %+v", i, mem.Locks[i])
+				if i < len(str.Locks) {
+					t.Errorf(" str: %+v", str.Locks[i])
+				}
+				break
+			}
+		}
+		if len(mem.Locks) != len(str.Locks) {
+			t.Errorf("lock count differs: mem=%d str=%d", len(mem.Locks), len(str.Locks))
+		}
+	}
+	if !reflect.DeepEqual(mem.Threads, str.Threads) {
+		for i := range mem.Threads {
+			if i >= len(str.Threads) || !reflect.DeepEqual(mem.Threads[i], str.Threads[i]) {
+				t.Errorf("thread %d differs:\n mem: %+v", i, mem.Threads[i])
+				if i < len(str.Threads) {
+					t.Errorf(" str: %+v", str.Threads[i])
+				}
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(mem.Totals, str.Totals) {
+		t.Errorf("totals differ:\n mem: %+v\n str: %+v", mem.Totals, str.Totals)
+	}
+	if composition {
+		if !reflect.DeepEqual(mem.Composition(), str.Composition()) {
+			t.Errorf("composition differs")
+		}
+	}
+}
+
+// TestAnalyzeStreamMatchesInMemory is the differential oracle for the
+// tentpole invariant: AnalyzeStream over segments is bit-identical to
+// Analyze over the same events, across workloads, seeds, segment sizes
+// and walk-window sizes (including the pathological 1-event segments
+// and a 1-segment cache).
+func TestAnalyzeStreamMatchesInMemory(t *testing.T) {
+	type cfg struct {
+		workload string
+		threads  int
+		seed     int64
+	}
+	cases := []cfg{
+		{"micro", 4, 1},
+		{"micro", 8, 2},
+		{"micro", 8, 3},
+		{"radiosity", 8, 1},
+		{"tsp", 6, 2},
+		{"waternsq", 8, 1},
+		{"uts", 6, 1},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.workload+"/"+string(rune('0'+c.threads))+"t", func(t *testing.T) {
+			t.Parallel()
+			tr := simTrace(t, c.workload, c.threads, c.seed)
+			mem, err := core.Analyze(tr, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			n := len(tr.Events)
+
+			segSizes := []int{n/7 + 1, 64}
+			if n < 3000 {
+				// Small traces earn the pathological shapes.
+				segSizes = append(segSizes, 7, 1)
+			}
+			for _, segEvents := range segSizes {
+				r := segmented(t, tr, segEvents, 16)
+				for _, window := range []int{1, 2, 4} {
+					str, err := core.AnalyzeStream(r, core.StreamOptions{
+						Options:       core.DefaultOptions(),
+						CacheSegments: window,
+						Composition:   true,
+					})
+					if err != nil {
+						t.Fatalf("AnalyzeStream(seg=%d, window=%d): %v", segEvents, window, err)
+					}
+					requireIdentical(t, mem, str, true)
+					if t.Failed() {
+						t.Fatalf("divergence at seg=%d window=%d", segEvents, window)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzeStreamSpilledCollector exercises the full spill path: the
+// collector spills per-thread runs to disk mid-run, the spiller merges
+// them into segments, and the streaming analysis of the result matches
+// the in-memory analysis of an identical unspilled run.
+func TestAnalyzeStreamSpilledCollector(t *testing.T) {
+	spec, err := workloads.Get("radiosity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := workloads.Params{Threads: 8, Seed: 7, Scale: 0.25}
+
+	// Reference: plain run, in-memory analysis.
+	rt := sim.New(sim.Config{Contexts: 8, Seed: 7})
+	tr, _, err := workloads.Run(rt, spec, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := core.Analyze(tr, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same run again, with an aggressive spill threshold.
+	dir := filepath.Join(t.TempDir(), "spill")
+	sp, err := segment.NewSpiller(dir, segment.Options{SegmentEvents: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := sim.New(sim.Config{Contexts: 8, Seed: 7})
+	rt2.Collector().SetSpill(sp, 256)
+	if _, _, err := workloads.Run(rt2, spec, params); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sp.Finish(rt2.Collector())
+	if err != nil {
+		t.Fatalf("Spiller.Finish: %v", err)
+	}
+	if r.NumEvents() != len(tr.Events) {
+		t.Fatalf("spilled trace has %d events, want %d", r.NumEvents(), len(tr.Events))
+	}
+	str, err := core.AnalyzeStream(r, core.StreamOptions{Options: core.DefaultOptions(), Composition: true})
+	if err != nil {
+		t.Fatalf("AnalyzeStream: %v", err)
+	}
+	requireIdentical(t, mem, str, true)
+}
+
+// TestAnalyzeStreamEmpty checks the empty-source contract.
+func TestAnalyzeStreamEmpty(t *testing.T) {
+	tr := simTrace(t, "micro", 4, 1)
+	r := segmented(t, tr, 0, 0)
+	// A reader over a real directory is never empty; exercise the
+	// guard through a stub.
+	if _, err := core.AnalyzeStream(emptySource{r}, core.DefaultStreamOptions()); err != trace.ErrEmptyTrace {
+		t.Fatalf("AnalyzeStream(empty) = %v, want ErrEmptyTrace", err)
+	}
+}
+
+type emptySource struct{ *segment.Reader }
+
+func (emptySource) NumEvents() int { return 0 }

@@ -200,6 +200,232 @@ func TestConformanceJoinOrdering(t *testing.T) {
 	}, nil)
 }
 
+// TestConformanceTryLock: a TryLock against a held mutex must fail
+// without leaving any trace of the attempt; a TryLock against a free,
+// unqueued mutex must succeed as an ordinary uncontended acquisition.
+func TestConformanceTryLock(t *testing.T) {
+	var failedHeld, succeededFree atomic.Bool
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("try")
+		tried := rt.NewBarrier("tried", 2)
+		released := rt.NewBarrier("released", 2)
+		failedHeld.Store(false)
+		succeededFree.Store(false)
+		return func(p harness.Proc) {
+			p.Lock(m)
+			kid := p.Go("w", func(q harness.Proc) {
+				// Main holds m: the try must fail.
+				if !q.TryLock(m) {
+					failedHeld.Store(true)
+				}
+				q.BarrierWait(tried)
+				q.BarrierWait(released)
+				// Main has released m and will not touch it again:
+				// the try must succeed and take a real hold.
+				if q.TryLock(m) {
+					succeededFree.Store(true)
+					q.Compute(1000)
+					q.Unlock(m)
+				}
+			})
+			p.BarrierWait(tried)
+			p.Unlock(m)
+			p.BarrierWait(released)
+			p.Join(kid)
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if !failedHeld.Load() {
+			t.Error("TryLock succeeded against a held mutex")
+		}
+		if !succeededFree.Load() {
+			t.Error("TryLock failed against a free mutex")
+		}
+		// The failed try must be invisible: main's hold plus the
+		// worker's successful try, nothing contended.
+		l := an.Lock("try")
+		if l == nil {
+			t.Fatal("lock \"try\" missing from analysis")
+		}
+		if l.TotalInvocations != 2 {
+			t.Errorf("invocations = %d, want 2 (failed try must emit nothing)", l.TotalInvocations)
+		}
+		if l.TotalContended != 0 {
+			t.Errorf("contended = %d, want 0 (a successful try is uncontended)", l.TotalContended)
+		}
+	})
+}
+
+// TestConformanceRWLockFairness: both backends implement
+// write-preferring reader/writer locks — a reader arriving while a
+// writer waits must queue behind it — while readers with no writer in
+// sight share the lock concurrently.
+func TestConformanceRWLockFairness(t *testing.T) {
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("rw")
+		inside := rt.NewBarrier("inside", 2)
+		return func(p harness.Proc) {
+			// Phase 1: main read-holds; a writer blocks on it; a late
+			// reader must queue behind the waiting writer.
+			p.RLock(m)
+			w := p.Go("writer", func(q harness.Proc) {
+				q.Lock(m)
+				q.Compute(2_000_000)
+				q.Unlock(m)
+			})
+			p.Compute(20_000_000) // let the writer reach its Lock and block
+			r2 := p.Go("late-reader", func(q harness.Proc) {
+				q.RLock(m)
+				q.Compute(1_000_000)
+				q.RUnlock(m)
+			})
+			p.Compute(20_000_000) // let the late reader queue
+			p.RUnlock(m)
+			p.Join(w)
+			p.Join(r2)
+
+			// Phase 2: two readers must hold the lock at the same
+			// time — each arrives at a barrier inside its read-side
+			// critical section, which deadlocks unless read holds
+			// overlap.
+			var kids []harness.Thread
+			for i := 0; i < 2; i++ {
+				kids = append(kids, p.Go("reader", func(q harness.Proc) {
+					q.RLock(m)
+					q.BarrierWait(inside)
+					q.Compute(1_000_000)
+					q.RUnlock(m)
+				}))
+			}
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		l := an.Lock("rw")
+		if l == nil {
+			t.Fatal("lock \"rw\" missing from analysis")
+		}
+		if l.TotalInvocations != 5 {
+			t.Errorf("invocations = %d, want 5", l.TotalInvocations)
+		}
+		if l.SharedInvocations != 4 {
+			t.Errorf("shared invocations = %d, want 4", l.SharedInvocations)
+		}
+		if l.TotalContended != 2 {
+			t.Errorf("contended = %d, want 2 (writer and late reader)", l.TotalContended)
+		}
+		// Write preference: the obtain order must be main's read
+		// hold, then the writer, then the late reader.
+		var obj trace.ObjID = trace.NoObj
+		for _, o := range tr.Objects {
+			if o.Name == "rw" {
+				obj = o.ID
+			}
+		}
+		var kinds []string
+		for _, e := range tr.Events {
+			if e.Kind == trace.EvLockObtain && e.Obj == obj && len(kinds) < 3 {
+				switch {
+				case e.Shared() && !e.Contended():
+					kinds = append(kinds, "r")
+				case !e.Shared() && e.Contended():
+					kinds = append(kinds, "W")
+				case e.Shared() && e.Contended():
+					kinds = append(kinds, "q") // queued reader
+				default:
+					kinds = append(kinds, "w")
+				}
+			}
+		}
+		if want := []string{"r", "W", "q"}; len(kinds) != 3 ||
+			kinds[0] != want[0] || kinds[1] != want[1] || kinds[2] != want[2] {
+			t.Errorf("obtain order = %v, want %v (reader, then writer, then queued reader)", kinds, want)
+		}
+	})
+}
+
+// TestConformanceBroadcastWakesAll: one Broadcast must wake every
+// waiter; no Signal events may appear and every wait ends at or after
+// the broadcast.
+func TestConformanceBroadcastWakesAll(t *testing.T) {
+	const waiters = 4
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		m := rt.NewMutex("flagmu")
+		cv := rt.NewCond("flagcv")
+		parked := 0 // guarded by m
+		ready := false
+		return func(p harness.Proc) {
+			var kids []harness.Thread
+			for i := 0; i < waiters; i++ {
+				kids = append(kids, p.Go("waiter", func(q harness.Proc) {
+					q.Lock(m)
+					parked++
+					for !ready {
+						q.Wait(cv, m)
+					}
+					q.Unlock(m)
+				}))
+			}
+			// Wait until every waiter has parked: each increments
+			// under m immediately before Wait releases m, so seeing
+			// parked == waiters under m means all are registered.
+			for {
+				p.Lock(m)
+				if parked == waiters {
+					ready = true
+					p.Broadcast(cv)
+					p.Unlock(m)
+					break
+				}
+				p.Unlock(m)
+				p.Compute(1_000_000)
+			}
+			for _, k := range kids {
+				p.Join(k)
+			}
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		var obj trace.ObjID = trace.NoObj
+		for _, o := range tr.Objects {
+			if o.Name == "flagcv" {
+				obj = o.ID
+			}
+		}
+		var broadcasts, signals, ends int
+		var broadcastT trace.Time
+		lateEnds := 0
+		for _, e := range tr.Events {
+			if e.Obj != obj {
+				continue
+			}
+			switch e.Kind {
+			case trace.EvCondBroadcast:
+				broadcasts++
+				broadcastT = e.T
+			case trace.EvCondSignal:
+				signals++
+			case trace.EvCondWaitEnd:
+				ends++
+				if broadcasts > 0 && e.T >= broadcastT {
+					lateEnds++
+				}
+			}
+		}
+		if broadcasts != 1 {
+			t.Errorf("broadcasts = %d, want 1", broadcasts)
+		}
+		if signals != 0 {
+			t.Errorf("signals = %d, want 0", signals)
+		}
+		if ends != waiters {
+			t.Errorf("wait-ends = %d, want %d (broadcast must wake all)", ends, waiters)
+		}
+		if lateEnds != ends {
+			t.Errorf("%d of %d wait-ends precede the broadcast", ends-lateEnds, ends)
+		}
+	})
+}
+
 // TestConformanceContendedFlag: a lock held across a handshake must
 // produce exactly the contended obtains the structure dictates.
 func TestConformanceConvoyShape(t *testing.T) {

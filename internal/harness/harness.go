@@ -56,6 +56,12 @@ type Proc interface {
 	Compute(d trace.Time)
 	// Lock blocks until m is held exclusively by this thread.
 	Lock(m Mutex)
+	// TryLock attempts to take m exclusively without blocking. On
+	// success it returns true with the lock held (release with
+	// Unlock). On failure it returns false and emits no trace events:
+	// a failed try never enters the lock's wait queue, so it is
+	// invisible to contention analysis by design.
+	TryLock(m Mutex) bool
 	// Unlock releases an exclusive hold of m.
 	Unlock(m Mutex)
 	// RLock blocks until m is held shared (reader mode); multiple

@@ -74,6 +74,11 @@ func (rt *Runtime) SetMeta(key, value string) { rt.col.SetMeta(key, value) }
 // to disk incrementally; attach before Run and Close after it.
 func (rt *Runtime) SetSink(sw *trace.StreamWriter) error { return rt.col.SetSink(sw) }
 
+// Collector exposes the runtime's trace collector so callers can
+// configure spilling (trace.Collector.SetSpill) or finish a spilled
+// run through segment.Spiller.Finish.
+func (rt *Runtime) Collector() *trace.Collector { return rt.col }
+
 func (rt *Runtime) now() trace.Time { return trace.Time(time.Since(rt.epoch)) }
 
 // NewMutex implements harness.Runtime.
@@ -228,6 +233,22 @@ func (p *proc) Lock(hm harness.Mutex) {
 	}
 	m.mu.Lock()
 	p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, 1)
+}
+
+// TryLock implements harness.Proc. A failed try emits nothing — a
+// dangling acquire with no obtain would corrupt the analysis — and a
+// successful one is by construction uncontended.
+func (p *proc) TryLock(hm harness.Mutex) bool {
+	m, ok := hm.(*liveMutex)
+	if !ok || m.rt != p.rt {
+		panic("livetrace: mutex from another runtime")
+	}
+	if !m.mu.TryLock() {
+		return false
+	}
+	p.buf.Emit(p.rt.now(), trace.EvLockAcquire, m.id, 0)
+	p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, 0)
+	return true
 }
 
 // Unlock implements harness.Proc. The release event is stamped before

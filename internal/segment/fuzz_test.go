@@ -1,0 +1,116 @@
+package segment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"critlock/internal/trace"
+)
+
+// fuzzSeedSegment builds a valid single-segment image for seeding.
+func fuzzSeedSegment(f *testing.F) []byte {
+	f.Helper()
+	tr := sampleTrace(80)
+	path := filepath.Join(f.TempDir(), "seed.clsg")
+	w, err := NewFileWriter(path, Options{FrameEvents: 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if err := w.Append(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if _, err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzSegmentFile: arbitrary bytes must never panic the segment
+// decoder, and any event stream it accepts must be safe to hand to
+// trace.Validate.
+func FuzzSegmentFile(f *testing.F) {
+	valid := fuzzSeedSegment(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+	f.Add(valid[:len(valid)/2])
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 10 {
+		mutated[len(mutated)/2] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := NewFileReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		events, err := fr.ReadAll(nil)
+		if err != nil {
+			return
+		}
+		// Accepted events must be safely validatable: build a skeleton
+		// wide enough for every referenced ID.
+		maxThr, maxObj := trace.ThreadID(-1), trace.ObjID(-1)
+		for _, e := range events {
+			if e.Thread > maxThr {
+				maxThr = e.Thread
+			}
+			if e.Obj > maxObj {
+				maxObj = e.Obj
+			}
+		}
+		tr := &trace.Trace{Events: events}
+		for i := trace.ThreadID(0); i <= maxThr; i++ {
+			tr.Threads = append(tr.Threads, trace.ThreadInfo{ID: i, Creator: trace.NoThread})
+		}
+		for i := trace.ObjID(0); i <= maxObj; i++ {
+			tr.Objects = append(tr.Objects, trace.ObjectInfo{ID: i, Kind: trace.ObjMutex})
+		}
+		_ = trace.Validate(tr) // must not panic
+	})
+}
+
+// FuzzManifest: arbitrary manifest bytes must never panic Open.
+func FuzzManifest(f *testing.F) {
+	tr := sampleTrace(60)
+	dir := filepath.Join(f.TempDir(), "segs")
+	if err := WriteTrace(dir, tr, Options{SegmentEvents: 16}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(manifestMagic))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(mdir, ManifestName), data, 0o644); err != nil {
+			t.Skip()
+		}
+		r, err := Open(mdir)
+		if err != nil {
+			return
+		}
+		// A manifest that parses references segment files that do not
+		// exist here; loading must error cleanly, not panic.
+		var buf []trace.Event
+		for i := 0; i < r.NumSegments(); i++ {
+			if buf, err = r.LoadSegment(i, buf); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,303 @@
+// Package segment implements the spillable on-disk trace layout that
+// backs bounded-memory analysis (internal/core AnalyzeStream).
+//
+// A segmented trace is a directory:
+//
+//	manifest.clsm      registrations + per-segment index
+//	seg-000000.clsg    events [0, k)
+//	seg-000001.clsg    events [k, 2k)
+//	...
+//
+// Every segment file holds a contiguous, canonically (T, Seq) ordered
+// slice of the trace's events, framed so it can be decoded without any
+// other file:
+//
+//	magic   "CLSG"          4 bytes
+//	version uvarint         currently 1
+//	frames  repeated:
+//	        byte    0xF1
+//	        uvarint event count (≥ 1)
+//	        uvarint payload byte length
+//	        payload — event records in the internal/trace binary
+//	                  layout (trace.AppendEvent), with the T/Seq delta
+//	                  chain reset at the frame start so each frame
+//	                  decodes independently
+//	footer  byte 0xF2, uvarint payload length, payload:
+//	        uvarint event count
+//	        varint  minT, varint maxT
+//	        uvarint firstSeq, uvarint lastSeq
+//	        uvarint thread-count entries: (uvarint thread, uvarint n)
+//	        uvarint lock-summary entries: (uvarint obj, uvarint
+//	                acquires, uvarint obtains, uvarint contended,
+//	                uvarint releases)
+//	trailer fixed 20 bytes:
+//	        uint32 LE crc32/IEEE of bytes [0, footer offset)
+//	        uint32 LE crc32/IEEE of the footer payload
+//	        uint64 LE footer offset
+//	        magic "GSLC"
+//
+// The footer is the per-segment index: readers locate it via the
+// trailer, learn the segment's time/sequence range and per-thread and
+// per-lock event counts without touching the frames, and the two CRCs
+// turn any truncation or bit corruption into an error instead of a
+// silently wrong analysis.
+//
+// The manifest carries what the trace carries besides events
+// (metadata, thread and object registrations) plus the segment list:
+//
+//	magic   "CLSM"
+//	version uvarint         currently 1
+//	meta    uvarint count, (string key, string value) sorted by key
+//	threads uvarint count, (string name, varint creator)
+//	objects uvarint count, (byte kind, string name, uvarint parties)
+//	segs    uvarint count, (string filename, uvarint events,
+//	        varint minT, varint maxT, uvarint firstSeq, uvarint lastSeq)
+//	crc     uint32 LE crc32/IEEE of everything before it
+//
+// Strings are uvarint length + bytes, as in internal/trace.
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"critlock/internal/trace"
+)
+
+const (
+	segMagic    = "CLSG"
+	segEndMagic = "GSLC"
+	segVersion  = 1
+
+	manifestMagic   = "CLSM"
+	manifestVersion = 1
+
+	// ManifestName is the manifest's filename within a segment
+	// directory.
+	ManifestName = "manifest.clsm"
+
+	frameTag  = 0xF1
+	footerTag = 0xF2
+
+	// trailerSize is the fixed byte size of the segment trailer.
+	trailerSize = 4 + 4 + 8 + 4
+
+	// maxCount caps decoded collection sizes against corrupt or
+	// hostile inputs (mirrors internal/trace's limit).
+	maxCount = 1 << 30
+	// maxStringLen caps decoded string lengths.
+	maxStringLen = 1 << 20
+)
+
+// Options tunes segment generation.
+type Options struct {
+	// SegmentEvents is the number of events per segment file — the
+	// streaming analyzer's window unit. 0 means DefaultSegmentEvents.
+	SegmentEvents int
+	// FrameEvents is the number of events per frame within a segment.
+	// 0 means DefaultFrameEvents.
+	FrameEvents int
+}
+
+const (
+	// DefaultSegmentEvents keeps a decoded segment around 2 MiB
+	// (32 bytes per Event), small enough that a handful of cached
+	// windows stay cheap.
+	DefaultSegmentEvents = 1 << 16
+	// DefaultFrameEvents bounds the frame assembly buffer.
+	DefaultFrameEvents = 1 << 12
+)
+
+func (o Options) withDefaults() Options {
+	if o.SegmentEvents <= 0 {
+		o.SegmentEvents = DefaultSegmentEvents
+	}
+	if o.FrameEvents <= 0 {
+		o.FrameEvents = DefaultFrameEvents
+	}
+	return o
+}
+
+// ThreadCount is one footer entry: how many of a segment's events
+// belong to a thread.
+type ThreadCount struct {
+	Thread trace.ThreadID
+	Count  int
+}
+
+// LockSummary is one footer entry: a segment's lock-event counts for
+// one mutex — enough to aggregate classical (TYPE 2) invocation and
+// contention counts without decoding frames.
+type LockSummary struct {
+	Obj       trace.ObjID
+	Acquires  int
+	Obtains   int
+	Contended int
+	Releases  int
+}
+
+// Footer is the per-segment index.
+type Footer struct {
+	// Count is the number of events in the segment.
+	Count int
+	// MinT/MaxT bound the segment's timestamps, FirstSeq/LastSeq its
+	// sequence numbers (all zero for an empty segment).
+	MinT, MaxT         trace.Time
+	FirstSeq, LastSeq  uint64
+	// ThreadCounts lists per-thread event counts, ascending by thread.
+	ThreadCounts []ThreadCount
+	// Locks lists per-mutex event summaries, ascending by object.
+	Locks []LockSummary
+}
+
+// appendFooter encodes f's payload (without tag/length) to dst.
+func appendFooter(dst []byte, f *Footer) []byte {
+	dst = binary.AppendUvarint(dst, uint64(f.Count))
+	dst = binary.AppendVarint(dst, int64(f.MinT))
+	dst = binary.AppendVarint(dst, int64(f.MaxT))
+	dst = binary.AppendUvarint(dst, f.FirstSeq)
+	dst = binary.AppendUvarint(dst, f.LastSeq)
+	dst = binary.AppendUvarint(dst, uint64(len(f.ThreadCounts)))
+	for _, tc := range f.ThreadCounts {
+		dst = binary.AppendUvarint(dst, uint64(tc.Thread))
+		dst = binary.AppendUvarint(dst, uint64(tc.Count))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Locks)))
+	for _, ls := range f.Locks {
+		dst = binary.AppendUvarint(dst, uint64(ls.Obj))
+		dst = binary.AppendUvarint(dst, uint64(ls.Acquires))
+		dst = binary.AppendUvarint(dst, uint64(ls.Obtains))
+		dst = binary.AppendUvarint(dst, uint64(ls.Contended))
+		dst = binary.AppendUvarint(dst, uint64(ls.Releases))
+	}
+	return dst
+}
+
+// decodeFooter parses a footer payload.
+func decodeFooter(buf []byte) (*Footer, error) {
+	d := byteDecoder{buf: buf}
+	f := &Footer{}
+	f.Count = int(d.count("event"))
+	f.MinT = trace.Time(d.varint())
+	f.MaxT = trace.Time(d.varint())
+	f.FirstSeq = d.uvarint()
+	f.LastSeq = d.uvarint()
+	nThreads := d.count("thread")
+	for i := uint64(0); i < nThreads && d.err == nil; i++ {
+		f.ThreadCounts = append(f.ThreadCounts, ThreadCount{
+			Thread: trace.ThreadID(d.id("thread")),
+			Count:  int(d.count("thread event")),
+		})
+	}
+	nLocks := d.count("lock")
+	for i := uint64(0); i < nLocks && d.err == nil; i++ {
+		f.Locks = append(f.Locks, LockSummary{
+			Obj:       trace.ObjID(d.id("lock")),
+			Acquires:  int(d.count("acquire")),
+			Obtains:   int(d.count("obtain")),
+			Contended: int(d.count("contended")),
+			Releases:  int(d.count("release")),
+		})
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("segment: footer: %w", d.err)
+	}
+	if d.pos != len(buf) {
+		return nil, fmt.Errorf("segment: footer has %d trailing bytes", len(buf)-d.pos)
+	}
+	return f, nil
+}
+
+// byteDecoder reads varint fields off a byte slice, latching the first
+// error so decode sequences read linearly.
+type byteDecoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *byteDecoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *byteDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("truncated uvarint at byte %d", d.pos))
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *byteDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("truncated varint at byte %d", d.pos))
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *byteDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.fail(fmt.Errorf("truncated byte at %d", d.pos))
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+// count reads a uvarint bounded by maxCount.
+func (d *byteDecoder) count(what string) uint64 {
+	v := d.uvarint()
+	if d.err == nil && v > maxCount {
+		d.fail(fmt.Errorf("%s count %d too large", what, v))
+		return 0
+	}
+	return v
+}
+
+// id reads a uvarint bounded to the int32 ID space.
+func (d *byteDecoder) id(what string) uint64 {
+	v := d.uvarint()
+	if d.err == nil && v > 1<<31-1 {
+		d.fail(fmt.Errorf("%s id %d out of range", what, v))
+		return 0
+	}
+	return v
+}
+
+func (d *byteDecoder) string(what string) string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.fail(fmt.Errorf("%s length %d too large", what, n))
+		return ""
+	}
+	if d.pos+int(n) > len(d.buf) {
+		d.fail(fmt.Errorf("truncated %s at byte %d", what, d.pos))
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -1,0 +1,214 @@
+package segment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"critlock/internal/trace"
+)
+
+// Spiller bounds trace-generation memory: it implements
+// trace.SpillSink by appending each thread's spilled runs to a
+// per-thread run file (a thread's events are already canonically
+// ordered, so a run file is one long sorted run), then Finish k-way
+// merges the runs into a sorted segment directory.
+//
+// Usage:
+//
+//	sp, _ := segment.NewSpiller(dir, opts)
+//	col.SetSpill(sp, threshold)
+//	... run the workload ...
+//	rdr, err := sp.Finish(col)
+//
+// Spiller latches the first I/O error (Emit cannot propagate one) and
+// Finish reports it.
+type Spiller struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	runs map[trace.ThreadID]*FileWriter
+	err  error
+	done bool
+}
+
+// NewSpiller creates dir (if needed) and returns a Spiller writing
+// run files into it.
+func NewSpiller(dir string, opts Options) (*Spiller, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Spiller{dir: dir, opts: opts.withDefaults(), runs: map[trace.ThreadID]*FileWriter{}}, nil
+}
+
+// SpillRun appends one thread's buffered events to its run file.
+func (s *Spiller) SpillRun(thread trace.ThreadID, events []trace.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.done {
+		s.err = fmt.Errorf("segment: spill after Finish")
+		return s.err
+	}
+	w := s.runs[thread]
+	if w == nil {
+		var err error
+		w, err = NewFileWriter(filepath.Join(s.dir, fmt.Sprintf("run-t%d.clsg", thread)), s.opts)
+		if err != nil {
+			s.err = err
+			return err
+		}
+		s.runs[thread] = w
+	}
+	for _, e := range events {
+		if err := w.Append(e); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Err returns the latched error, if any.
+func (s *Spiller) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Finish drains the collector's remaining buffers, merges all run
+// files into a sorted segment directory with the collector's
+// registrations and metadata, deletes the run files and returns a
+// Reader over the result. Call once, after the run has completed.
+func (s *Spiller) Finish(c *trace.Collector) (*Reader, error) {
+	if err := c.DrainSpill(); err != nil {
+		return nil, err
+	}
+	skel := c.Finish() // buffers are drained: registrations only
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("segment: Finish called twice")
+	}
+	s.done = true
+	if s.err != nil {
+		s.closeRunsLocked()
+		return nil, s.err
+	}
+
+	// Close run writers and reopen them as readers in thread order.
+	paths := make([]string, 0, len(s.runs))
+	for _, w := range s.runs {
+		if _, err := w.Close(); err != nil {
+			s.err = err
+		}
+		paths = append(paths, w.Path())
+	}
+	s.runs = nil
+	if s.err != nil {
+		return nil, s.err
+	}
+
+	w, err := NewWriter(s.dir, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	w.SetSkeleton(skel.Threads, skel.Objects, skel.Meta)
+	if err := mergeRuns(w, paths); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		os.Remove(p)
+	}
+	return Open(s.dir)
+}
+
+func (s *Spiller) closeRunsLocked() {
+	for _, w := range s.runs {
+		w.Close()
+		os.Remove(w.Path())
+	}
+	s.runs = nil
+}
+
+// runHead is one source in the k-way merge heap.
+type runHead struct {
+	head trace.Event
+	fr   *FileReader
+}
+
+// mergeRuns streams the k-way merge of the sorted run files into w.
+func mergeRuns(w *Writer, paths []string) error {
+	h := make([]runHead, 0, len(paths))
+	defer func() {
+		for _, rh := range h {
+			rh.fr.Close()
+		}
+	}()
+	for _, p := range paths {
+		fr, err := OpenFile(p)
+		if err != nil {
+			return err
+		}
+		e, err := fr.Next()
+		if err == io.EOF {
+			fr.Close()
+			continue
+		}
+		if err != nil {
+			fr.Close()
+			return err
+		}
+		h = append(h, runHead{head: e, fr: fr})
+	}
+	// Binary min-heap keyed by head event (same shape as
+	// trace.MergeSorted, but pulling from file readers).
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownRuns(h, i)
+	}
+	for len(h) > 0 {
+		if err := w.Append(h[0].head); err != nil {
+			return err
+		}
+		e, err := h[0].fr.Next()
+		if err == io.EOF {
+			h[0].fr.Close()
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		} else if err != nil {
+			return err
+		} else {
+			h[0].head = e
+		}
+		siftDownRuns(h, 0)
+	}
+	return nil
+}
+
+func siftDownRuns(h []runHead, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && trace.Less(h[l].head, h[min].head) {
+			min = l
+		}
+		if r < len(h) && trace.Less(h[r].head, h[min].head) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}

@@ -103,6 +103,11 @@ func (s *Sim) SetMeta(key, value string) { s.col.SetMeta(key, value) }
 // SetSink attaches a streaming trace writer; attach before Run.
 func (s *Sim) SetSink(sw *trace.StreamWriter) error { return s.col.SetSink(sw) }
 
+// Collector exposes the simulator's trace collector so callers can
+// configure spilling (trace.Collector.SetSpill) or finish a spilled
+// run through segment.Spiller.Finish.
+func (s *Sim) Collector() *trace.Collector { return s.col }
+
 // Now returns the current virtual time (valid during Run).
 func (s *Sim) Now() trace.Time { return s.now }
 

@@ -209,6 +209,23 @@ func (th *thread) Lock(hm harness.Mutex) {
 	th.csEntryOverhead(true)
 }
 
+// TryLock implements harness.Proc. It succeeds exactly when Lock's
+// fast path would: the mutex is free and nobody is queued (so a try
+// can never jump a waiting thread). A failed try emits nothing — a
+// dangling acquire with no obtain would corrupt the analysis.
+func (th *thread) TryLock(hm harness.Mutex) bool {
+	s := th.sim
+	m := th.mutexOf(hm)
+	if !m.free() || len(m.waiters) > 0 {
+		return false
+	}
+	th.buf.Emit(s.now, trace.EvLockAcquire, m.id, 0)
+	m.owner = th
+	th.buf.Emit(s.now, trace.EvLockObtain, m.id, 0)
+	th.csEntryOverhead(false)
+	return true
+}
+
 // Unlock implements harness.Proc.
 func (th *thread) Unlock(hm harness.Mutex) {
 	s := th.sim

@@ -219,6 +219,90 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
+// AppendEvent appends the event-record encoding of e — the same varint
+// layout WriteBinary uses — to dst, with T and Seq delta-encoded
+// against prev. Pass the zero Event as prev at the start of an
+// independently decodable block (the segment format resets deltas per
+// frame so frames decode without upstream context).
+func AppendEvent(dst []byte, e, prev Event) []byte {
+	dst = binary.AppendVarint(dst, int64(e.T-prev.T))
+	dst = binary.AppendUvarint(dst, e.Seq-prev.Seq)
+	dst = binary.AppendUvarint(dst, uint64(e.Thread))
+	dst = append(dst, byte(e.Kind))
+	dst = binary.AppendVarint(dst, int64(e.Obj))
+	return binary.AppendVarint(dst, e.Arg)
+}
+
+// DecodeEvent decodes one event record from the front of buf, undoing
+// the delta encoding against prev, and returns the event and the
+// number of bytes consumed. It rejects invalid kinds and out-of-range
+// IDs but does not know the trace's thread table; callers that do must
+// range-check Thread themselves.
+func DecodeEvent(buf []byte, prev Event) (Event, int, error) {
+	pos := 0
+	next := func() (int64, error) {
+		v, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return 0, errShortEvent
+		}
+		pos += n
+		return v, nil
+	}
+	nextU := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, errShortEvent
+		}
+		pos += n
+		return v, nil
+	}
+	dt, err := next()
+	if err != nil {
+		return Event{}, 0, err
+	}
+	dseq, err := nextU()
+	if err != nil {
+		return Event{}, 0, err
+	}
+	thread, err := nextU()
+	if err != nil {
+		return Event{}, 0, err
+	}
+	if pos >= len(buf) {
+		return Event{}, 0, errShortEvent
+	}
+	kind := EventKind(buf[pos])
+	pos++
+	obj, err := next()
+	if err != nil {
+		return Event{}, 0, err
+	}
+	arg, err := next()
+	if err != nil {
+		return Event{}, 0, err
+	}
+	if !kind.Valid() {
+		return Event{}, 0, fmt.Errorf("trace: invalid event kind %d", kind)
+	}
+	if thread > math.MaxInt32 {
+		return Event{}, 0, fmt.Errorf("trace: event thread %d out of range", thread)
+	}
+	if obj < int64(NoObj) || obj > math.MaxInt32 {
+		return Event{}, 0, fmt.Errorf("trace: event obj %d out of range", obj)
+	}
+	e := Event{
+		T:      prev.T + Time(dt),
+		Seq:    prev.Seq + dseq,
+		Thread: ThreadID(thread),
+		Kind:   kind,
+		Obj:    ObjID(obj),
+		Arg:    arg,
+	}
+	return e, pos, nil
+}
+
+var errShortEvent = errors.New("trace: truncated event record")
+
 var errStringTooLong = errors.New("trace: string too long")
 
 func writeString(w *bufio.Writer, s string) {

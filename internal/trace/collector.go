@@ -24,6 +24,62 @@ type Collector struct {
 	buffers []*ThreadBuffer
 	meta    map[string]string
 	sink    atomic.Pointer[StreamWriter]
+	spill   atomic.Pointer[spillConfig]
+}
+
+// SpillSink receives per-thread event runs when a buffer crosses the
+// spill threshold. Runs arrive in the emitting thread's order, so each
+// run is canonically (T, Seq) sorted; runs of different threads
+// interleave arbitrarily. The events slice is only valid for the
+// duration of the call. Implementations must latch their own I/O
+// errors (Emit cannot surface them) and report the first one when
+// their results are collected — segment.Spiller does exactly that.
+type SpillSink interface {
+	SpillRun(thread ThreadID, events []Event) error
+}
+
+// spillConfig pairs a sink with its threshold so Emit reads both with
+// one atomic load.
+type spillConfig struct {
+	sink      SpillSink
+	threshold int
+}
+
+// SetSpill attaches a spill sink: from now on, any per-thread buffer
+// reaching thresholdEvents is flushed to the sink and cleared, so the
+// collector's memory stays bounded by threads × threshold regardless
+// of trace length. Attach before the run starts; call DrainSpill after
+// it completes to push out the partial buffers.
+func (c *Collector) SetSpill(sink SpillSink, thresholdEvents int) {
+	if thresholdEvents < 1 {
+		thresholdEvents = 1
+	}
+	c.spill.Store(&spillConfig{sink: sink, threshold: thresholdEvents})
+}
+
+// DrainSpill flushes every non-empty per-thread buffer to the spill
+// sink and clears it. Call once emission has stopped; a Finish after
+// DrainSpill returns the registration skeleton with no events.
+func (c *Collector) DrainSpill() error {
+	cfg := c.spill.Load()
+	if cfg == nil {
+		return nil
+	}
+	c.mu.Lock()
+	bufs := append([]*ThreadBuffer(nil), c.buffers...)
+	c.mu.Unlock()
+	var first error
+	for _, b := range bufs {
+		b.mu.Lock()
+		if len(b.events) > 0 {
+			if err := cfg.sink.SpillRun(b.thread, b.events); err != nil && first == nil {
+				first = err
+			}
+			b.events = b.events[:0]
+		}
+		b.mu.Unlock()
+	}
+	return first
 }
 
 // NewCollector returns an empty collector.
@@ -157,12 +213,19 @@ type ThreadBuffer struct {
 func (b *ThreadBuffer) Thread() ThreadID { return b.thread }
 
 // Emit appends an event, stamping thread and sequence number, and
-// forwards it to the streaming sink if one is attached.
+// forwards it to the streaming sink if one is attached. With a spill
+// sink attached, a buffer reaching the threshold is flushed as one run
+// and cleared while still under the buffer lock, so Finish snapshots
+// never see half-spilled state.
 func (b *ThreadBuffer) Emit(t Time, kind EventKind, obj ObjID, arg int64) {
 	seq := b.collector.seq.Add(1)
 	e := Event{T: t, Seq: seq, Thread: b.thread, Kind: kind, Obj: obj, Arg: arg}
 	b.mu.Lock()
 	b.events = append(b.events, e)
+	if cfg := b.collector.spill.Load(); cfg != nil && len(b.events) >= cfg.threshold {
+		cfg.sink.SpillRun(b.thread, b.events) // errors latch in the sink
+		b.events = b.events[:0]
+	}
 	b.mu.Unlock()
 	if sink := b.collector.sink.Load(); sink != nil {
 		sink.Event(e)

@@ -44,6 +44,35 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzDecodeEvent: arbitrary bytes must never panic the per-event
+// decoder, and whatever it accepts must re-encode to bytes that decode
+// to the same event (the round-trip segment files depend on).
+func FuzzDecodeEvent(f *testing.F) {
+	prev := Event{T: 100, Seq: 5, Thread: 1}
+	f.Add(AppendEvent(nil, Event{T: 107, Seq: 6, Thread: 2, Kind: EvLockObtain, Obj: 3, Arg: LockArgContended}, prev))
+	f.Add(AppendEvent(nil, Event{T: 107, Seq: 9, Thread: 0, Kind: EvThreadStart, Obj: NoObj}, prev))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := DecodeEvent(data, prev)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("DecodeEvent consumed %d of %d bytes", n, len(data))
+		}
+		enc := AppendEvent(nil, e, prev)
+		e2, n2, err := DecodeEvent(enc, prev)
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if n2 != len(enc) || e2 != e {
+			t.Fatalf("round trip changed event: %+v -> %+v", e, e2)
+		}
+	})
+}
+
 // FuzzValidate: the validator must never panic, whatever the events.
 func FuzzValidate(f *testing.F) {
 	f.Add(int64(1), uint8(3), uint8(2))
