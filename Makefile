@@ -1,7 +1,8 @@
 # Developer entry points. `make ci` is what a gate should run: vet,
-# build, race-enabled tests, a fuzz smoke pass over every fuzz target,
-# the streaming-vs-in-memory differential, and one pass of the headline
-# benchmark (benchtime=1x — for real numbers use `make bench`).
+# gofmt cleanliness, build, race-enabled tests, a fuzz smoke pass over
+# every fuzz target, the streaming-vs-in-memory differential, the
+# serving-path golden smoke, and one pass of the headline benchmark
+# (benchtime=1x — for real numbers use `make bench`).
 
 GO ?= go
 
@@ -10,7 +11,7 @@ GO ?= go
 # seed corpus.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz-smoke stream-diff bench bench-smoke ci
+.PHONY: all build vet test race fuzz-smoke stream-diff serve-smoke fmt-check bench bench-smoke ci
 
 all: ci
 
@@ -43,6 +44,19 @@ fuzz-smoke:
 stream-diff:
 	$(GO) test -race ./internal/core -run 'TestAnalyzeStream' -count=1 -v
 
+# Serving-path smoke: spin up the analysis server in-process, POST the
+# checked-in synth workload and byte-diff the JSON report against its
+# golden (testdata/smoke_report.golden), plus the source-level
+# differential oracle behind the unified Analyze API. Refresh the
+# golden with UPDATE_SERVE_GOLDEN=1 after an intended change.
+serve-smoke:
+	$(GO) test ./internal/serve -run 'TestServeSmokeGolden|TestSegdirMatchesUpload' -count=1 -v
+	$(GO) test . -run TestAnalyzeSourcesAgree -count=1
+
+# Gofmt cleanliness — the build stays formatter-neutral.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # One iteration of the headline benchmarks — catches crashes and gross
 # regressions without tying up CI.
 bench-smoke:
@@ -53,4 +67,4 @@ bench:
 	$(GO) test -run=xxx -bench='BenchmarkAnalyzeLargeTrace|BenchmarkAnalyzeReuse|BenchmarkMergeVsSort|BenchmarkRunAllParallel' -benchtime=30x -benchmem .
 	$(GO) test -run=xxx -bench=BenchmarkAnalyzeStream2M -benchtime=2x -benchmem .
 
-ci: vet build race stream-diff fuzz-smoke bench-smoke
+ci: vet fmt-check build race stream-diff serve-smoke fuzz-smoke bench-smoke

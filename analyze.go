@@ -1,0 +1,168 @@
+package critlock
+
+import (
+	"critlock/internal/core"
+	"critlock/internal/obs"
+	"critlock/internal/segment"
+	"critlock/internal/trace"
+)
+
+// Unified analysis entry point: one Analyze for every way a trace can
+// arrive. The source decides the pipeline — in-memory traces run the
+// indexed analysis, segmented traces run the three-pass bounded-memory
+// analysis — and the options apply uniformly, so the CLIs, the serving
+// layer and library callers share a single code path.
+//
+//	an, err := critlock.Analyze(critlock.TraceSource(tr))
+//	an, err := critlock.Analyze(critlock.SegmentDirSource("segs/"),
+//	        critlock.WithWindow(8), critlock.WithProgress(show))
+
+// AnalysisSource is where Analyze reads a recorded execution from.
+// Built-in constructors: TraceSource (in-memory events),
+// SegmentsSource (an open segmented trace or a spiller's result) and
+// SegmentDirSource (a segment directory opened at Analyze time).
+type AnalysisSource = core.Source
+
+// SegmentReader is random access to a segmented trace: the
+// registration skeleton plus whole-segment loads. segment.Reader and
+// spilled live recordings implement it.
+type SegmentReader = core.SegmentSource
+
+// Progress is a cumulative snapshot of a running analysis (current
+// phase, events processed, segments loaded, bytes spilled).
+type Progress = obs.Progress
+
+// Observer receives analysis self-instrumentation callbacks: phase
+// boundaries with durations plus Progress snapshots.
+type Observer = obs.Observer
+
+// Typed error kinds, classified with errors.Is.
+var (
+	// ErrTruncated marks trace or segment input cut short of what its
+	// format promises.
+	ErrTruncated = trace.ErrTruncated
+	// ErrChecksum marks segment data whose CRC does not match —
+	// corruption rather than truncation.
+	ErrChecksum = trace.ErrChecksum
+	// ErrNeedsRawEvents marks an event-replay operation (timelines,
+	// lock-order graphs, the online predictor) applied to a streamed
+	// analysis, which retains only the registration skeleton.
+	ErrNeedsRawEvents = core.ErrNeedsRawEvents
+)
+
+// TraceSource analyzes an in-memory trace with the indexed pipeline.
+func TraceSource(tr *Trace) AnalysisSource { return core.TraceSource(tr) }
+
+// SegmentsSource analyzes an already-open segmented trace with the
+// bounded-memory streaming pipeline.
+func SegmentsSource(src SegmentReader) AnalysisSource { return core.StreamSource(src) }
+
+// SegmentDirSource analyzes the segmented trace directory at dir,
+// opened when Analyze runs (segment loads open and close files per
+// segment, so nothing needs explicit cleanup).
+func SegmentDirSource(dir string) AnalysisSource { return segmentDirSource{dir} }
+
+type segmentDirSource struct{ dir string }
+
+func (s segmentDirSource) Run(a *core.Analyzer, cfg core.Config) (*core.Analysis, error) {
+	r, err := segment.Open(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	return core.StreamSource(r).Run(a, cfg)
+}
+
+// Option tunes one Analyze call.
+type Option func(*core.Config)
+
+// WithOptions replaces the analysis options wholesale (clipping,
+// validation, workers). Observers already attached via WithObserver or
+// WithProgress are preserved; apply WithOptions first when combining.
+func WithOptions(opts AnalyzeOptions) Option {
+	return func(c *core.Config) {
+		attached := c.Options.Observer
+		c.Options = opts
+		c.Options.Observer = obs.Combine(attached, opts.Observer)
+	}
+}
+
+// WithClipHold selects hold-time accounting: true (the default)
+// credits on-path invocations only with hold time lying on the walked
+// critical path; false credits full hold times (the coarser accounting
+// kept as an ablation knob).
+func WithClipHold(on bool) Option {
+	return func(c *core.Config) { c.ClipHold = on }
+}
+
+// WithValidation toggles structural trace validation before in-memory
+// analysis (the default is on; the streaming pipeline enforces its
+// invariants in-pass instead).
+func WithValidation(on bool) Option {
+	return func(c *core.Config) { c.Validate = on }
+}
+
+// WithWindow sets the streaming backward walk's window: how many
+// decoded segments stay resident at once (0 = default). In-memory
+// analyses ignore it.
+func WithWindow(segments int) Option {
+	return func(c *core.Config) { c.CacheSegments = segments }
+}
+
+// WithWorkers caps the parallel metric pass's worker count (0 =
+// GOMAXPROCS). Results are identical at any setting; serving layers
+// use it to budget CPU across concurrent analyses.
+func WithWorkers(n int) Option {
+	return func(c *core.Config) { c.Workers = n }
+}
+
+// WithTmpDir hosts the streaming waker-annotation spill file
+// ("" = os.TempDir). In-memory analyses ignore it.
+func WithTmpDir(dir string) Option {
+	return func(c *core.Config) { c.TmpDir = dir }
+}
+
+// WithComposition retains per-thread hold intervals during streaming
+// analysis so Analysis.Composition works (in-memory analyses always
+// retain them).
+func WithComposition(on bool) Option {
+	return func(c *core.Config) { c.Composition = on }
+}
+
+// WithObserver attaches an instrumentation observer; multiple
+// observers compose. Observation never changes analysis results.
+func WithObserver(o Observer) Option {
+	return func(c *core.Config) { c.Options.Observer = obs.Combine(c.Options.Observer, o) }
+}
+
+// WithProgress attaches a progress callback: fn fires with a
+// cumulative snapshot at every phase boundary and segment load.
+func WithProgress(fn func(Progress)) Option {
+	return WithObserver(obs.Funcs{Progress: fn})
+}
+
+// Analyze runs critical lock analysis on src with default options
+// (clipped hold accounting, validation on for in-memory traces),
+// adjusted by opts.
+func Analyze(src AnalysisSource, opts ...Option) (*Analysis, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.AnalyzeSource(src, cfg)
+}
+
+// AnalyzeWithOptions runs critical lock analysis on an in-memory trace
+// with explicit options.
+//
+// Deprecated: use Analyze(TraceSource(tr), WithOptions(opts)).
+func AnalyzeWithOptions(tr *Trace, opts AnalyzeOptions) (*Analysis, error) {
+	return Analyze(TraceSource(tr), WithOptions(opts))
+}
+
+// AnalyzeStream analyzes an open segmented trace in bounded memory.
+//
+// Deprecated: AnalyzeStream predates the unified entry point; use
+// Analyze(SegmentsSource(src), ...), which accepts the same options.
+func AnalyzeStream(src SegmentReader, opts ...Option) (*Analysis, error) {
+	return Analyze(SegmentsSource(src), opts...)
+}

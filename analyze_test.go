@@ -1,0 +1,137 @@
+package critlock_test
+
+import (
+	"reflect"
+	"testing"
+
+	"critlock"
+	"critlock/internal/segment"
+)
+
+// workloadTrace builds a deterministic trace of one modelled workload.
+func workloadTrace(t *testing.T, name string, threads int) *critlock.Trace {
+	t.Helper()
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	tr, _, err := critlock.RunWorkload(sim, name, critlock.WorkloadParams{Threads: threads, Seed: 1})
+	if err != nil {
+		t.Fatalf("running %s: %v", name, err)
+	}
+	return tr
+}
+
+// TestAnalyzeSourcesAgree is the source-level differential oracle: the
+// unified Analyze must produce identical results whether the events
+// arrive in memory (TraceSource) or stream from a segment directory
+// (SegmentDirSource) — same critical path, same lock and thread
+// statistics, same totals.
+func TestAnalyzeSourcesAgree(t *testing.T) {
+	for _, tc := range []struct {
+		workload string
+		threads  int
+	}{
+		{"micro", 4},
+		{"tsp", 6},
+		{"waternsq", 4},
+	} {
+		t.Run(tc.workload, func(t *testing.T) {
+			tr := workloadTrace(t, tc.workload, tc.threads)
+
+			mem, err := critlock.Analyze(critlock.TraceSource(tr))
+			if err != nil {
+				t.Fatalf("TraceSource: %v", err)
+			}
+
+			dir := t.TempDir()
+			if err := segment.WriteTrace(dir, tr, segment.Options{SegmentEvents: 64}); err != nil {
+				t.Fatalf("writing segments: %v", err)
+			}
+			var snapshots int
+			streamed, err := critlock.Analyze(critlock.SegmentDirSource(dir),
+				critlock.WithWindow(3),
+				critlock.WithProgress(func(critlock.Progress) { snapshots++ }))
+			if err != nil {
+				t.Fatalf("SegmentDirSource: %v", err)
+			}
+
+			if !reflect.DeepEqual(mem.CP, streamed.CP) {
+				t.Errorf("critical paths differ between sources")
+			}
+			if !reflect.DeepEqual(mem.Locks, streamed.Locks) {
+				t.Errorf("lock statistics differ between sources")
+			}
+			if !reflect.DeepEqual(mem.Threads, streamed.Threads) {
+				t.Errorf("thread statistics differ between sources")
+			}
+			if !reflect.DeepEqual(mem.Totals, streamed.Totals) {
+				t.Errorf("totals differ between sources")
+			}
+			if snapshots == 0 {
+				t.Errorf("WithProgress observer never fired")
+			}
+		})
+	}
+}
+
+// TestObserverDoesNotChangeResults pins the instrumentation invariant:
+// attaching observers and capping workers must not alter any result.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	tr := workloadTrace(t, "micro", 4)
+
+	plain, err := critlock.Analyze(critlock.TraceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []string
+	observed, err := critlock.Analyze(critlock.TraceSource(tr),
+		critlock.WithWorkers(2),
+		critlock.WithProgress(func(p critlock.Progress) { phases = append(phases, p.Phase) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Locks, observed.Locks) || !reflect.DeepEqual(plain.CP, observed.CP) {
+		t.Errorf("observation changed analysis results")
+	}
+	want := []string{"validate", "index", "walk", "metrics"}
+	if !reflect.DeepEqual(phases, want) {
+		t.Errorf("in-memory phases = %v, want %v", phases, want)
+	}
+}
+
+// TestDeprecatedShimsAgree keeps the migration shims honest: the old
+// entry points must equal the unified one.
+func TestDeprecatedShimsAgree(t *testing.T) {
+	tr := workloadTrace(t, "micro", 4)
+
+	unified, err := critlock.Analyze(critlock.TraceSource(tr), critlock.WithClipHold(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shimmed, err := critlock.AnalyzeWithOptions(tr, critlock.AnalyzeOptions{ClipHold: false, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(unified.Locks, shimmed.Locks) {
+		t.Errorf("AnalyzeWithOptions shim disagrees with Analyze")
+	}
+
+	dir := t.TempDir()
+	if err := segment.WriteTrace(dir, tr, segment.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := critlock.Analyze(critlock.SegmentDirSource(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdr, err := segment.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamShim, err := critlock.AnalyzeStream(rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromDir.Locks, streamShim.Locks) {
+		t.Errorf("AnalyzeStream shim disagrees with Analyze(SegmentDirSource)")
+	}
+}

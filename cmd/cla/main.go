@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 
+	"critlock"
+	"critlock/internal/cliflags"
 	"critlock/internal/core"
 	"critlock/internal/report"
 	"critlock/internal/segment"
@@ -51,8 +53,8 @@ func run(args []string) error {
 		markdown  = fs.Bool("markdown", false, "emit the lock table as GitHub markdown instead of text")
 		reportOut = fs.String("report", "", "write a complete markdown report to this file")
 		narrate   = fs.Int("narrate", -1, "narrate the critical path's thread hops (0 = all, N = cap)")
-		segdir    = fs.String("segdir", "", "segmented trace directory: analyze it in bounded memory (no file argument), or convert the file argument into it")
-		window    = fs.Int("window", 0, "segments resident during the streaming backward walk (0 = default)")
+		segdir    = cliflags.SegDir(fs)
+		window    = cliflags.Window(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,18 +72,14 @@ func run(args []string) error {
 			"-lockorder": *lockOrder, "-slack": *slack, "-report": *reportOut != "",
 		} {
 			if set {
-				return fmt.Errorf("%s needs the full event stream; rerun on a trace file without -segdir", flagName)
+				return fmt.Errorf("%s %w; rerun on a trace file without -segdir", flagName, critlock.ErrNeedsRawEvents)
 			}
 		}
-		r, err := segment.Open(*segdir)
-		if err != nil {
-			return fmt.Errorf("opening %s: %w", *segdir, err)
-		}
-		an, err = core.AnalyzeStream(r, core.StreamOptions{
-			Options:       core.Options{ClipHold: !*noClip},
-			CacheSegments: *window,
-			Composition:   *compose,
-		})
+		var err error
+		an, err = critlock.Analyze(critlock.SegmentDirSource(*segdir),
+			critlock.WithClipHold(!*noClip),
+			critlock.WithWindow(*window),
+			critlock.WithComposition(*compose))
 		if err != nil {
 			return fmt.Errorf("analyzing %s: %w", *segdir, err)
 		}
@@ -123,7 +121,9 @@ func run(args []string) error {
 			fmt.Printf("wrote segmented trace to %s (%d events)\n", *segdir, len(tr.Events))
 		}
 
-		an, err = core.Analyze(tr, core.Options{ClipHold: !*noClip, Validate: !*noCheck})
+		an, err = critlock.Analyze(critlock.TraceSource(tr),
+			critlock.WithClipHold(!*noClip),
+			critlock.WithValidation(!*noCheck))
 		if err != nil {
 			return fmt.Errorf("analyzing: %w", err)
 		}

@@ -16,8 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 
+	"critlock/internal/cliflags"
 	"critlock/internal/experiments"
 )
 
@@ -37,7 +37,7 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		contexts = fs.Int("contexts", 24, "simulated hardware contexts")
 		quick    = fs.Bool("quick", false, "reduced sweeps")
-		jobs     = fs.Int("j", runtime.NumCPU(), "parallel workers for -all and for sweeps inside experiments")
+		jobs     = cliflags.Jobs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"critlock/internal/cliflags"
 	"critlock/internal/core"
 	"critlock/internal/segment"
 	"critlock/internal/synth"
@@ -33,7 +34,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("clagen", flag.ContinueOnError)
 	jsonIn := fs.Bool("json", false, "input trace is JSON instead of binary")
-	segdir := fs.String("segdir", "", "read a segmented trace directory (streamed, bounded memory) instead of a trace file")
+	segdir := cliflags.SegDir(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

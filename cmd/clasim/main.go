@@ -21,7 +21,8 @@ import (
 	"io"
 	"os"
 
-	"critlock/internal/core"
+	"critlock"
+	"critlock/internal/cliflags"
 	"critlock/internal/harness"
 	"critlock/internal/livetrace"
 	"critlock/internal/report"
@@ -57,8 +58,8 @@ func run(args []string) error {
 		gantt    = fs.Bool("gantt", false, "print an ASCII timeline with the critical path")
 		thr      = fs.Bool("threadstats", false, "print per-thread statistics")
 		svgOut   = fs.String("svg", "", "write an SVG timeline to this file")
-		segdir   = fs.String("segdir", "", "write a segmented trace directory")
-		spill    = fs.Int("spill", 0, "spill threshold in buffered events per thread (0 = off; requires -segdir): bounds collection memory and streams the analysis")
+		segdir   = cliflags.SegDir(fs)
+		spill    = cliflags.Spill(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,7 +142,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote segmented trace to %s (%d events, %d segments)\n",
 			*segdir, rdr.NumEvents(), rdr.NumSegments())
-		an, err := core.AnalyzeStream(rdr, core.DefaultStreamOptions())
+		an, err := critlock.Analyze(critlock.SegmentsSource(rdr))
 		if err != nil {
 			return fmt.Errorf("analyzing: %w", err)
 		}
@@ -180,7 +181,7 @@ func run(args []string) error {
 		fmt.Printf("wrote JSON trace to %s\n", *jsonOut)
 	}
 
-	an, err := core.AnalyzeDefault(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		return fmt.Errorf("analyzing: %w", err)
 	}

@@ -12,10 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
+	"critlock/internal/cliflags"
 	"critlock/internal/report"
 	"critlock/internal/synth"
 )
@@ -35,7 +35,7 @@ func run(args []string) error {
 		factorsFlag = fs.String("factors", "", "comma-separated hold factors (default 1.0,0.5 with -shrink)")
 		contexts    = fs.Int("contexts", 24, "simulated hardware contexts")
 		seed        = fs.Int64("seed", 1, "random seed")
-		jobs        = fs.Int("j", runtime.NumCPU(), "parallel workers for the sweep grid")
+		jobs        = cliflags.Jobs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

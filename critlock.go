@@ -10,10 +10,14 @@
 //   - tracing: a Collector gathers lock/barrier/condvar/thread events;
 //     two runtimes produce them — NewSimulator (deterministic virtual
 //     time) and NewLiveRuntime (real goroutines, wall clock);
-//   - analysis: Analyze walks the critical path backwards and returns
-//     per-lock TYPE 1 (CP Time %, invocations and contention
-//     probability on the critical path) and TYPE 2 (wait time, hold
-//     time, average contention) statistics;
+//   - analysis: Analyze(src, opts...) walks the critical path
+//     backwards and returns per-lock TYPE 1 (CP Time %, invocations
+//     and contention probability on the critical path) and TYPE 2
+//     (wait time, hold time, average contention) statistics; the
+//     source picks the pipeline — TraceSource runs in memory,
+//     SegmentsSource and SegmentDirSource stream in bounded memory;
+//   - serving: NewServer wraps the analysis in an HTTP ingest/report
+//     service with self-instrumentation (see cmd/clasrv);
 //   - workloads: RunWorkload executes the modelled applications from
 //     the paper's case study (micro, radiosity, waternsq, volrend,
 //     raytrace, tsp, uts, ldap);
@@ -31,7 +35,7 @@
 //		p.Lock(mu); p.Compute(5000); p.Unlock(mu)
 //		p.Join(w)
 //	})
-//	an, err := critlock.Analyze(tr)
+//	an, err := critlock.Analyze(critlock.TraceSource(tr))
 //	fmt.Println(critlock.LockTable(an, 0))
 package critlock
 
@@ -99,16 +103,6 @@ func NewSimulator(cfg SimConfig) *sim.Sim { return sim.New(cfg) }
 // NewLiveRuntime returns the real-execution runtime: goroutines,
 // sync.Mutex-based primitives and monotonic timestamps.
 func NewLiveRuntime(cfg LiveConfig) *livetrace.Runtime { return livetrace.New(cfg) }
-
-// Analyze runs critical lock analysis with default options (clipped
-// hold accounting, trace validation on).
-func Analyze(tr *Trace) (*Analysis, error) { return core.AnalyzeDefault(tr) }
-
-// AnalyzeWithOptions runs critical lock analysis with explicit
-// options.
-func AnalyzeWithOptions(tr *Trace, opts AnalyzeOptions) (*Analysis, error) {
-	return core.Analyze(tr, opts)
-}
 
 // Workloads lists the modelled applications available to RunWorkload.
 func Workloads() []string { return workloads.Names() }

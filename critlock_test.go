@@ -52,7 +52,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("ReadTrace: %v", err)
 	}
 
-	an, err := critlock.Analyze(tr2)
+	an, err := critlock.Analyze(critlock.TraceSource(tr2))
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestPublicWorkloads(t *testing.T) {
 	if elapsed != 12_000_000 {
 		t.Errorf("micro elapsed = %d, want 12ms", elapsed)
 	}
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestPublicLiveRuntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestAnalyzeWithOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	an, err := critlock.AnalyzeWithOptions(tr, critlock.AnalyzeOptions{ClipHold: false, Validate: true})
+	an, err := critlock.Analyze(critlock.TraceSource(tr), critlock.WithClipHold(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestPublicAnalysisExtras(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,7 +42,7 @@ func ExampleAnalyze() {
 		panic(err)
 	}
 
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		panic(err)
 	}
@@ -94,7 +94,7 @@ func ExampleLoadSynth() {
 	if err != nil {
 		panic(err)
 	}
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		panic(err)
 	}

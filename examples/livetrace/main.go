@@ -82,7 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		log.Fatal(err)
 	}

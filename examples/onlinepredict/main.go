@@ -36,7 +36,7 @@ func main() {
 		}
 	}
 
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,88 @@
+// Serving mode: run the analysis server in-process, upload a
+// simulated trace over HTTP, and read back the JSON report, the live
+// progress table and the Prometheus metrics.
+//
+//	go run ./examples/serve
+//
+// The same flow works against a standalone server (cmd/clasrv) with
+// curl — see README.md's "Serving mode" section.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"critlock"
+)
+
+func main() {
+	// A server on a loopback port, exactly as cmd/clasrv wires it.
+	srv := critlock.NewServer(critlock.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// A workload trace to upload: the paper's micro benchmark.
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	tr, _, err := critlock.RunWorkload(sim, "micro", critlock.WorkloadParams{Threads: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := critlock.WriteTrace(&buf, tr); err != nil {
+		log.Fatal(err)
+	}
+
+	// Upload → analyze → report.
+	resp, err := http.Post(base+"/v1/analyze", "application/octet-stream", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep critlock.ServerReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report %s (%s): critical path %d ns over %d threads\n",
+		rep.ID, rep.Source, rep.Summary.CPLength, rep.Totals.Threads)
+	for i, l := range rep.Locks {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  lock %-8s CP time %5.1f%%  wait %5.1f%%\n", l.Name, l.CPTimePct, l.WaitTimePct)
+	}
+
+	// The same report is cached: fetch it back by ID.
+	resp2, err := http.Get(base + "/v1/reports/" + rep.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp2.Body.Close()
+	fmt.Printf("GET /v1/reports/%s -> %s\n", rep.ID, resp2.Status)
+
+	// Self-instrumentation: per-phase histograms and throughput.
+	resp3, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "critlock_analysis_events_total") ||
+			strings.HasPrefix(line, "critlock_server_requests_total") ||
+			strings.Contains(line, "phase=\"walk\"") && strings.Contains(line, "_count") {
+			fmt.Println("metrics:", line)
+		}
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func runOnce(twoLock bool) (*critlock.Analysis, critlock.Time) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	an, err := critlock.Analyze(tr)
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
 	if err != nil {
 		log.Fatal(err)
 	}

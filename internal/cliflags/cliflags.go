@@ -1,0 +1,34 @@
+// Package cliflags registers the flags every cla* command spells the
+// same way, so the tools agree on names, defaults and usage text:
+// -segdir (segmented trace directory), -window (streaming walk
+// residency), -spill (collector spill threshold) and -j (parallel
+// workers). Commands register only the subset they support.
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+)
+
+// SegDir registers -segdir: a segmented trace directory in the
+// bounded-memory streaming format.
+func SegDir(fs *flag.FlagSet) *string {
+	return fs.String("segdir", "", "segmented trace directory (bounded-memory streaming format)")
+}
+
+// Window registers -window: how many decoded segments stay resident
+// during the streaming backward walk.
+func Window(fs *flag.FlagSet) *int {
+	return fs.Int("window", 0, "segments resident during the streaming backward walk (0 = default)")
+}
+
+// Spill registers -spill: the collector's per-thread buffered-event
+// threshold beyond which events spill to segment run files.
+func Spill(fs *flag.FlagSet) *int {
+	return fs.Int("spill", 0, "spill threshold in buffered events per thread (0 = off; requires -segdir)")
+}
+
+// Jobs registers -j: the parallel worker count for sweeps and fan-out.
+func Jobs(fs *flag.FlagSet) *int {
+	return fs.Int("j", runtime.NumCPU(), "parallel workers")
+}

@@ -23,6 +23,7 @@ package core
 import (
 	"sort"
 
+	"critlock/internal/obs"
 	"critlock/internal/trace"
 )
 
@@ -39,6 +40,13 @@ type Options struct {
 	// malformed traces. Analyses of traces from unknown provenance
 	// should keep this on.
 	Validate bool
+	// Workers caps the parallel metric pass's worker count; 0 means
+	// GOMAXPROCS. Results are identical at any worker count.
+	Workers int
+	// Observer, when non-nil, receives self-instrumentation callbacks:
+	// per-phase timings and cumulative Progress snapshots. Observation
+	// never changes analysis results.
+	Observer obs.Observer
 }
 
 // DefaultOptions returns the recommended options: clipped hold

@@ -32,23 +32,39 @@ func NewAnalyzer() *Analyzer { return &Analyzer{} }
 // internal buffers. Semantics are identical to the package-level
 // Analyze.
 func (a *Analyzer) Analyze(tr *trace.Trace, opts Options) (*Analysis, error) {
+	return a.analyzeTrace(tr, Config{Options: opts})
+}
+
+// analyzeTrace is the in-memory pipeline behind TraceSource: validate
+// (optional) → index → walk → metrics, with per-phase observation.
+func (a *Analyzer) analyzeTrace(tr *trace.Trace, cfg Config) (*Analysis, error) {
 	if tr == nil || len(tr.Events) == 0 {
 		return nil, trace.ErrEmptyTrace
 	}
-	if opts.Validate {
+	h := newObsHook(cfg.Observer, len(tr.Events))
+	n := int64(len(tr.Events))
+	if cfg.Validate {
+		start := h.phaseStart("validate")
 		if err := trace.Validate(tr); err != nil {
 			return nil, fmt.Errorf("core: invalid trace: %w", err)
 		}
+		h.phaseDone("validate", start, n)
 	}
+	start := h.phaseStart("index")
 	if err := buildIndexInto(&a.idx, tr); err != nil {
 		return nil, err
 	}
+	h.phaseDone("index", start, n)
+	start = h.phaseStart("walk")
 	cp, err := walk(tr, &a.idx)
 	if err != nil {
 		return nil, err
 	}
+	h.phaseDone("walk", start, n)
+	start = h.phaseStart("metrics")
 	an := &Analysis{Trace: tr, CP: *cp}
-	computeMetrics(an, &a.idx, opts)
+	computeMetrics(an, &a.idx, cfg.Options)
+	h.phaseDone("metrics", start, n)
 	return an, nil
 }
 

@@ -155,10 +155,10 @@ func buildIndexInto(idx *index, tr *trace.Trace) error {
 	evOff, acqOff := 0, 0
 	for tid := 0; tid < nThreads; tid++ {
 		c := idx.evCounts[tid]
-		idx.thrEvents[tid] = idx.thrFlat[evOff:evOff : evOff+c]
+		idx.thrEvents[tid] = idx.thrFlat[evOff : evOff : evOff+c]
 		evOff += c
 		c = idx.acqCounts[tid]
-		idx.invsByThread[tid] = idx.invsFlat[acqOff:acqOff : acqOff+c]
+		idx.invsByThread[tid] = idx.invsFlat[acqOff : acqOff : acqOff+c]
 		acqOff += c
 	}
 	if cap(idx.invocations) < acquires {

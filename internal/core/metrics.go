@@ -81,9 +81,15 @@ const metricsParallelMin = 4096
 // metricsWorkersOverride forces the worker count (test hook; 0 = off).
 var metricsWorkersOverride int
 
-func metricsWorkers(nInvocations, nThreads int) int {
+func metricsWorkers(nInvocations, nThreads, capWorkers int) int {
 	if metricsWorkersOverride > 0 {
 		return metricsWorkersOverride
+	}
+	if capWorkers > 0 {
+		// An explicit Options.Workers cap overrides the size heuristic:
+		// the caller is budgeting CPU (a serving layer running analyses
+		// concurrently), and results are worker-count independent.
+		return capWorkers
 	}
 	if nThreads < 2 || nInvocations < metricsParallelMin {
 		return 1
@@ -130,7 +136,7 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 	// private sink and merge below.
 	an.holdsByThread = make([][]interval, nThreads)
 	an.hotByLock = map[trace.ObjID][]interval{}
-	workers := metricsWorkers(len(idx.invocations), nThreads)
+	workers := metricsWorkers(len(idx.invocations), nThreads, opts.Workers)
 	sinks := make([]*lockSink, min(workers, nThreads))
 	par.Chunks(nThreads, workers, func(chunk, lo, hi int) {
 		sink := newLockSink(nThreads)

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"critlock/internal/obs"
+	"critlock/internal/trace"
+)
+
+// ErrNeedsRawEvents marks an operation that replays the raw event
+// stream (Gantt timelines, lock-order graphs, the online predictor)
+// applied to a streamed analysis, which keeps only the registration
+// skeleton. Re-run the operation on a full in-memory trace.
+var ErrNeedsRawEvents = errors.New("needs raw events (streamed analysis keeps only the trace skeleton)")
+
+// HasEvents reports whether the analysis retained the raw event
+// stream. Streamed analyses hold only the skeleton, so event-replay
+// consumers (timeline renderers, lock-order graphs) must check this —
+// or propagate ErrNeedsRawEvents.
+func (a *Analysis) HasEvents() bool {
+	return a.Trace != nil && len(a.Trace.Events) > 0
+}
+
+// Config is the unified analysis configuration: the Options both
+// pipelines share plus the streaming-only knobs. The zero value means
+// unclipped holds and no validation; start from DefaultConfig for the
+// recommended defaults.
+type Config struct {
+	Options
+	// CacheSegments is the streaming backward walk's window: how many
+	// decoded segments stay resident at once (0 = default, minimum 1).
+	// Ignored by the in-memory pipeline.
+	CacheSegments int
+	// TmpDir hosts the streaming waker-annotation spill file
+	// ("" = os.TempDir). Ignored by the in-memory pipeline.
+	TmpDir string
+	// Composition retains per-thread hold intervals during streaming
+	// analysis so Analysis.Composition works; it costs O(invocations)
+	// memory, so it is off by default there. The in-memory pipeline
+	// always retains them.
+	Composition bool
+}
+
+// DefaultConfig returns the recommended configuration: clipped hold
+// accounting with validation enabled.
+func DefaultConfig() Config { return Config{Options: DefaultOptions()} }
+
+// Source is where the unified Analyze entry point reads a trace from:
+// an in-memory event array, an open segmented-trace reader, or any
+// other provider that knows which pipeline fits it. The two built-in
+// constructors are TraceSource and StreamSource; callers with custom
+// acquisition (open a directory lazily, download first) implement Run
+// and delegate to one of them.
+type Source interface {
+	// Run executes the analysis pipeline appropriate for this source
+	// on a, which retains reusable scratch storage across calls.
+	Run(a *Analyzer, cfg Config) (*Analysis, error)
+}
+
+// traceSource analyzes an in-memory trace.
+type traceSource struct{ tr *trace.Trace }
+
+// TraceSource adapts an in-memory trace: Analyze runs the indexed
+// pipeline (index → walk → metrics) over the event array.
+func TraceSource(tr *trace.Trace) Source { return traceSource{tr} }
+
+func (s traceSource) Run(a *Analyzer, cfg Config) (*Analysis, error) {
+	return a.analyzeTrace(s.tr, cfg)
+}
+
+// streamSource analyzes a segmented trace in bounded memory.
+type streamSource struct{ src SegmentSource }
+
+// StreamSource adapts a segmented trace (an open segment.Reader, a
+// spiller's result, or any SegmentSource): Analyze runs the
+// three-pass bounded-memory pipeline.
+func StreamSource(src SegmentSource) Source { return streamSource{src} }
+
+func (s streamSource) Run(a *Analyzer, cfg Config) (*Analysis, error) {
+	return a.analyzeStream(s.src, cfg)
+}
+
+// AnalyzeSource is the unified entry point both pipelines share: every
+// consumer — the facade, the CLIs, the serving layer — dispatches
+// through it, so options and instrumentation behave identically
+// everywhere. Internal storage is recycled through the analyzer pool.
+func AnalyzeSource(src Source, cfg Config) (*Analysis, error) {
+	a := analyzerPool.Get().(*Analyzer)
+	defer analyzerPool.Put(a)
+	return a.AnalyzeSource(src, cfg)
+}
+
+// AnalyzeSource is the Analyzer form of the package-level
+// AnalyzeSource, for pipelines holding an Analyzer for reuse.
+func (a *Analyzer) AnalyzeSource(src Source, cfg Config) (*Analysis, error) {
+	return src.Run(a, cfg)
+}
+
+// obsHook adapts an obs.Observer for the analysis hot path: nil-safe
+// (a nil hook is free), and it owns the run's cumulative Progress
+// snapshot. Events count per phase (each pass re-reads the trace);
+// Segments and BytesSpilled accumulate over the whole run.
+type obsHook struct {
+	o obs.Observer
+	p obs.Progress
+}
+
+// newObsHook returns nil — the free hook — when o is nil.
+func newObsHook(o obs.Observer, totalEvents int) *obsHook {
+	if o == nil {
+		return nil
+	}
+	return &obsHook{o: o, p: obs.Progress{TotalEvents: int64(totalEvents)}}
+}
+
+// phaseStart begins a phase, resetting the per-phase event cursor.
+func (h *obsHook) phaseStart(name string) time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	h.p.Phase = name
+	h.p.Events = 0
+	h.o.PhaseStart(name)
+	return time.Now()
+}
+
+// phaseDone completes a phase: duration callback plus a final snapshot
+// with the phase's full event count (pass events < 0 to keep whatever
+// the phase's scanned calls accumulated — the walk touches only the
+// segments the path crosses).
+func (h *obsHook) phaseDone(name string, start time.Time, events int64) {
+	if h == nil {
+		return
+	}
+	if events >= 0 {
+		h.p.Events = events
+	}
+	h.o.PhaseDone(name, time.Since(start))
+	h.o.OnProgress(h.p)
+}
+
+// scanned records one segment load of n events and emits a snapshot.
+func (h *obsHook) scanned(n int) {
+	if h == nil {
+		return
+	}
+	h.p.Segments++
+	h.p.Events += int64(n)
+	h.o.OnProgress(h.p)
+}
+
+// spilled records n bytes written to spill storage (snapshot emitted
+// with the next scanned/phaseDone, not per write).
+func (h *obsHook) spilled(n int64) {
+	if h != nil {
+		h.p.BytesSpilled += n
+	}
+}

@@ -32,25 +32,16 @@ type SegmentSource interface {
 
 // StreamOptions tunes AnalyzeStream.
 //
-// Options.Validate is not consulted: whole-trace validation would
-// defeat the memory bound, and the streaming passes already enforce
-// the invariants the analysis depends on (canonical ordering and
-// checksums in the segment reader, thread ranges and
-// acquire/obtain/release pairing in the passes).
-type StreamOptions struct {
-	Options
-	// CacheSegments is the backward walk's window: how many decoded
-	// segments stay resident at once. Peak event memory is bounded by
-	// CacheSegments+1 segments (the +1 is the forward pass's cursor).
-	// 0 means DefaultCacheSegments; the minimum is 1.
-	CacheSegments int
-	// TmpDir hosts the waker-annotation spill file ("" = os.TempDir).
-	TmpDir string
-	// Composition retains per-thread hold intervals so
-	// Analysis.Composition works; it costs O(invocations) memory, so
-	// it is off by default in streaming mode.
-	Composition bool
-}
+// Options.Validate is not consulted by the streaming pipeline:
+// whole-trace validation would defeat the memory bound, and the
+// streaming passes already enforce the invariants the analysis depends
+// on (canonical ordering and checksums in the segment reader, thread
+// ranges and acquire/obtain/release pairing in the passes).
+//
+// Deprecated: StreamOptions is the unified Config under its historical
+// name; new code should build a Config and call AnalyzeSource with a
+// StreamSource.
+type StreamOptions = Config
 
 // DefaultCacheSegments is the default backward-walk window.
 const DefaultCacheSegments = 4
@@ -83,6 +74,13 @@ func AnalyzeStream(src SegmentSource, opts StreamOptions) (*Analysis, error) {
 // so unlike Analyze there is no retained storage to reuse; the method
 // exists so pipelines can drive both modes through one Analyzer.
 func (a *Analyzer) AnalyzeStream(src SegmentSource, opts StreamOptions) (*Analysis, error) {
+	return a.analyzeStream(src, opts)
+}
+
+// analyzeStream is the bounded-memory pipeline behind StreamSource:
+// pass1 (waker annotation) → walk → pass3 (metrics), with per-phase
+// observation.
+func (a *Analyzer) analyzeStream(src SegmentSource, cfg Config) (*Analysis, error) {
 	n := src.NumEvents()
 	if n == 0 {
 		return nil, trace.ErrEmptyTrace
@@ -90,32 +88,41 @@ func (a *Analyzer) AnalyzeStream(src SegmentSource, opts StreamOptions) (*Analys
 	if n > math.MaxInt32-1 {
 		return nil, fmt.Errorf("core: trace has %d events, beyond the streaming index range", n)
 	}
-	if opts.CacheSegments <= 0 {
-		opts.CacheSegments = DefaultCacheSegments
+	if cfg.CacheSegments <= 0 {
+		cfg.CacheSegments = DefaultCacheSegments
 	}
 	skel := src.Skeleton()
+	h := newObsHook(cfg.Observer, n)
 
-	ann, err := newAnnFile(opts.TmpDir, n)
+	ann, err := newAnnFile(cfg.TmpDir, n)
 	if err != nil {
 		return nil, err
 	}
 	defer ann.remove()
+	ann.hook = h
 
-	p1, err := streamPass1(src, skel, ann)
+	start := h.phaseStart("pass1")
+	p1, err := streamPass1(src, skel, ann, h)
 	if err != nil {
 		return nil, err
 	}
+	h.phaseDone("pass1", start, int64(n))
 
-	loader := newSegLoader(src, ann, opts.CacheSegments)
+	start = h.phaseStart("walk")
+	loader := newSegLoader(src, ann, cfg.CacheSegments)
+	loader.hook = h
 	cp, err := streamWalk(loader, p1, n)
 	if err != nil {
 		return nil, err
 	}
+	h.phaseDone("walk", start, -1)
 
+	start = h.phaseStart("pass3")
 	an := &Analysis{Trace: skel, CP: *cp}
-	if err := streamPass3(src, skel, ann, p1, an, opts); err != nil {
+	if err := streamPass3(src, skel, ann, p1, an, cfg, h); err != nil {
 		return nil, err
 	}
+	h.phaseDone("pass3", start, int64(n))
 	return an, nil
 }
 
@@ -151,9 +158,10 @@ func getAnnRec(src []byte) annRec {
 // during pass 1, point patches once deferred wakers resolve, random
 // chunk reads during passes 2 and 3.
 type annFile struct {
-	f   *os.File
-	buf []byte
-	off int64 // file offset of buf[0]
+	f    *os.File
+	buf  []byte
+	off  int64    // file offset of buf[0]
+	hook *obsHook // spill-byte accounting (nil = none)
 }
 
 func newAnnFile(dir string, n int) (*annFile, error) {
@@ -186,6 +194,9 @@ func (a *annFile) flush() error {
 	if _, err := a.f.WriteAt(a.buf, a.off); err != nil {
 		return fmt.Errorf("core: writing annotations: %w", err)
 	}
+	// Patches later rewrite these bytes in place, so flushed bytes are
+	// exactly the file's growth.
+	a.hook.spilled(int64(len(a.buf)))
 	a.off += int64(len(a.buf))
 	a.buf = a.buf[:0]
 	return nil
@@ -289,7 +300,7 @@ type condStream struct {
 // record per event, deferred resolutions applied as patches. Its
 // working set is O(threads + objects + open barrier episodes + waiting
 // cond threads) — independent of trace length.
-func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile) (*pass1Result, error) {
+func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile, h *obsHook) (*pass1Result, error) {
 	nThreads := len(skel.Threads)
 	p1 := &pass1Result{
 		startIdx: make([]int32, nThreads),
@@ -515,6 +526,7 @@ func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile) (*pass1Resu
 			}
 			i++
 		}
+		h.scanned(len(buf))
 	}
 	if err := ann.flush(); err != nil {
 		return nil, err
@@ -550,6 +562,7 @@ type segLoader struct {
 	cache  map[int]*segWindow
 	lru    []int // segment ids, least recent first
 	max    int
+	hook   *obsHook // cache-miss load accounting (nil = none)
 }
 
 type segWindow struct {
@@ -612,6 +625,7 @@ func (l *segLoader) window(i int32) (*segWindow, error) {
 	w := &segWindow{first: first, events: events, ann: ann}
 	l.cache[seg] = w
 	l.lru = append(l.lru, seg)
+	l.hook.scanned(len(events))
 	return w, nil
 }
 
@@ -821,7 +835,7 @@ func (st *streamThread) compact() {
 // accounting and per-lock accumulation, delivering each thread's
 // invocations in acquire order (identical to the in-memory
 // invsByThread order) as their critical sections close.
-func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Result, an *Analysis, opts StreamOptions) error {
+func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Result, an *Analysis, cfg Config, h *obsHook) error {
 	nThreads := len(skel.Threads)
 
 	an.Threads = make([]ThreadStats, nThreads)
@@ -861,17 +875,17 @@ func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Re
 	}
 
 	an.hotByLock = map[trace.ObjID][]interval{}
-	if opts.Composition {
+	if cfg.Composition {
 		an.holdsByThread = make([][]interval, nThreads)
 	}
 	sink := newLockSink(nThreads)
 
 	deliver := func(tid int, inv *invocation) {
-		if opts.Composition {
+		if cfg.Composition {
 			an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
 		}
 		st := &threads[tid]
-		accumulateInvocation(sink, &an.Threads[tid], inv, skel.ObjName(inv.lock), opts.Options, st.pieces, &st.cursor)
+		accumulateInvocation(sink, &an.Threads[tid], inv, skel.ObjName(inv.lock), cfg.Options, st.pieces, &st.cursor)
 	}
 
 	var buf []trace.Event
@@ -968,6 +982,7 @@ func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Re
 			}
 			i++
 		}
+		h.scanned(len(buf))
 	}
 
 	// End of trace: invocations still open get the trace's end as

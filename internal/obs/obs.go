@@ -1,0 +1,290 @@
+// Package obs is critlock's self-instrumentation layer: a small
+// dependency-free metrics registry (counters, gauges, histograms) with
+// Prometheus-text and expvar exposition, plus the Observer/Progress
+// hooks the analysis pipeline reports through. The analyzer that
+// diagnoses other programs' bottlenecks should not itself be a black
+// box: a long streaming run over millions of events exposes per-phase
+// timers and live progress instead of silence.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics and renders them in Prometheus text
+// format. Metric constructors are idempotent: asking twice for the
+// same name (and label set) returns the same metric, so independent
+// components can share families without coordination.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric // keyed by name + rendered labels
+	order   []string          // registration order of keys
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]metric{}}
+}
+
+// metric is one registered instrument.
+type metric interface {
+	// family is the metric name without labels.
+	family() string
+	// kind is the Prometheus type: counter, gauge or histogram.
+	kind() string
+	// help is the one-line description.
+	helpText() string
+	// write renders the sample lines (no HELP/TYPE headers).
+	write(w io.Writer)
+	// snapshot returns an expvar-friendly value.
+	snapshot() any
+}
+
+// register returns the existing metric under key or stores m.
+func (r *Registry) register(key string, m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[key]; ok {
+		return old
+	}
+	r.metrics[key] = m
+	r.order = append(r.order, key)
+	return m
+}
+
+// labelString renders a label map deterministically: {a="x",b="y"}.
+// Empty labels render as "".
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	name, labels, help string
+	v                  atomic.Int64
+}
+
+// Counter returns (creating if needed) the counter name{labels}.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	ls := labelString(labels)
+	c := &Counter{name: name, labels: ls, help: help}
+	return r.register(name+ls, c).(*Counter)
+}
+
+// Add increments the counter by n (n must be >= 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) family() string   { return c.name }
+func (c *Counter) kind() string     { return "counter" }
+func (c *Counter) helpText() string { return c.help }
+func (c *Counter) snapshot() any    { return c.Value() }
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s%s %d\n", c.name, c.labels, c.Value())
+}
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	name, labels, help string
+	v                  atomic.Int64
+}
+
+// Gauge returns (creating if needed) the gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels map[string]string) *Gauge {
+	ls := labelString(labels)
+	g := &Gauge{name: name, labels: ls, help: help}
+	return r.register(name+ls, g).(*Gauge)
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) family() string   { return g.name }
+func (g *Gauge) kind() string     { return "gauge" }
+func (g *Gauge) helpText() string { return g.help }
+func (g *Gauge) snapshot() any    { return g.Value() }
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s%s %d\n", g.name, g.labels, g.Value())
+}
+
+// Histogram is a fixed-bucket distribution (Prometheus classic
+// histogram semantics: cumulative buckets, _sum and _count series).
+type Histogram struct {
+	name, labels, help string
+	bounds             []float64 // ascending upper bounds, +Inf implicit
+	counts             []atomic.Int64
+	count              atomic.Int64
+	sumBits            atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DurationBuckets are the default upper bounds (seconds) for phase and
+// request timers: 100µs to ~100s, roughly ×3 apart — analysis phases
+// span six orders of magnitude between unit tests and 100M-event runs.
+func DurationBuckets() []float64 {
+	return []float64{
+		0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03,
+		0.1, 0.3, 1, 3, 10, 30, 100,
+	}
+}
+
+// Histogram returns (creating if needed) the histogram name{labels}
+// with the given bucket upper bounds (nil = DurationBuckets).
+func (r *Registry) Histogram(name, help string, labels map[string]string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	ls := labelString(labels)
+	h := &Histogram{
+		name:   name,
+		labels: ls,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)),
+	}
+	return r.register(name+ls, h).(*Histogram)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) family() string   { return h.name }
+func (h *Histogram) kind() string     { return "histogram" }
+func (h *Histogram) helpText() string { return h.help }
+func (h *Histogram) snapshot() any {
+	return map[string]any{"count": h.Count(), "sum": h.Sum()}
+}
+
+// bucketLabels splices le into the (possibly empty) label set.
+func (h *Histogram) bucketLabels(le string) string {
+	if h.labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return h.labels[:len(h.labels)-1] + fmt.Sprintf(",le=%q", le) + "}"
+}
+
+func (h *Histogram) write(w io.Writer) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, h.bucketLabels(formatFloat(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, h.bucketLabels("+Inf"), h.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, h.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.name, h.labels, h.Count())
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, grouped by family with HELP/TYPE headers emitted
+// once per family, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	ms := make([]metric, len(keys))
+	for i, k := range keys {
+		ms[i] = r.metrics[k]
+	}
+	r.mu.Unlock()
+
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if !seen[m.family()] {
+			seen[m.family()] = true
+			fmt.Fprintf(w, "# HELP %s %s\n", m.family(), m.helpText())
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.family(), m.kind())
+		}
+		m.write(w)
+	}
+}
+
+// Snapshot returns every metric's current value keyed by its full name
+// (including labels) — the expvar view.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.metrics))
+	for k, m := range r.metrics {
+		out[k] = m.snapshot()
+	}
+	return out
+}
+
+// publishOnce guards expvar.Publish, which panics on duplicate names
+// (tests construct many registries in one process).
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry's Snapshot under the given expvar
+// name (visible at /debug/vars). Publishing the same name twice is a
+// no-op: the first registry wins.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -23,10 +23,10 @@ type FileReader struct {
 	footerOff int64
 	crcBody   uint32
 
-	br      *bufio.Reader
-	crc     hash.Hash32
-	decoded int
-	frame   []byte
+	br        *bufio.Reader
+	crc       hash.Hash32
+	decoded   int
+	frame     []byte
 	framePos  int
 	frameLeft int
 	framePrev trace.Event
@@ -39,7 +39,7 @@ type FileReader struct {
 // NewFileReader parses the trailer and footer of a segment held by r.
 func NewFileReader(r io.ReaderAt, size int64) (*FileReader, error) {
 	if size < int64(len(segMagic))+1+trailerSize {
-		return nil, fmt.Errorf("segment: file too short (%d bytes)", size)
+		return nil, fmt.Errorf("segment: file %w (%d bytes)", trace.ErrTruncated, size)
 	}
 	var tr [trailerSize]byte
 	if _, err := r.ReadAt(tr[:], size-trailerSize); err != nil {
@@ -72,7 +72,7 @@ func NewFileReader(r io.ReaderAt, size int64) (*FileReader, error) {
 		return nil, fmt.Errorf("segment: footer length %d does not match region %d", plen, len(payload))
 	}
 	if crcOf(payload) != crcFooter {
-		return nil, errors.New("segment: footer checksum mismatch")
+		return nil, fmt.Errorf("segment: footer %w", trace.ErrChecksum)
 	}
 	ftr, err := decodeFooter(payload)
 	if err != nil {
@@ -178,7 +178,7 @@ func (fr *FileReader) nextFrame() error {
 			return errors.New("segment: last event disagrees with footer range")
 		}
 		if fr.crc.Sum32() != fr.crcBody {
-			return errors.New("segment: body checksum mismatch")
+			return fmt.Errorf("segment: body %w", trace.ErrChecksum)
 		}
 		fr.done = true
 		return nil
@@ -208,6 +208,9 @@ func (fr *FileReader) nextFrame() error {
 	}
 	fr.frame = fr.frame[:size]
 	if _, err := io.ReadFull(fr.br, fr.frame); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("segment: frame payload %w: %v", trace.ErrTruncated, err)
+		}
 		return fmt.Errorf("segment: reading frame payload: %w", err)
 	}
 	fr.framePos = 0
@@ -243,9 +246,9 @@ func (fr *FileReader) Close() error {
 // streaming analyzer's SegmentSource: the skeleton (registrations,
 // metadata, no events) plus random access to whole decoded segments.
 type Reader struct {
-	dir  string
-	skel *trace.Trace
-	segs []SegmentInfo
+	dir   string
+	skel  *trace.Trace
+	segs  []SegmentInfo
 	total int
 }
 
@@ -257,14 +260,14 @@ func Open(dir string) (*Reader, error) {
 		return nil, err
 	}
 	if len(buf) < len(manifestMagic)+1+4 {
-		return nil, errors.New("segment: manifest too short")
+		return nil, fmt.Errorf("segment: manifest %w (%d bytes)", trace.ErrTruncated, len(buf))
 	}
 	if string(buf[:len(manifestMagic)]) != manifestMagic {
 		return nil, fmt.Errorf("segment: bad manifest magic %q", buf[:len(manifestMagic)])
 	}
 	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
 	if crcOf(body) != sum {
-		return nil, errors.New("segment: manifest checksum mismatch")
+		return nil, fmt.Errorf("segment: manifest %w", trace.ErrChecksum)
 	}
 
 	d := byteDecoder{buf: body, pos: len(manifestMagic)}

@@ -143,8 +143,8 @@ type Footer struct {
 	Count int
 	// MinT/MaxT bound the segment's timestamps, FirstSeq/LastSeq its
 	// sequence numbers (all zero for an empty segment).
-	MinT, MaxT         trace.Time
-	FirstSeq, LastSeq  uint64
+	MinT, MaxT        trace.Time
+	FirstSeq, LastSeq uint64
 	// ThreadCounts lists per-thread event counts, ascending by thread.
 	ThreadCounts []ThreadCount
 	// Locks lists per-mutex event summaries, ascending by object.

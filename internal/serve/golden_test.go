@@ -1,0 +1,59 @@
+package serve_test
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"critlock"
+	"critlock/internal/serve"
+)
+
+// TestServeSmokeGolden drives the full serving path — synth workload →
+// simulator → binary trace → HTTP upload → JSON report — and diffs the
+// response byte-for-byte against a checked-in golden. Any change to
+// the analysis numbers, the report schema or the JSON rendering shows
+// up as a diff here. Refresh with:
+//
+//	UPDATE_SERVE_GOLDEN=1 go test ./internal/serve -run Golden
+func TestServeSmokeGolden(t *testing.T) {
+	cfgFile, err := os.Open(filepath.Join("testdata", "smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cfgFile.Close()
+	cfg, err := critlock.LoadSynth(cfgFile)
+	if err != nil {
+		t.Fatalf("loading smoke config: %v", err)
+	}
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	tr, _, err := critlock.RunSynth(sim, cfg, critlock.WorkloadParams{Seed: 1})
+	if err != nil {
+		t.Fatalf("running smoke workload: %v", err)
+	}
+
+	_, ts := newTestServer(t, serve.Options{})
+	status, got := post(t, ts, "", traceBytes(t, tr))
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/analyze = %d\n%s", status, got)
+	}
+
+	goldenPath := filepath.Join("testdata", "smoke_report.golden")
+	if os.Getenv("UPDATE_SERVE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_SERVE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("served report differs from %s (%d vs %d bytes); rerun with UPDATE_SERVE_GOLDEN=1 if the change is intended",
+			goldenPath, len(got), len(want))
+	}
+}

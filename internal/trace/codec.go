@@ -301,7 +301,7 @@ func DecodeEvent(buf []byte, prev Event) (Event, int, error) {
 	return e, pos, nil
 }
 
-var errShortEvent = errors.New("trace: truncated event record")
+var errShortEvent = fmt.Errorf("trace: %w event record", ErrTruncated)
 
 var errStringTooLong = errors.New("trace: string too long")
 

@@ -274,7 +274,7 @@ loop:
 
 // ErrTruncatedStream marks a stream without an end record; the
 // returned trace holds the durable prefix.
-var ErrTruncatedStream = fmt.Errorf("stream truncated (no end record)")
+var ErrTruncatedStream = fmt.Errorf("stream %w (no end record)", ErrTruncated)
 
 // partialStream is returned when a record was cut mid-way.
 func partialStream(tr *Trace, cause error) (*Trace, error) {

@@ -1,0 +1,26 @@
+package critlock
+
+import "critlock/internal/serve"
+
+// Server is the analysis-as-a-service HTTP handler behind cmd/clasrv:
+// POST /v1/analyze ingests a trace (body upload in any trace format,
+// or a server-local segment directory via ?segdir=), runs the unified
+// Analyze pipeline under a concurrency budget and returns a JSON
+// report; GET /metrics, /healthz and /debug/progress expose the
+// server's own behavior. Wrap it in an http.Server to listen.
+type Server = serve.Server
+
+// ServerOptions configures NewServer; the zero value serves with
+// sensible defaults (see the field docs).
+type ServerOptions = serve.Options
+
+// ServerReport is the JSON analysis report the server returns: run
+// summary, totals, per-lock and per-thread statistics and the
+// critical-path timeline.
+type ServerReport = serve.Report
+
+// NewServer returns the analysis HTTP service. Every analysis runs
+// through the same unified Analyze entry point as the CLIs, observed
+// by the server's metric registry (per-phase histograms, throughput
+// counters, live progress).
+func NewServer(opts ServerOptions) *Server { return serve.New(opts) }
