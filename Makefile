@@ -1,4 +1,5 @@
-# Developer entry points. `make ci` is what a gate should run: vet,
+# Developer entry points. `make ci` is what a gate should run: static
+# lock-hazard lint (go vet + a clalint self-run over the repo itself),
 # gofmt cleanliness, build, race-enabled tests, a fuzz smoke pass over
 # every fuzz target, the streaming-vs-in-memory differential, the
 # serving-path golden smoke, and one pass of the headline benchmark
@@ -11,7 +12,7 @@ GO ?= go
 # seed corpus.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race fuzz-smoke stream-diff serve-smoke fmt-check bench bench-smoke ci
+.PHONY: all build vet test race lint fuzz-smoke stream-diff serve-smoke fmt-check bench bench-smoke ci
 
 all: ci
 
@@ -27,6 +28,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static lock-hazard analysis: go vet plus a clalint self-run over the
+# whole tree (testdata corpora are pruned by the pattern walker). The
+# self-run must stay clean — fix findings or add a justified
+# `//lint:ignore <check> <reason>`.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/clalint ./...
+
 # Short mutation run of every fuzz target: the segment frame/footer
 # decoders and manifest reader (hostile bytes must error, never panic),
 # the trace codec, and trace.Validate. Go allows one fuzz target per
@@ -37,6 +46,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzDecodeEvent -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lint -run '^$$' -fuzz FuzzLint -fuzztime $(FUZZTIME)
 
 # Differential oracle: AnalyzeStream over segmented + spilled traces
 # must be bit-identical to the in-memory analyzer, under the race
@@ -67,4 +77,4 @@ bench:
 	$(GO) test -run=xxx -bench='BenchmarkAnalyzeLargeTrace|BenchmarkAnalyzeReuse|BenchmarkMergeVsSort|BenchmarkRunAllParallel' -benchtime=30x -benchmem .
 	$(GO) test -run=xxx -bench=BenchmarkAnalyzeStream2M -benchtime=2x -benchmem .
 
-ci: vet fmt-check build race stream-diff serve-smoke fuzz-smoke bench-smoke
+ci: lint fmt-check build race stream-diff serve-smoke fuzz-smoke bench-smoke

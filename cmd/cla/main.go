@@ -8,6 +8,7 @@
 //	cla -top 0 -threadstats -gantt trace.cltr
 //	cla -csv trace.cltr            # lock table as CSV
 //	cla -segdir segs/              # stream a segmented trace, bounded memory
+//	cla -jsonreport analysis.json trace.cltr   # JSON analysis for clalint -report
 //	cla -stream -segdir segs/ trace.cltr   # convert a trace into segments
 package main
 
@@ -35,26 +36,27 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cla", flag.ContinueOnError)
 	var (
-		jsonIn    = fs.Bool("json", false, "input is JSON instead of binary")
-		streamIn  = fs.Bool("stream", false, "input is the incremental stream format (tolerates truncation)")
-		top       = fs.Int("top", 10, "locks to list (0 = all)")
-		thr       = fs.Bool("threadstats", false, "print per-thread statistics")
-		gantt     = fs.Bool("gantt", false, "print the execution timeline")
-		csvOut    = fs.Bool("csv", false, "emit the lock table as CSV instead of text")
-		noClip    = fs.Bool("noclip", false, "credit full hold time to on-path invocations (ablation)")
-		noCheck   = fs.Bool("novalidate", false, "skip trace validation")
-		windows   = fs.Int("windows", 0, "split the run into N windows and show per-window criticality")
-		lockOrder = fs.Bool("lockorder", false, "print the lock acquisition-order graph and deadlock cycles")
-		compose   = fs.Bool("composition", false, "print the critical path composition breakdown")
-		svgOut    = fs.String("svg", "", "write an SVG timeline to this file")
-		slack     = fs.Bool("slack", false, "print per-lock slack (distance from the critical path)")
-		phases    = fs.Int("phases", 0, "segment the run by dominant lock at this window resolution")
-		predict   = fs.Bool("predict", false, "run the online criticality predictor and compare with the walk")
-		markdown  = fs.Bool("markdown", false, "emit the lock table as GitHub markdown instead of text")
-		reportOut = fs.String("report", "", "write a complete markdown report to this file")
-		narrate   = fs.Int("narrate", -1, "narrate the critical path's thread hops (0 = all, N = cap)")
-		segdir    = cliflags.SegDir(fs)
-		window    = cliflags.Window(fs)
+		jsonIn     = fs.Bool("json", false, "input is JSON instead of binary")
+		streamIn   = fs.Bool("stream", false, "input is the incremental stream format (tolerates truncation)")
+		top        = fs.Int("top", 10, "locks to list (0 = all)")
+		thr        = fs.Bool("threadstats", false, "print per-thread statistics")
+		gantt      = fs.Bool("gantt", false, "print the execution timeline")
+		csvOut     = fs.Bool("csv", false, "emit the lock table as CSV instead of text")
+		noClip     = fs.Bool("noclip", false, "credit full hold time to on-path invocations (ablation)")
+		noCheck    = fs.Bool("novalidate", false, "skip trace validation")
+		windows    = fs.Int("windows", 0, "split the run into N windows and show per-window criticality")
+		lockOrder  = fs.Bool("lockorder", false, "print the lock acquisition-order graph and deadlock cycles")
+		compose    = fs.Bool("composition", false, "print the critical path composition breakdown")
+		svgOut     = fs.String("svg", "", "write an SVG timeline to this file")
+		slack      = fs.Bool("slack", false, "print per-lock slack (distance from the critical path)")
+		phases     = fs.Int("phases", 0, "segment the run by dominant lock at this window resolution")
+		predict    = fs.Bool("predict", false, "run the online criticality predictor and compare with the walk")
+		markdown   = fs.Bool("markdown", false, "emit the lock table as GitHub markdown instead of text")
+		reportOut  = fs.String("report", "", "write a complete markdown report to this file")
+		jsonReport = fs.String("jsonreport", "", "write the analysis as JSON (the clasrv format; clalint -report input) to this file")
+		narrate    = fs.Int("narrate", -1, "narrate the critical path's thread hops (0 = all, N = cap)")
+		segdir     = cliflags.SegDir(fs)
+		window     = cliflags.Window(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -190,6 +192,27 @@ func run(args []string) error {
 		if err := report.SlackReport(an.Slack(), *top).Render(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if *jsonReport != "" {
+		source := "trace"
+		if fs.NArg() == 1 {
+			source = fs.Arg(0)
+		} else if *segdir != "" {
+			source = *segdir
+		}
+		rf, err := os.Create(*jsonReport)
+		if err != nil {
+			return err
+		}
+		rep := report.BuildExport("cla", source, *segdir != "" && fs.NArg() == 0, an)
+		if err := report.WriteExport(rf, rep); err != nil {
+			rf.Close()
+			return err
+		}
+		if err := rf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON analysis report to %s\n", *jsonReport)
 	}
 	if *reportOut != "" {
 		doc := report.Full(an, report.FullOptions{

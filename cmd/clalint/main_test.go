@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"critlock"
+	"critlock/internal/lint"
+	"critlock/internal/report"
+)
+
+const buggySrc = `package demo
+
+type Mutex interface{ Name() string }
+type Proc interface {
+	Lock(m Mutex)
+	Unlock(m Mutex)
+}
+type Runtime interface {
+	NewMutex(name string) Mutex
+}
+
+type pair struct{ a, b Mutex }
+
+func build(rt Runtime) *pair {
+	return &pair{a: rt.NewMutex("A"), b: rt.NewMutex("B")}
+}
+
+func (s *pair) ab(p Proc) {
+	p.Lock(s.a)
+	p.Lock(s.b)
+	p.Unlock(s.b)
+	p.Unlock(s.a)
+}
+
+func (s *pair) ba(p Proc) {
+	p.Lock(s.b)
+	p.Lock(s.a)
+	p.Unlock(s.a)
+	p.Unlock(s.b)
+}
+`
+
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(buggySrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := writeDemo(t)
+	var out bytes.Buffer
+
+	code, err := run([]string{dir}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("buggy dir: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "[lockorder]") {
+		t.Errorf("output missing lockorder finding:\n%s", out.String())
+	}
+
+	clean := t.TempDir()
+	if err := os.WriteFile(filepath.Join(clean, "ok.go"), []byte("package ok\nfunc F() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err = run([]string{clean}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean dir: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "no findings") {
+		t.Errorf("clean output: %s", out.String())
+	}
+
+	if code, _ := run([]string{"-nosuchflag"}, &out); code != 2 {
+		t.Errorf("bad flag: code=%d, want 2", code)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := writeDemo(t)
+	var out bytes.Buffer
+	code, err := run([]string{"-json", dir}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	var res lint.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(res.Findings) == 0 || len(res.Cycles) != 1 {
+		t.Errorf("findings=%d cycles=%d", len(res.Findings), len(res.Cycles))
+	}
+}
+
+// TestRunWithReport drives the CLI's -report path end to end: a sim
+// run produces the analysis JSON, and the findings come back
+// annotated with CP Time %.
+func TestRunWithReport(t *testing.T) {
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 4, Seed: 3})
+	a := sim.NewMutex("A")
+	b := sim.NewMutex("B")
+	tr, _, err := sim.Run(func(p critlock.Proc) {
+		var kids []critlock.Thread
+		for i := 0; i < 3; i++ {
+			kids = append(kids, p.Go("w", func(q critlock.Proc) {
+				for j := 0; j < 3; j++ {
+					q.Lock(a)
+					q.Compute(200)
+					q.Unlock(a)
+					q.Lock(b)
+					q.Compute(50)
+					q.Unlock(b)
+				}
+			}))
+		}
+		for _, k := range kids {
+			p.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "analysis.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteExport(f, report.BuildExport("t", "sim", false, an)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dir := writeDemo(t)
+	var out bytes.Buffer
+	code, err := run([]string{"-report", path, dir}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "{CP ") {
+		t.Errorf("findings not annotated with CP Time %%:\n%s", out.String())
+	}
+}

@@ -6,6 +6,7 @@ package harness_test
 // trace well-formedness. Every check runs against both backends.
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -462,4 +463,79 @@ func TestConformanceConvoyShape(t *testing.T) {
 			t.Error("convoy lock not critical")
 		}
 	})
+}
+
+// countLockEvents tallies acquire/obtain/release events for mutexes.
+func countLockEvents(tr *trace.Trace) (acq, obt, rel int) {
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case trace.EvLockAcquire:
+			acq++
+		case trace.EvLockObtain:
+			obt++
+		case trace.EvLockRelease:
+			rel++
+		}
+	}
+	return
+}
+
+// TestConformanceUnlockViolationsFailLoudly: releasing a mutex the
+// thread does not hold must fail the run with a recovered panic — on
+// BOTH backends, with the same message shape — and must never emit a
+// release event first (a dangling release would silently corrupt the
+// analysis; a loud error cannot be mistaken for data).
+func TestConformanceUnlockViolationsFailLoudly(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    func(p harness.Proc, m harness.Mutex)
+		wantErr string
+		wantRel int
+	}{
+		{
+			name: "unlock-of-unheld",
+			body: func(p harness.Proc, m harness.Mutex) {
+				p.Lock(m)
+				p.Unlock(m)
+				p.Unlock(m) // second release: not owned
+			},
+			wantErr: `unlocks "m" it does not own`,
+			wantRel: 1, // only the legitimate release reached the trace
+		},
+		{
+			name: "runlock-without-rlock",
+			body: func(p harness.Proc, m harness.Mutex) {
+				p.RUnlock(m)
+			},
+			wantErr: `read-unlocks "m" with no readers`,
+			wantRel: 0,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, bc := range backends() {
+				bc := bc
+				t.Run(bc.name, func(t *testing.T) {
+					rt := bc.make()
+					m := rt.NewMutex("m")
+					tr, _, err := rt.Run(func(p harness.Proc) { tc.body(p, m) })
+					if err == nil {
+						t.Fatalf("%s: run succeeded, want loud failure", bc.name)
+					}
+					if !strings.Contains(err.Error(), tc.wantErr) {
+						t.Fatalf("%s: err = %v, want it to contain %q", bc.name, err, tc.wantErr)
+					}
+					if tr == nil {
+						return
+					}
+					_, _, rel := countLockEvents(tr)
+					if rel != tc.wantRel {
+						t.Errorf("%s: %d release events reached the trace, want %d (no dangling release)",
+							bc.name, rel, tc.wantRel)
+					}
+				})
+			}
+		})
+	}
 }

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// blockingExtras runs the AST-shaped checks that need no dataflow:
+// condition Wait calls outside a re-checking loop.
+func (fn *function) blockingExtras() []Finding {
+	var findings []Finding
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch st := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // analyzed as its own function
+		case *ast.ForStmt:
+			walk(st.Init, inLoop)
+			walk(st.Cond, inLoop)
+			walk(st.Post, inLoop)
+			walk(st.Body, true)
+			return
+		case *ast.RangeStmt:
+			walk(st.X, inLoop)
+			walk(st.Body, true)
+			return
+		case *ast.CallExpr:
+			if kind, pos, key := fn.waitCall(st); kind != "" && !inLoop {
+				f := Finding{
+					Check: CheckWaitLoop, Severity: SevWarn,
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Lock:    key,
+					DynName: fn.pkg.dynNames[key],
+					Message: fmt.Sprintf("%s not guarded by a re-checking loop: wakeups are advisory and spurious", kind),
+				}
+				findings = append(findings, f)
+			}
+		}
+		// Generic descent.
+		var children []ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				children = append(children, c)
+			}
+			return false
+		})
+		for _, c := range children {
+			walk(c, inLoop)
+		}
+	}
+	walk(fn.body, false)
+	return findings
+}
+
+// waitCall classifies a condition-variable wait: harness p.Wait(c, m)
+// or sync.Cond c.Wait(). It returns a description, position and the
+// guarded mutex key ("" when unknown).
+func (fn *function) waitCall(call *ast.CallExpr) (string, token.Position, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return "", token.Position{}, ""
+	}
+	switch len(call.Args) {
+	case 2:
+		key, _ := canonKey(call.Args[1], fn.recvName, fn.recvType)
+		return "condition Wait(cond, mutex)", fn.pos(call.Lparen), key
+	case 0:
+		if fn.isCondRecv(sel.X) {
+			ckey, _ := canonKey(sel.X, fn.recvName, fn.recvType)
+			return "sync.Cond Wait", fn.pos(call.Lparen), fn.pkg.condMutex[ckey]
+		}
+	}
+	return "", token.Position{}, ""
+}
+
+// copyLockPass flags sync.Mutex/sync.RWMutex values copied by value:
+// parameters and results declared as mutex values, and assignments
+// whose right-hand side is an existing mutex value (composite
+// literals — zero-value initialization — are fine).
+func (p *pkgInfo) copyLockPass() []Finding {
+	var findings []Finding
+	emit := func(pos token.Position, what string) {
+		findings = append(findings, Finding{
+			Check: CheckCopyLock, Severity: SevError,
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: what,
+		})
+	}
+	for _, f := range p.files {
+		f := f
+		ast.Inspect(f.ast, func(n ast.Node) bool {
+			switch nd := n.(type) {
+			case *ast.FuncType:
+				for _, fieldList := range []*ast.FieldList{nd.Params, nd.Results} {
+					if fieldList == nil {
+						continue
+					}
+					for _, fld := range fieldList.List {
+						if name := p.syncMutexValueType(f, fld.Type); name != "" {
+							pos := p.fset.Position(fld.Type.Pos())
+							pos.Filename = f.path
+							emit(pos, fmt.Sprintf("%s passed by value: a copied %s is a different lock (use a pointer)", name, name))
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if len(nd.Lhs) != len(nd.Rhs) {
+					return true
+				}
+				for i, rhs := range nd.Rhs {
+					if name := p.mutexValueCopy(rhs); name != "" {
+						pos := p.fset.Position(nd.Lhs[i].Pos())
+						pos.Filename = f.path
+						emit(pos, fmt.Sprintf("assignment copies %s value of %s: the copy is a different lock", name, exprText(rhs)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// syncMutexValueType reports "sync.Mutex"/"sync.RWMutex" when the
+// type expression is a mutex VALUE (pointers are fine). Works
+// syntactically off the file's sync import name, with go/types as
+// backup.
+func (p *pkgInfo) syncMutexValueType(f *fileInfo, t ast.Expr) string {
+	t = ast.Unparen(t)
+	if sel, ok := t.(*ast.SelectorExpr); ok && f.syncName != "" {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == f.syncName {
+			if sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex" {
+				return "sync." + sel.Sel.Name
+			}
+		}
+	}
+	if tt := p.typeOf(t); tt != nil {
+		if s := mutexTypeName(tt); s != "" {
+			return s
+		}
+	}
+	return ""
+}
+
+// mutexValueCopy reports the mutex type name when rhs evaluates to a
+// mutex value that already exists elsewhere (identifier, selector, or
+// pointer dereference — not a fresh composite literal).
+func (p *pkgInfo) mutexValueCopy(rhs ast.Expr) string {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return ""
+	}
+	tt := p.typeOf(ast.Unparen(rhs))
+	if tt == nil {
+		return ""
+	}
+	return mutexTypeName(tt)
+}
+
+// mutexTypeName matches the named types sync.Mutex and sync.RWMutex
+// exactly (a pointer to either returns "").
+func mutexTypeName(t types.Type) string {
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return ""
+	}
+	s := t.String()
+	if s == "sync.Mutex" || s == "sync.RWMutex" {
+		return s
+	}
+	return ""
+}
+
+// exprText renders a short expression for messages.
+func exprText(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[…]"
+	}
+	return "expression"
+}

@@ -1,0 +1,522 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// cfgNode is one statement-granularity node of a function CFG.
+// Compound statements contribute a node per evaluated part (an if's
+// init+cond, a for's cond, a select header, …), never their bodies.
+type cfgNode struct {
+	id  int
+	ops []op
+	// deferred carries unlock ops registered by a defer at this node;
+	// they take effect at function exits.
+	deferred []op
+	// weight is the node's static cost: one statement plus one per
+	// contained call.
+	weight int
+	succs  []cfgEdge
+	// selectComm suppresses channel-op blocking findings for comm
+	// clauses (the enclosing select was already checked).
+	selectComm bool
+	pos        token.Position
+}
+
+// cfgEdge optionally carries a conditional TryLock acquisition taken
+// only on this branch (`if m.TryLock() { … }`).
+type cfgEdge struct {
+	to     *cfgNode
+	tryAcq *op
+}
+
+// cfgGraph is a function CFG with one normal exit; panic-like
+// terminators flow to panicExit, which the missing-unlock check
+// deliberately ignores (unwinding paths hold locks by design in
+// invariant-violation handlers).
+type cfgGraph struct {
+	entry, exit, panicExit *cfgNode
+	nodes                  []*cfgNode
+}
+
+type labelInfo struct {
+	anchor *cfgNode
+	brk    *cfgNode
+	cont   *cfgNode
+}
+
+type cfgBuilder struct {
+	fn     *function
+	g      *cfgGraph
+	labels map[string]*labelInfo
+	gotos  []struct {
+		from  *cfgNode
+		label string
+	}
+}
+
+// buildCFG constructs fn.cfg.
+func (fn *function) buildCFG() {
+	b := &cfgBuilder{fn: fn, g: &cfgGraph{}, labels: map[string]*labelInfo{}}
+	b.g.entry = b.newNode(nil)
+	b.g.exit = b.newNode(nil)
+	b.g.panicExit = b.newNode(nil)
+	cur := b.g.entry
+	cur = b.stmts(fn.body.List, cur, "", nil, nil)
+	b.link(cur, b.g.exit, nil)
+	for _, g := range b.gotos {
+		if li := b.labels[g.label]; li != nil && li.anchor != nil {
+			b.link(g.from, li.anchor, nil)
+		}
+	}
+	fn.cfg = b.g
+}
+
+func (b *cfgBuilder) newNode(stmtPart ast.Node) *cfgNode {
+	n := &cfgNode{id: len(b.g.nodes), weight: 1}
+	if stmtPart != nil {
+		b.fn.classify(stmtPart, &n.ops)
+		n.pos = b.fn.pos(stmtPart.Pos())
+		for _, o := range n.ops {
+			if o.kind == opCall {
+				n.weight++
+			}
+		}
+	}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// link adds an edge; nil from means the predecessor path was
+// unreachable (after return/break/…).
+func (b *cfgBuilder) link(from, to *cfgNode, tryAcq *op) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, cfgEdge{to: to, tryAcq: tryAcq})
+}
+
+// stmts builds a statement list; brk/cont are the innermost loop (or
+// switch, for brk) targets. Returns the fallthrough-out node.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgNode, label string, brk, cont *cfgNode) *cfgNode {
+	for i, s := range list {
+		// A fallthrough at the end of a switch clause is handled by
+		// the switch builder, which looks at the clause's last stmt.
+		_ = i
+		cur = b.stmt(s, cur, label, brk, cont)
+		label = ""
+	}
+	return cur
+}
+
+// stmt builds one statement from cur and returns the new cur.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgNode, label string, brk, cont *cfgNode) *cfgNode {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(st.List, cur, "", brk, cont)
+
+	case *ast.LabeledStmt:
+		anchor := b.newNode(nil)
+		anchor.pos = b.fn.pos(st.Pos())
+		b.link(cur, anchor, nil)
+		after := b.newNode(nil)
+		li := &labelInfo{anchor: anchor, brk: after}
+		b.labels[st.Label.Name] = li
+		out := b.stmt(st.Stmt, anchor, st.Label.Name, brk, cont)
+		b.link(out, after, nil)
+		return after
+
+	case *ast.ReturnStmt:
+		n := b.newNode(st)
+		b.link(cur, n, nil)
+		b.link(n, b.g.exit, nil)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.newNode(nil)
+		n.pos = b.fn.pos(st.Pos())
+		b.link(cur, n, nil)
+		switch st.Tok {
+		case token.BREAK:
+			t := brk
+			if st.Label != nil {
+				if li := b.labels[st.Label.Name]; li != nil {
+					t = li.brk
+				}
+			}
+			b.link(n, t, nil)
+		case token.CONTINUE:
+			t := cont
+			if st.Label != nil {
+				if li := b.labels[st.Label.Name]; li != nil {
+					t = li.cont
+				}
+			}
+			b.link(n, t, nil)
+		case token.GOTO:
+			if st.Label != nil {
+				b.gotos = append(b.gotos, struct {
+					from  *cfgNode
+					label string
+				}{n, st.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// Wired by the switch builder.
+		}
+		return nil
+
+	case *ast.IfStmt:
+		head := b.newNode(nil)
+		head.pos = b.fn.pos(st.Pos())
+		if st.Init != nil {
+			b.fn.classify(st.Init, &head.ops)
+		}
+		var thenAcq, elseAcq *op
+		if st.Cond != nil {
+			cond, negated := unwrapNot(st.Cond)
+			if acq := b.tryLockOp(cond, st.Init); acq != nil {
+				if negated {
+					elseAcq = acq
+				} else {
+					thenAcq = acq
+				}
+			} else {
+				b.fn.classify(st.Cond, &head.ops)
+			}
+		}
+		head.weight += countCalls(head.ops)
+		b.link(cur, head, nil)
+		after := b.newNode(nil)
+		thenEntry := b.newNode(nil)
+		b.link(head, thenEntry, thenAcq)
+		out := b.stmts(st.Body.List, thenEntry, "", brk, cont)
+		b.link(out, after, nil)
+		if st.Else != nil {
+			elseEntry := b.newNode(nil)
+			b.link(head, elseEntry, elseAcq)
+			out := b.stmt(st.Else, elseEntry, "", brk, cont)
+			b.link(out, after, nil)
+		} else {
+			elseEntry := b.newNode(nil)
+			b.link(head, elseEntry, elseAcq)
+			b.link(elseEntry, after, nil)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			n := b.newNode(st.Init)
+			b.link(cur, n, nil)
+			cur = n
+		}
+		head := b.newNode(nil)
+		head.pos = b.fn.pos(st.Pos())
+		after := b.newNode(nil)
+		post := b.newNode(st.Post) // empty when st.Post == nil
+		var bodyAcq, exitAcq *op
+		if st.Cond != nil {
+			cond, negated := unwrapNot(st.Cond)
+			if acq := b.tryLockOp(cond, nil); acq != nil {
+				// `for !m.TryLock() { … }` spins until acquisition:
+				// the loop-exit edge holds the lock.
+				if negated {
+					exitAcq = acq
+				} else {
+					bodyAcq = acq
+				}
+			} else {
+				b.fn.classify(st.Cond, &head.ops)
+			}
+		}
+		head.weight += countCalls(head.ops)
+		b.link(cur, head, nil)
+		if label != "" {
+			b.labels[label].cont = post
+		}
+		bodyEntry := b.newNode(nil)
+		b.link(head, bodyEntry, bodyAcq)
+		out := b.stmts(st.Body.List, bodyEntry, "", after, post)
+		b.link(out, post, nil)
+		b.link(post, head, nil)
+		if st.Cond != nil {
+			b.link(head, after, exitAcq)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newNode(nil)
+		head.pos = b.fn.pos(st.Pos())
+		b.fn.classify(st.X, &head.ops)
+		if b.isChanType(st.X) {
+			head.ops = append(head.ops, op{kind: opChanRecv, pos: b.fn.pos(st.Pos()), expr: st})
+		}
+		head.weight += countCalls(head.ops)
+		b.link(cur, head, nil)
+		after := b.newNode(nil)
+		if label != "" {
+			b.labels[label].cont = head
+		}
+		out := b.stmts(st.Body.List, head, "", after, head)
+		b.link(out, head, nil)
+		b.link(head, after, nil)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init, tag ast.Node
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			init, tag, body = sw.Init, sw.Tag, sw.Body
+		} else {
+			ts := st.(*ast.TypeSwitchStmt)
+			init, tag, body = ts.Init, ts.Assign, ts.Body
+		}
+		head := b.newNode(nil)
+		head.pos = b.fn.pos(st.Pos())
+		if init != nil {
+			b.fn.classify(init, &head.ops)
+		}
+		if tag != nil {
+			b.fn.classify(tag, &head.ops)
+		}
+		head.weight += countCalls(head.ops)
+		b.link(cur, head, nil)
+		after := b.newNode(nil)
+		if label != "" {
+			b.labels[label].brk = after
+		}
+		var entries []*cfgNode
+		var clauses []*ast.CaseClause
+		hasDefault := false
+		for _, cs := range body.List {
+			cc, ok := cs.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			clauses = append(clauses, cc)
+			entry := b.newNode(nil)
+			entry.pos = b.fn.pos(cc.Pos())
+			for _, e := range cc.List {
+				b.fn.classify(e, &entry.ops)
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			entries = append(entries, entry)
+			b.link(head, entry, nil)
+		}
+		for i, cc := range clauses {
+			body := cc.Body
+			ft := false
+			if n := len(body); n > 0 {
+				if bs, ok := body[n-1].(*ast.BranchStmt); ok && bs.Tok == token.FALLTHROUGH {
+					ft = true
+					body = body[:n-1]
+				}
+			}
+			out := b.stmts(body, entries[i], "", after, cont)
+			if ft && i+1 < len(entries) {
+				b.link(out, entries[i+1], nil)
+			} else {
+				b.link(out, after, nil)
+			}
+		}
+		if !hasDefault {
+			b.link(head, after, nil)
+		}
+		return after
+
+	case *ast.SelectStmt:
+		head := b.newNode(nil)
+		head.pos = b.fn.pos(st.Pos())
+		hasDefault := false
+		for _, cs := range st.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			head.ops = append(head.ops, op{kind: opSelect, pos: head.pos, expr: st})
+		}
+		b.link(cur, head, nil)
+		after := b.newNode(nil)
+		if label != "" {
+			b.labels[label].brk = after
+		}
+		for _, cs := range st.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			entry := b.newNode(cc.Comm)
+			entry.selectComm = true
+			entry.pos = b.fn.pos(cc.Pos())
+			b.link(head, entry, nil)
+			out := b.stmts(cc.Body, entry, "", after, cont)
+			b.link(out, after, nil)
+		}
+		if len(st.Body.List) == 0 {
+			// Empty select blocks forever; treat as terminator.
+			b.link(head, b.g.panicExit, nil)
+		}
+		return after
+
+	case *ast.DeferStmt:
+		n := b.newNode(nil)
+		n.pos = b.fn.pos(st.Pos())
+		for _, a := range st.Call.Args {
+			b.fn.classify(a, &n.ops)
+		}
+		n.deferred = deferredUnlocks(b.fn, st.Call)
+		b.link(cur, n, nil)
+		return n
+
+	case *ast.GoStmt:
+		n := b.newNode(nil)
+		n.pos = b.fn.pos(st.Pos())
+		for _, a := range st.Call.Args {
+			b.fn.classify(a, &n.ops)
+		}
+		b.link(cur, n, nil)
+		return n
+
+	default:
+		n := b.newNode(s)
+		b.link(cur, n, nil)
+		if terminates(s) {
+			b.link(n, b.g.panicExit, nil)
+			return nil
+		}
+		return n
+	}
+}
+
+// tryLockOp matches a TryLock call condition (`m.TryLock()` sync
+// style, `p.TryLock(m)` harness style, or `ok := …; ok` via init) and
+// returns its acquisition op.
+func (b *cfgBuilder) tryLockOp(cond ast.Expr, init ast.Stmt) *op {
+	call, ok := ast.Unparen(cond).(*ast.CallExpr)
+	if !ok {
+		// `if ok := m.TryLock(); ok { … }`
+		id, isID := ast.Unparen(cond).(*ast.Ident)
+		as, isAssign := init.(*ast.AssignStmt)
+		if !isID || !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		lhs, isLhsID := as.Lhs[0].(*ast.Ident)
+		if !isLhsID || lhs.Name != id.Name {
+			return nil
+		}
+		call, ok = ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+	}
+	name := calleeName(call)
+	if name != "TryLock" && name != "TryRLock" {
+		return nil
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil
+	}
+	var lockExpr ast.Expr
+	switch len(call.Args) {
+	case 0:
+		lockExpr = sel.X
+	case 1:
+		lockExpr = call.Args[0]
+	default:
+		return nil
+	}
+	key, recv := canonKey(lockExpr, b.fn.recvName, b.fn.recvType)
+	if key == "" {
+		return nil
+	}
+	return &op{kind: opTryLock, key: key, recv: recv, shared: name == "TryRLock",
+		pos: b.fn.pos(call.Lparen), expr: call}
+}
+
+// unwrapNot strips a leading ! and reports whether it was present.
+func unwrapNot(e ast.Expr) (ast.Expr, bool) {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		return u.X, true
+	}
+	return ast.Unparen(e), false
+}
+
+// deferredUnlocks extracts the unlock effects of a deferred call:
+// `defer mu.Unlock()`, `defer p.Unlock(m)`, or unlocks inside a
+// directly deferred func literal.
+func deferredUnlocks(fn *function, call *ast.CallExpr) []op {
+	var ops []op
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		var all []op
+		fn.classify(lit.Body, &all)
+		for _, o := range all {
+			if o.kind == opUnlock || o.kind == opRUnlock {
+				ops = append(ops, o)
+			}
+		}
+		return ops
+	}
+	var all []op
+	fn.classifyCall(call, &all)
+	for _, o := range all {
+		if o.kind == opUnlock || o.kind == opRUnlock {
+			ops = append(ops, o)
+		}
+	}
+	return ops
+}
+
+// isChanType reports whether e resolves to a channel (best effort).
+func (b *cfgBuilder) isChanType(e ast.Expr) bool {
+	t := b.fn.pkg.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// terminates reports whether s never falls through (panic, os.Exit,
+// log.Fatal*, runtime.Goexit).
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			switch {
+			case x.Name == "os" && f.Sel.Name == "Exit":
+				return true
+			case x.Name == "log" && strings.HasPrefix(f.Sel.Name, "Fatal"):
+				return true
+			case x.Name == "runtime" && f.Sel.Name == "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func countCalls(ops []op) int {
+	n := 0
+	for _, o := range ops {
+		if o.kind == opCall {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"critlock/internal/report"
+)
+
+// CrossReference joins a static lint result with a dynamic analysis
+// report (report.Export JSON, produced by `cla -jsonreport` or served
+// by clasrv):
+//
+//   - every finding whose lock resolves to a dynamic lock name (via
+//     NewMutex("name") tracking) is annotated with that lock's CP
+//     Time % and contention probability on the critical path,
+//   - findings re-rank by dynamic criticality (hottest lock first;
+//     unmatched findings keep source order below the matched ones),
+//   - each hot critical lock that carries at least one static hazard
+//     gets a summary CheckHotLock finding — the static analyzer's
+//     answer to "this TYPE-1 lock is hot: WHERE in the source is it
+//     created and what is wrong there".
+func CrossReference(res *Result, rep *report.Export) {
+	type dyn struct {
+		critical  bool
+		cpTimePct float64
+		contProb  float64
+	}
+	locks := map[string]dyn{}
+	for _, l := range rep.Locks {
+		locks[l.Name] = dyn{critical: l.Critical, cpTimePct: l.CPTimePct, contProb: l.ContProbOnCP}
+	}
+
+	// Static sites per dynamic name (for hot-lock summaries).
+	sitesByDyn := map[string][]Site{}
+	for _, s := range res.Sites {
+		if s.DynName != "" {
+			sitesByDyn[s.DynName] = append(sitesByDyn[s.DynName], s)
+		}
+	}
+
+	hazards := map[string]int{} // dynamic name -> hazard finding count
+	for i := range res.Findings {
+		f := &res.Findings[i]
+		// A lock-order cycle implicates every lock on it; join against
+		// the hottest one the dynamic run knows about.
+		for _, cand := range f.CycleDyn {
+			d, ok := locks[cand]
+			if !ok {
+				continue
+			}
+			if cur, have := locks[f.DynName]; !have || d.cpTimePct > cur.cpTimePct {
+				f.DynName = cand
+			}
+		}
+		if f.DynName == "" {
+			continue
+		}
+		d, ok := locks[f.DynName]
+		if !ok {
+			continue
+		}
+		f.Matched = true
+		f.Critical = d.critical
+		f.CPTimePct = d.cpTimePct
+		f.ContProbOnCP = d.contProb
+		hazards[f.DynName]++
+	}
+
+	// Hot critical locks with static hazards: one summary finding
+	// each, anchored at the lock's first static acquisition site.
+	var names []string
+	for name := range hazards {
+		if d := locks[name]; d.critical {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := locks[name]
+		f := Finding{
+			Check: CheckHotLock, Severity: SevWarn,
+			Lock: name, DynName: name, Matched: true,
+			Critical: true, CPTimePct: d.cpTimePct, ContProbOnCP: d.contProb,
+			Message: fmt.Sprintf("critical lock %q (%.1f%% of the critical path, cont. prob %.1f%%) has %d static hazard finding(s): fixing them attacks the dominant bottleneck",
+				name, d.cpTimePct, d.contProb, hazards[name]),
+		}
+		if sites := sitesByDyn[name]; len(sites) > 0 {
+			f.File, f.Line, f.Col = sites[0].File, sites[0].Line, sites[0].Col
+			f.Weight = sites[0].Weight
+		}
+		res.Findings = append(res.Findings, f)
+	}
+
+	SortByCriticality(res.Findings)
+}
+
+// SortByCriticality ranks matched findings by CP Time % (descending),
+// then contention probability, with unmatched findings in source
+// order below.
+func SortByCriticality(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Matched != b.Matched {
+			return a.Matched
+		}
+		if a.Matched {
+			if a.CPTimePct != b.CPTimePct {
+				return a.CPTimePct > b.CPTimePct
+			}
+			if a.ContProbOnCP != b.ContProbOnCP {
+				return a.ContProbOnCP > b.ContProbOnCP
+			}
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+// LoadReport reads a report.Export JSON file.
+func LoadReport(path string) (*report.Export, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := report.ReadExport(f)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// WriteHuman renders the result in the human-readable one-line-per-
+// finding form, followed by lock-order cycles and an optional weight
+// table.
+func WriteHuman(sb *strings.Builder, res *Result, weights bool) {
+	for i := range res.Findings {
+		sb.WriteString(res.Findings[i].String())
+		sb.WriteByte('\n')
+	}
+	if weights {
+		sb.WriteString(fmt.Sprintf("\n%d lock acquisition site(s):\n", len(res.Sites)))
+		for _, s := range res.Sites {
+			mode := "Lock"
+			if s.Shared {
+				mode = "RLock"
+			}
+			if s.Try {
+				mode = "TryLock"
+			}
+			dyn := ""
+			if s.DynName != "" {
+				dyn = fmt.Sprintf(" dyn=%q", s.DynName)
+			}
+			sb.WriteString(fmt.Sprintf("  %s:%d:%d: %s %s(%s)%s weight=%d\n",
+				s.File, s.Line, s.Col, s.Func, mode, s.Lock, dyn, s.Weight))
+		}
+	}
+	if n := len(res.Findings); n == 0 {
+		sb.WriteString(fmt.Sprintf("clalint: no findings in %d package(s), %d file(s), %d function(s)",
+			res.Packages, res.Files, res.Funcs))
+		if res.Suppressed > 0 {
+			sb.WriteString(fmt.Sprintf(" (%d suppressed)", res.Suppressed))
+		}
+		sb.WriteByte('\n')
+	}
+}

@@ -1,0 +1,122 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"critlock"
+	"critlock/internal/lint"
+	"critlock/internal/report"
+)
+
+// TestCrossReferenceEndToEnd drives the full static↔dynamic join: a
+// simulated workload contends on locks named "A" and "B" (the same
+// dynamic names the buggy corpus binds via NewMutex), the analysis
+// exports the clasrv/cla JSON shape, and CrossReference must annotate
+// the corpus's lock-order finding with the lock's CP Time %.
+func TestCrossReferenceEndToEnd(t *testing.T) {
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 4, Seed: 7})
+	a := sim.NewMutex("A")
+	b := sim.NewMutex("B")
+	tr, _, err := sim.Run(func(p critlock.Proc) {
+		var kids []critlock.Thread
+		for i := 0; i < 3; i++ {
+			kids = append(kids, p.Go("worker", func(q critlock.Proc) {
+				for j := 0; j < 4; j++ {
+					q.Lock(a)
+					q.Compute(300)
+					q.Unlock(a)
+					q.Lock(b)
+					q.Compute(40)
+					q.Unlock(b)
+					q.Compute(60)
+				}
+			}))
+		}
+		for _, k := range kids {
+			p.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	an, err := critlock.Analyze(critlock.TraceSource(tr))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	// Round-trip through the JSON file exactly as `clalint -report`
+	// consumes it.
+	path := filepath.Join(t.TempDir(), "analysis.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteExport(f, report.BuildExport("test", "sim", false, an)); err != nil {
+		t.Fatalf("WriteExport: %v", err)
+	}
+	f.Close()
+	rep, err := lint.LoadReport(path)
+	if err != nil {
+		t.Fatalf("LoadReport: %v", err)
+	}
+
+	res, err := lint.Run(lint.Options{
+		Dir:         ".",
+		Patterns:    []string{"./testdata/src/buggy"},
+		StdlibTypes: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	lint.CrossReference(res, rep)
+
+	var matched *lint.Finding
+	for i := range res.Findings {
+		f := &res.Findings[i]
+		if f.Check == lint.CheckLockOrder && f.Matched {
+			matched = f
+			break
+		}
+	}
+	if matched == nil {
+		t.Fatal("no lock-order finding matched a dynamic lock")
+	}
+	if matched.DynName != "A" && matched.DynName != "B" {
+		t.Errorf("matched DynName = %q, want A or B", matched.DynName)
+	}
+	if matched.CPTimePct <= 0 {
+		t.Errorf("matched CPTimePct = %v, want > 0", matched.CPTimePct)
+	}
+
+	// Both locks run critical in this workload, so the hazard-bearing
+	// one must get a hot-lock summary.
+	hot := false
+	for _, f := range res.Findings {
+		if f.Check == lint.CheckHotLock && f.DynName == matched.DynName {
+			hot = true
+			if !f.Critical {
+				t.Errorf("hotlock finding for %s not marked critical", f.DynName)
+			}
+			if !strings.Contains(f.Message, "critical lock") {
+				t.Errorf("hotlock message %q", f.Message)
+			}
+		}
+	}
+	if !hot {
+		t.Errorf("no hotlock summary finding for critical lock %s", matched.DynName)
+	}
+
+	// Matched findings must rank above unmatched ones.
+	seenUnmatched := false
+	for _, f := range res.Findings {
+		if !f.Matched {
+			seenUnmatched = true
+		} else if seenUnmatched {
+			t.Error("matched finding ranked below an unmatched one")
+			break
+		}
+	}
+}

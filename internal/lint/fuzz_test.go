@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"critlock/internal/lint"
+)
+
+// FuzzLint asserts the error-never-panic contract of the fuzzing
+// entry point: arbitrary bytes must produce a result or an error,
+// never a crash (parse errors, half-typed programs, pathological
+// nesting, bogus lock idioms).
+func FuzzLint(f *testing.F) {
+	for _, dir := range []string{"testdata/src/buggy", "testdata/src/clean"} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, e := range ents {
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(src)
+		}
+	}
+	f.Add([]byte("package p\nfunc f(){for !m.TryLock(){};m.Unlock()}"))
+	f.Add([]byte("package p\nimport \"sync\"\nvar m sync.Mutex\nfunc f(){defer func(){m.Unlock()}();m.Lock()}"))
+	f.Add([]byte("package p\nfunc f(p P){goto l;l:p.Lock(m);select{}}"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		res, err := lint.LintSource("fuzz.go", src)
+		if err == nil && res == nil {
+			t.Fatal("nil result with nil error")
+		}
+	})
+}

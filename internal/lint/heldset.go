@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// hstate is the dataflow fact: the set of acquisition sites whose
+// lock may be held, plus the set of deferred unlocks registered so
+// far ("e:key" exclusive, "s:key" shared). Both are sorted.
+type hstate struct {
+	held []int
+	def  []string
+}
+
+func (s *hstate) clone() *hstate {
+	return &hstate{held: append([]int(nil), s.held...), def: append([]string(nil), s.def...)}
+}
+
+func (s *hstate) addSite(id int) {
+	i := sort.SearchInts(s.held, id)
+	if i < len(s.held) && s.held[i] == id {
+		return
+	}
+	s.held = append(s.held, 0)
+	copy(s.held[i+1:], s.held[i:])
+	s.held[i] = id
+}
+
+func (s *hstate) removeSite(id int) {
+	i := sort.SearchInts(s.held, id)
+	if i < len(s.held) && s.held[i] == id {
+		s.held = append(s.held[:i], s.held[i+1:]...)
+	}
+}
+
+func (s *hstate) addDef(d string) {
+	i := sort.SearchStrings(s.def, d)
+	if i < len(s.def) && s.def[i] == d {
+		return
+	}
+	s.def = append(s.def, "")
+	copy(s.def[i+1:], s.def[i:])
+	s.def[i] = d
+}
+
+// union merges o into s and reports whether s changed.
+func (s *hstate) union(o *hstate) bool {
+	changed := false
+	for _, id := range o.held {
+		if i := sort.SearchInts(s.held, id); i >= len(s.held) || s.held[i] != id {
+			s.addSite(id)
+			changed = true
+		}
+	}
+	for _, d := range o.def {
+		if i := sort.SearchStrings(s.def, d); i >= len(s.def) || s.def[i] != d {
+			s.addDef(d)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// callHolding records a call made while locks were held (input to the
+// cross-function lock-order pass).
+type callHolding struct {
+	callee string
+	held   []*site
+	pos    token.Position
+}
+
+// passState carries the per-function dataflow artifacts.
+type passState struct {
+	fn *function
+	// siteFor maps acquisition op pointers to their site.
+	siteFor map[*op]*site
+	in      []*hstate // by node id; nil = unreachable
+	calls   []callHolding
+	// acquires maps global lock keys this function acquires directly
+	// to a representative site (for call-graph propagation).
+	acquires map[string]*site
+}
+
+// heldSetPass runs the held-lock-set dataflow: fixpoint first, then a
+// deterministic reporting sweep. It returns findings and the
+// intra-function lock-order edges.
+func (fn *function) heldSetPass() ([]Finding, []Edge) {
+	ps := &passState{fn: fn, siteFor: map[*op]*site{}, acquires: map[string]*site{}}
+	g := fn.cfg
+
+	// Pre-create sites in node order so ids are deterministic.
+	for _, n := range g.nodes {
+		for i := range n.ops {
+			o := &n.ops[i]
+			if (o.kind == opLock || o.kind == opRLock) && o.key != "" {
+				ps.newSite(o, o.kind == opRLock, false)
+			}
+		}
+		for _, e := range n.succs {
+			if e.tryAcq != nil {
+				ps.newSite(e.tryAcq, e.tryAcq.shared, true)
+			}
+		}
+	}
+
+	// Fixpoint.
+	ps.in = make([]*hstate, len(g.nodes))
+	ps.in[g.entry.id] = &hstate{}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			in := ps.in[n.id]
+			if in == nil {
+				continue
+			}
+			out := ps.transfer(n, in, nil)
+			for _, e := range n.succs {
+				eff := out
+				if e.tryAcq != nil {
+					eff = out.clone()
+					eff.addSite(ps.siteFor[e.tryAcq].id)
+				}
+				if ps.in[e.to.id] == nil {
+					ps.in[e.to.id] = eff.clone()
+					changed = true
+				} else if ps.in[e.to.id].union(eff) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Weights: a site's static critical-section weight is the summed
+	// cost of every node entered while its lock may be held.
+	for _, n := range g.nodes {
+		if in := ps.in[n.id]; in != nil && n != g.exit && n != g.panicExit {
+			for _, id := range in.held {
+				fn.sites[id].weight += n.weight
+			}
+		}
+	}
+
+	// Reporting sweep.
+	var findings []Finding
+	var edges []Edge
+	seen := map[string]bool{}
+	emit := func(f Finding) {
+		k := f.Check + "|" + f.Pos() + "|" + f.Message
+		if !seen[k] {
+			seen[k] = true
+			findings = append(findings, f)
+		}
+	}
+	for _, n := range g.nodes {
+		if in := ps.in[n.id]; in != nil {
+			rep := &reporter{ps: ps, emit: emit, edges: &edges}
+			ps.transfer(n, in, rep)
+		}
+	}
+
+	// Exit check: held sites without a matching deferred unlock are
+	// missing-unlock findings; wrong-mode deferred unlocks are
+	// pairing findings. panicExit is deliberately not checked.
+	if exitIn := ps.in[g.exit.id]; exitIn != nil {
+		for _, id := range exitIn.held {
+			s := fn.sites[id]
+			want, other := "e:"+s.key, "s:"+s.key
+			if s.shared {
+				want, other = other, want
+			}
+			if containsStr(exitIn.def, want) {
+				continue
+			}
+			if containsStr(exitIn.def, other) {
+				emit(ps.finding(CheckRWPair, s.pos, s,
+					fmt.Sprintf("deferred unlock of %q uses the wrong mode for this %s acquisition", s.key, modeName(s.shared))))
+				continue
+			}
+			emit(ps.finding(CheckMissingUnlock, s.pos, s,
+				fmt.Sprintf("lock %q acquired here may not be released on every path to return", s.key)))
+		}
+	}
+
+	for _, s := range fn.sites {
+		if s.try {
+			continue
+		}
+		gk := fn.globalKey(s.key, s.recv, s.dyn)
+		if _, ok := ps.acquires[gk]; !ok {
+			ps.acquires[gk] = s
+		}
+	}
+	fn.callsHolding = ps.calls
+	fn.directAcquires = ps.acquires
+	return findings, edges
+}
+
+// reporter is non-nil only during the reporting sweep.
+type reporter struct {
+	ps    *passState
+	emit  func(Finding)
+	edges *[]Edge
+}
+
+// newSite registers an acquisition site for op.
+func (ps *passState) newSite(o *op, shared, try bool) *site {
+	if s, ok := ps.siteFor[o]; ok {
+		return s
+	}
+	s := &site{
+		id: len(ps.fn.sites), fn: ps.fn,
+		key: o.key, recv: o.recv, dyn: ps.fn.pkg.dynNames[o.key],
+		shared: shared, try: try, pos: o.pos,
+	}
+	ps.fn.sites = append(ps.fn.sites, s)
+	ps.siteFor[o] = s
+	return s
+}
+
+// heldWithKey returns held site ids whose key matches.
+func (ps *passState) heldWithKey(st *hstate, key string) []*site {
+	var out []*site
+	for _, id := range st.held {
+		if s := ps.fn.sites[id]; s.key == key {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (ps *passState) finding(check string, pos token.Position, s *site, msg string) Finding {
+	f := Finding{
+		Check: check, Severity: severityOf(check),
+		File: pos.Filename, Line: pos.Line, Col: pos.Column,
+		Message: msg,
+	}
+	if s != nil {
+		f.Lock = s.key
+		f.DynName = s.dyn
+		f.Weight = s.weight
+	}
+	return f
+}
+
+// transfer replays node n's effects over a copy of in. With rep set
+// it also emits findings and lock-order edges (the reporting sweep).
+func (ps *passState) transfer(n *cfgNode, in *hstate, rep *reporter) *hstate {
+	st := in.clone()
+	fn := ps.fn
+	for i := range n.ops {
+		o := &n.ops[i]
+		switch o.kind {
+		case opLock:
+			if o.key == "" {
+				break
+			}
+			held := ps.heldWithKey(st, o.key)
+			if len(held) > 0 {
+				if rep != nil {
+					rep.emit(ps.finding(CheckDoubleLock, o.pos, held[0],
+						fmt.Sprintf("lock %q acquired while already held (held since %s); this self-deadlocks", o.key, posString(held[0].pos))))
+				}
+				break
+			}
+			s := ps.siteFor[o]
+			if rep != nil {
+				ps.orderEdges(st, s, rep)
+			}
+			st.addSite(s.id)
+		case opRLock:
+			if o.key == "" {
+				break
+			}
+			held := ps.heldWithKey(st, o.key)
+			if len(held) > 0 {
+				if rep != nil {
+					kind := "recursive RLock of %q (held since %s) can deadlock with a queued writer"
+					if !held[0].shared {
+						kind = "RLock of %q while held exclusively (since %s); this self-deadlocks"
+					}
+					rep.emit(ps.finding(CheckDoubleLock, o.pos, held[0],
+						fmt.Sprintf(kind, o.key, posString(held[0].pos))))
+				}
+				break
+			}
+			s := ps.siteFor[o]
+			if rep != nil {
+				ps.orderEdges(st, s, rep)
+			}
+			st.addSite(s.id)
+		case opUnlock, opRUnlock:
+			if o.key == "" {
+				break
+			}
+			wantShared := o.kind == opRUnlock
+			held := ps.heldWithKey(st, o.key)
+			var match, wrong *site
+			for _, s := range held {
+				if s.shared == wantShared {
+					match = s
+				} else {
+					wrong = s
+				}
+			}
+			switch {
+			case match != nil:
+				st.removeSite(match.id)
+			case wrong != nil:
+				if rep != nil {
+					msg := fmt.Sprintf("RUnlock of %q which is held exclusively (since %s); Unlock expected", o.key, posString(wrong.pos))
+					if !wantShared {
+						msg = fmt.Sprintf("Unlock of %q which is read-held (since %s); RUnlock expected", o.key, posString(wrong.pos))
+					}
+					rep.emit(ps.finding(CheckRWPair, o.pos, wrong, msg))
+				}
+				st.removeSite(wrong.id)
+			}
+			// Unlock of a lock this function never acquired is
+			// silent: the caller may hold it (documented caveat).
+		case opCall:
+			if len(st.held) > 0 {
+				if rep != nil && o.callee != "" {
+					var held []*site
+					for _, id := range st.held {
+						held = append(held, fn.sites[id])
+					}
+					ps.calls = append(ps.calls, callHolding{callee: o.callee, held: held, pos: o.pos})
+				}
+			}
+		default:
+			if o.kind.blocking() && rep != nil {
+				if n.selectComm && (o.kind == opChanSend || o.kind == opChanRecv) {
+					break // the enclosing select was already checked
+				}
+				var names []string
+				var first *site
+				for _, id := range st.held {
+					s := fn.sites[id]
+					if o.assoc != "" && s.key == o.assoc {
+						continue // the wait releases this mutex itself
+					}
+					names = append(names, fmt.Sprintf("%q (acquired at %s)", s.key, posString(s.pos)))
+					if first == nil {
+						first = s
+					}
+				}
+				if len(names) > 0 {
+					rep.emit(ps.finding(CheckBlockHeld, o.pos, first,
+						fmt.Sprintf("%s while holding %s", o.kind.describe(), strings.Join(names, ", "))))
+				}
+			}
+		}
+	}
+	for i := range n.deferred {
+		d := &n.deferred[i]
+		if d.key == "" {
+			continue
+		}
+		if d.kind == opRUnlock {
+			st.addDef("s:" + d.key)
+		} else {
+			st.addDef("e:" + d.key)
+		}
+	}
+	return st
+}
+
+// orderEdges records lock-order edges from every currently held site
+// to the new acquisition.
+func (ps *passState) orderEdges(st *hstate, to *site, rep *reporter) {
+	fn := ps.fn
+	for _, id := range st.held {
+		from := fn.sites[id]
+		if from.key == to.key {
+			continue
+		}
+		*rep.edges = append(*rep.edges, Edge{
+			From:    fn.globalKey(from.key, from.recv, from.dyn),
+			To:      fn.globalKey(to.key, to.recv, to.dyn),
+			Func:    fn.name,
+			FromPos: posString(from.pos),
+			ToPos:   posString(to.pos),
+		})
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+func modeName(shared bool) string {
+	if shared {
+		return "shared (RLock)"
+	}
+	return "exclusive (Lock)"
+}
+
+func containsStr(ss []string, s string) bool {
+	i := sort.SearchStrings(ss, s)
+	return i < len(ss) && ss[i] == s
+}

@@ -1,0 +1,348 @@
+// Package lint is clalint's engine: a dependency-free static
+// analyzer (stdlib go/ast, go/parser, go/token, go/types only — no
+// golang.org/x/tools) that finds lock-usage hazards in Go source
+// written against either the internal/harness Proc API
+// (p.Lock(m)/p.Unlock(m), one-argument calls) or plain
+// sync.Mutex/sync.RWMutex (m.Lock(), zero-argument calls).
+//
+// Four passes run over every linted package:
+//
+//  1. a per-function control-flow graph with a held-lock-set dataflow
+//     (missing-unlock-on-path, double lock, RLock/RUnlock pairing),
+//  2. a whole-program static lock-order graph with SCC cycle
+//     detection (potential deadlock inversions, both acquisition
+//     stacks reported),
+//  3. a blocking-while-holding pass (channel send/recv, select,
+//     BarrierWait, time.Sleep, condition Wait inside a held region;
+//     Wait-not-in-a-loop; copied mutex values), and
+//  4. a static critical-section weight estimate (statements + calls
+//     executed while each acquisition site's lock is held).
+//
+// A finding at a source line is suppressed by a justified directive
+// on that line or the line above:
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory; an ignore without one does not suppress.
+// Check "all" matches every check.
+//
+// CrossReference joins findings with a dynamic analysis report
+// (report.Export JSON from cla -jsonreport or clasrv): static lock
+// sites resolve to dynamic lock names through NewMutex("name") call
+// tracking, each finding is annotated with the lock's CP Time % and
+// contention probability on the critical path, and findings re-rank
+// by dynamic criticality.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Check identifiers, usable in //lint:ignore directives.
+const (
+	CheckDoubleLock    = "doublelock"    // lock acquired while already held
+	CheckMissingUnlock = "missingunlock" // held lock not released on some path
+	CheckRWPair        = "rwpair"        // Unlock/RUnlock mode mismatch
+	CheckLockOrder     = "lockorder"     // lock-order cycle (deadlock inversion)
+	CheckBlockHeld     = "blockheld"     // blocking operation inside a held region
+	CheckWaitLoop      = "waitloop"      // condition Wait not guarded by a loop
+	CheckCopyLock      = "copylock"      // sync mutex copied by value
+	CheckHotLock       = "hotlock"       // critical lock with static hazards (cross-ref)
+)
+
+// Severity buckets findings for display; every check has a fixed one.
+type Severity string
+
+const (
+	SevError Severity = "error"
+	SevWarn  Severity = "warn"
+)
+
+func severityOf(check string) Severity {
+	switch check {
+	case CheckBlockHeld, CheckWaitLoop, CheckHotLock:
+		return SevWarn
+	}
+	return SevError
+}
+
+// Finding is one reported hazard.
+type Finding struct {
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	// File:Line:Col anchor the finding; File is slash-separated and
+	// relative to the linting root when possible.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Lock is the canonical static lock key ("s.mu", "Type.field"),
+	// DynName the dynamic lock name when a NewMutex("name") call
+	// resolved it — the join key against the analysis report.
+	Lock    string `json:"lock,omitempty"`
+	DynName string `json:"dyn_name,omitempty"`
+	// CycleDyn lists every dynamically named lock of a lock-order
+	// cycle finding; CrossReference joins on the hottest of them.
+	CycleDyn []string `json:"cycle_locks,omitempty"`
+	Message  string   `json:"message"`
+	// Weight is the static critical-section weight of the acquisition
+	// site the finding belongs to (0 when not applicable).
+	Weight int `json:"weight,omitempty"`
+
+	// Dynamic annotations, populated by CrossReference.
+	Matched      bool    `json:"matched,omitempty"`
+	Critical     bool    `json:"critical,omitempty"`
+	CPTimePct    float64 `json:"cp_time_pct,omitempty"`
+	ContProbOnCP float64 `json:"cont_prob_on_cp,omitempty"`
+}
+
+// Pos renders the finding anchor.
+func (f *Finding) Pos() string { return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col) }
+
+// String renders the human-readable single-line form.
+func (f *Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s [%s] %s", f.Pos(), f.Severity, f.Check, f.Message)
+	if f.Matched {
+		fmt.Fprintf(&b, " {CP %.1f%%, cont %.1f%%", f.CPTimePct, f.ContProbOnCP)
+		if f.Critical {
+			b.WriteString(", critical")
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// Site is one static lock acquisition site with its weight estimate.
+type Site struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Func    string `json:"func"`
+	Lock    string `json:"lock"`
+	DynName string `json:"dyn_name,omitempty"`
+	// Shared marks reader (RLock) acquisitions.
+	Shared bool `json:"shared,omitempty"`
+	// Try marks conditional (TryLock) acquisitions.
+	Try bool `json:"try,omitempty"`
+	// Weight estimates the critical-section size: statements plus
+	// calls reachable while the lock is held.
+	Weight int `json:"weight"`
+}
+
+// Edge is one lock-order graph edge: To was acquired while From was
+// held. FromPos/ToPos are the two acquisition stacks.
+type Edge struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Func    string `json:"func"`
+	FromPos string `json:"from_pos"`
+	ToPos   string `json:"to_pos"`
+	// Via names the callee chain when the inner acquisition happens
+	// in a called function rather than inline.
+	Via string `json:"via,omitempty"`
+}
+
+// Cycle is a strongly connected component of the lock-order graph.
+type Cycle struct {
+	Locks []string `json:"locks"`
+	Edges []Edge   `json:"edges"`
+}
+
+// Result is a full linter run.
+type Result struct {
+	Findings []Finding `json:"findings"`
+	Sites    []Site    `json:"sites"`
+	Edges    []Edge    `json:"lock_order_edges,omitempty"`
+	Cycles   []Cycle   `json:"cycles,omitempty"`
+	// Suppressed counts findings silenced by lint:ignore directives.
+	Suppressed int `json:"suppressed,omitempty"`
+	Packages   int `json:"packages"`
+	Files      int `json:"files"`
+	Funcs      int `json:"funcs"`
+}
+
+// Options configure a run.
+type Options struct {
+	// Dir is the base directory patterns resolve against ("." when
+	// empty).
+	Dir string
+	// Patterns are file paths, directories, or "dir/..." recursive
+	// patterns (the go tool's testdata/vendor/_*/.* pruning applies
+	// below, but never to, the pattern root).
+	Patterns []string
+	// IncludeTests lints _test.go files too (off by default: tests
+	// routinely misuse locks on purpose).
+	IncludeTests bool
+	// StdlibTypes type-checks against stdlib source (go/importer
+	// "source" mode) so sync.Mutex values, *sync.Cond receivers and
+	// channel types resolve. Disable for hermetic runs (fuzzing).
+	StdlibTypes bool
+	// NoCallGraph disables cross-function lock-order edge
+	// propagation.
+	NoCallGraph bool
+}
+
+// Run lints the packages matched by opts.
+func Run(opts Options) (*Result, error) {
+	pkgs, err := load(opts)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(pkgs, opts), nil
+}
+
+// LintSource lints a single in-memory file (no filesystem access, no
+// stdlib type information). It is the fuzzing entry point and must
+// return an error — never panic — on arbitrary input.
+func LintSource(filename string, src []byte) (*Result, error) {
+	pkg, err := loadSource(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return analyze([]*pkgInfo{pkg}, Options{}), nil
+}
+
+// analyze runs every pass over the loaded packages and assembles the
+// sorted, suppression-filtered result.
+func analyze(pkgs []*pkgInfo, opts Options) *Result {
+	res := &Result{Packages: len(pkgs)}
+	var fns []*function
+	for _, p := range pkgs {
+		res.Files += len(p.files)
+		p.prepass()
+		fns = append(fns, p.functions()...)
+	}
+	res.Funcs = len(fns)
+
+	var findings []Finding
+	var edges []Edge
+	for _, fn := range fns {
+		fn.buildCFG()
+		ff, ee := fn.heldSetPass()
+		findings = append(findings, ff...)
+		edges = append(edges, ee...)
+		findings = append(findings, fn.blockingExtras()...)
+	}
+	for _, p := range pkgs {
+		findings = append(findings, p.copyLockPass()...)
+	}
+	if !opts.NoCallGraph {
+		edges = append(edges, callGraphEdges(fns)...)
+	}
+	edges = dedupeEdges(edges)
+	cycles, cycleFindings := lockOrderCycles(edges)
+	findings = append(findings, cycleFindings...)
+
+	res.Edges = edges
+	res.Cycles = cycles
+	for _, fn := range fns {
+		for _, s := range fn.sites {
+			res.Sites = append(res.Sites, Site{
+				File: s.pos.Filename, Line: s.pos.Line, Col: s.pos.Column,
+				Func: fn.name, Lock: s.key, DynName: s.dyn,
+				Shared: s.shared, Try: s.try, Weight: s.weight,
+			})
+		}
+	}
+
+	// Suppression: a justified //lint:ignore on the finding line or
+	// the line above.
+	sup := newSuppressions(pkgs)
+	kept := findings[:0]
+	for _, f := range findings {
+		if sup.matches(f.File, f.Line, f.Check) {
+			res.Suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	res.Findings = kept
+
+	SortStatic(res.Findings)
+	sort.Slice(res.Sites, func(i, j int) bool {
+		a, b := res.Sites[i], res.Sites[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return res
+}
+
+// SortStatic orders findings by source position (the default order;
+// CrossReference re-ranks by dynamic criticality).
+func SortStatic(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+// suppressions indexes lint:ignore directives by file and line.
+type suppressions struct {
+	// byLine maps file -> line -> set of suppressed check names.
+	byLine map[string]map[int][]string
+}
+
+func newSuppressions(pkgs []*pkgInfo) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			for _, cg := range f.ast.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, "lint:ignore") {
+						continue
+					}
+					rest := strings.TrimPrefix(text, "lint:ignore")
+					fields := strings.Fields(rest)
+					// A check name AND a justification are both
+					// mandatory; a bare directive suppresses nothing.
+					if len(fields) < 2 {
+						continue
+					}
+					pos := p.fset.Position(c.Pos())
+					file := f.path
+					m := s.byLine[file]
+					if m == nil {
+						m = map[int][]string{}
+						s.byLine[file] = m
+					}
+					m[pos.Line] = append(m[pos.Line], fields[0])
+				}
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether check is suppressed at file:line (directive
+// on the same line or the one above).
+func (s *suppressions) matches(file string, line int, check string) bool {
+	m := s.byLine[file]
+	if m == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		for _, c := range m[l] {
+			if c == check || c == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"critlock/internal/lint"
+)
+
+// lintSnippet runs the analyzer over one in-memory file.
+func lintSnippet(t *testing.T, src string) *lint.Result {
+	t.Helper()
+	res, err := lint.LintSource("snippet.go", []byte(src))
+	if err != nil {
+		t.Fatalf("LintSource: %v", err)
+	}
+	return res
+}
+
+func checks(res *lint.Result) []string {
+	var out []string
+	for _, f := range res.Findings {
+		out = append(out, f.Check)
+	}
+	return out
+}
+
+func TestTryLockPatterns(t *testing.T) {
+	// All three guarded TryLock forms release on the held branch only:
+	// no findings.
+	clean := `package p
+import "sync"
+var mu sync.Mutex
+func a() {
+	if mu.TryLock() {
+		mu.Unlock()
+	}
+}
+func b() {
+	if ok := mu.TryLock(); ok {
+		mu.Unlock()
+	}
+}
+func c() {
+	for !mu.TryLock() {
+	}
+	mu.Unlock()
+}`
+	if res := lintSnippet(t, clean); len(res.Findings) != 0 {
+		t.Errorf("guarded TryLock: unexpected findings %v", checks(res))
+	}
+
+	// Holding the then-branch without release leaks.
+	leak := `package p
+import "sync"
+var mu sync.Mutex
+func a() {
+	if mu.TryLock() {
+		println("held")
+	}
+}`
+	res := lintSnippet(t, leak)
+	if got := checks(res); len(got) != 1 || got[0] != lint.CheckMissingUnlock {
+		t.Errorf("leaky TryLock: got %v, want [missingunlock]", got)
+	}
+}
+
+func TestSuppressionRequiresReason(t *testing.T) {
+	src := `package p
+import "sync"
+var mu sync.Mutex
+func f() {
+	//lint:ignore missingunlock
+	mu.Lock()
+}`
+	res := lintSnippet(t, src)
+	if len(res.Findings) != 1 || res.Suppressed != 0 {
+		t.Errorf("bare directive must not suppress: findings=%v suppressed=%d",
+			checks(res), res.Suppressed)
+	}
+
+	justified := strings.Replace(src, "//lint:ignore missingunlock",
+		"//lint:ignore missingunlock held on purpose", 1)
+	res = lintSnippet(t, justified)
+	if len(res.Findings) != 0 || res.Suppressed != 1 {
+		t.Errorf("justified directive must suppress: findings=%v suppressed=%d",
+			checks(res), res.Suppressed)
+	}
+}
+
+func TestPanicPathsNotMissingUnlock(t *testing.T) {
+	// Holding across a panic-terminated path is an invariant-violation
+	// handler, not a leak.
+	src := `package p
+import "sync"
+var mu sync.Mutex
+func f(bad bool) {
+	mu.Lock()
+	if bad {
+		panic("invariant")
+	}
+	mu.Unlock()
+}`
+	if res := lintSnippet(t, src); len(res.Findings) != 0 {
+		t.Errorf("panic path flagged: %v", checks(res))
+	}
+}
+
+func TestDeferFuncLitUnlock(t *testing.T) {
+	src := `package p
+import "sync"
+var mu sync.Mutex
+func f() {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+	}()
+	println("work")
+}`
+	if res := lintSnippet(t, src); len(res.Findings) != 0 {
+		t.Errorf("deferred closure unlock flagged: %v", checks(res))
+	}
+}
+
+func TestUnlockOfCallerHeldIsSilent(t *testing.T) {
+	// Releasing a lock this function never acquired is the
+	// caller-holds idiom; the dataflow stays silent (documented
+	// soundness caveat).
+	src := `package p
+import "sync"
+var mu sync.Mutex
+func releaseLocked() {
+	mu.Unlock()
+}`
+	if res := lintSnippet(t, src); len(res.Findings) != 0 {
+		t.Errorf("caller-held release flagged: %v", checks(res))
+	}
+}
+
+func TestGoroutineBodiesAnalyzedSeparately(t *testing.T) {
+	// The lock leak inside the goroutine must be found there, and the
+	// spawning function must not inherit the literal's held set.
+	src := `package p
+import "sync"
+var mu sync.Mutex
+func f() {
+	go func() {
+		mu.Lock()
+	}()
+	mu.Lock()
+	mu.Unlock()
+}`
+	res := lintSnippet(t, src)
+	if got := checks(res); len(got) != 1 || got[0] != lint.CheckMissingUnlock {
+		t.Errorf("got %v, want exactly [missingunlock] inside the goroutine", got)
+	}
+}

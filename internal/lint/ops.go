@@ -1,0 +1,625 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// opKind classifies the lock-relevant effect of an expression.
+type opKind int
+
+const (
+	opLock opKind = iota
+	opTryLock
+	opUnlock
+	opRLock
+	opRUnlock
+	opWaitHarness // p.Wait(c, m): release m, block, reacquire m
+	opWaitCond    // c.Wait() on a sync.Cond
+	opBarrierWait // blocking, lock-free
+	opSleep       // time.Sleep
+	opChanSend
+	opChanRecv
+	opSelect
+	opCall // candidate call for lock-order propagation
+)
+
+// blocking reports whether the op can block the thread.
+func (k opKind) blocking() bool {
+	switch k {
+	case opWaitHarness, opWaitCond, opBarrierWait, opSleep, opChanSend, opChanRecv, opSelect:
+		return true
+	}
+	return false
+}
+
+// describe names the op for finding messages.
+func (k opKind) describe() string {
+	switch k {
+	case opWaitHarness, opWaitCond:
+		return "condition wait"
+	case opBarrierWait:
+		return "barrier wait"
+	case opSleep:
+		return "time.Sleep"
+	case opChanSend:
+		return "channel send"
+	case opChanRecv:
+		return "channel receive"
+	case opSelect:
+		return "select"
+	}
+	return "operation"
+}
+
+// op is one classified operation inside a CFG node.
+type op struct {
+	kind opKind
+	// key is the canonical lock key ("" = untracked expression; the
+	// op is then invisible to the held-set dataflow).
+	key    string
+	recv   bool // key went through receiver substitution ("Type.field")
+	shared bool // opTryLock: TryRLock rather than TryLock
+	pos    token.Position
+	assoc  string // waits: mutex released/reacquired around the block
+	callee string // opCall: qualified callee key
+	expr   ast.Node
+}
+
+// function is one analyzed FuncDecl or FuncLit.
+type function struct {
+	pkg  *pkgInfo
+	file *fileInfo
+	name string
+	// recvName/recvType drive receiver substitution in lock keys.
+	recvName string
+	recvType string
+	body     *ast.BlockStmt
+	typ      *ast.FuncType
+
+	cfg    *cfgGraph
+	sites  []*site
+	nLits  int
+	parent *function
+
+	// Dataflow products consumed by the cross-function lock-order
+	// pass.
+	callsHolding   []callHolding
+	directAcquires map[string]*site
+}
+
+// site is one static lock acquisition site.
+type site struct {
+	id     int
+	fn     *function
+	key    string
+	recv   bool
+	dyn    string
+	shared bool
+	try    bool
+	pos    token.Position
+	weight int
+}
+
+// globalKey renders the whole-program identity of a lock key: the
+// dynamic name when known, a package-qualified "Type.field" for
+// receiver fields, and a function-scoped name otherwise (two local
+// variables in different functions are never the same lock).
+func (fn *function) globalKey(key string, recv bool, dyn string) string {
+	if dyn != "" {
+		return dyn
+	}
+	if recv {
+		return fn.pkg.dir + ":" + key
+	}
+	return fn.pkg.dir + ":" + fn.rootName() + ":" + key
+}
+
+// rootName is the enclosing FuncDecl's name (lits share their
+// parent's lock scope: closures capture the parent's variables).
+func (fn *function) rootName() string {
+	f := fn
+	for f.parent != nil {
+		f = f.parent
+	}
+	return f.name
+}
+
+// prepass learns package-level facts consulted by every later pass:
+// dynamic lock names from NewMutex("name") calls and cond->mutex
+// association from sync.NewCond(&mu), composite literals and
+// harness Wait(c, m) call sites.
+func (p *pkgInfo) prepass() {
+	p.dynNames = map[string]string{}
+	p.condMutex = map[string]string{}
+	for _, f := range p.files {
+		for _, decl := range f.ast.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				p.prepassNode(d, "", "")
+			case *ast.FuncDecl:
+				recvName, recvType := recvInfo(d)
+				if d.Body != nil {
+					p.prepassNode(d.Body, recvName, recvType)
+				}
+			}
+		}
+	}
+}
+
+// prepassNode records name bindings under one receiver context.
+func (p *pkgInfo) prepassNode(root ast.Node, recvName, recvType string) {
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		if name, ok := newMutexName(rhs); ok {
+			if key, _ := p.typedCanon(lhs, recvName, recvType); key != "" {
+				p.dynNames[key] = name
+			}
+		}
+		if mu, ok := newCondTarget(rhs); ok {
+			ckey, _ := p.typedCanon(lhs, recvName, recvType)
+			mkey, _ := p.typedCanon(mu, recvName, recvType)
+			if ckey != "" && mkey != "" {
+				p.condMutex[ckey] = mkey
+			}
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.AssignStmt:
+			if len(nd.Lhs) == len(nd.Rhs) {
+				for i := range nd.Lhs {
+					record(nd.Lhs[i], nd.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(nd.Names) == len(nd.Values) {
+				for i := range nd.Names {
+					record(nd.Names[i], nd.Values[i])
+				}
+			}
+		case *ast.CompositeLit:
+			tname := litTypeName(nd.Type)
+			if tname == "" {
+				return true
+			}
+			for _, el := range nd.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				fld, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if name, ok := newMutexName(kv.Value); ok {
+					p.dynNames[tname+"."+fld.Name] = name
+				}
+				if mu, ok := newCondTarget(kv.Value); ok {
+					if mkey, mrecv := canonKey(mu, recvName, recvType); mkey != "" {
+						p.condMutex[tname+"."+fld.Name] = dynScope(mkey, mrecv)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// p.Wait(c, m) associates cond c with mutex m.
+			if sel, ok := nd.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(nd.Args) == 2 {
+				ckey, crecv := canonKey(nd.Args[0], recvName, recvType)
+				mkey, mrecv := canonKey(nd.Args[1], recvName, recvType)
+				if ckey != "" && mkey != "" {
+					p.condMutex[dynScope(ckey, crecv)] = dynScope(mkey, mrecv)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// dynScope is the dynNames/condMutex map key: receiver-substituted
+// keys ("Type.field") are package-scoped, plain names file-scoped
+// enough in practice (workload setup and use share one function).
+func dynScope(key string, _ bool) string { return key }
+
+// typedCanon resolves e like canonKey, but when the root identifier
+// is not the receiver it additionally tries go/types: a root whose
+// type is a named struct declared in this package is replaced by the
+// type name ("q.cond" -> "queue.cond"), so constructor-pattern
+// bindings line up with the receiver-substituted keys used in method
+// bodies. Bare identifiers keep their function-scoped name.
+func (p *pkgInfo) typedCanon(e ast.Expr, recvName, recvType string) (string, bool) {
+	key, recv := canonKey(e, recvName, recvType)
+	if key == "" || recv {
+		return key, recv
+	}
+	i := strings.Index(key, ".")
+	if i < 0 {
+		return key, false
+	}
+	if root := rootIdent(e); root != nil {
+		if tn := p.localTypeName(root); tn != "" {
+			return tn + key[i:], true
+		}
+	}
+	return key, false
+}
+
+// rootIdent finds the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return rootIdent(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return rootIdent(x.X)
+		}
+	case *ast.StarExpr:
+		return rootIdent(x.X)
+	}
+	return nil
+}
+
+// localTypeName resolves id's type to the name of a struct type
+// declared in this package, or "".
+func (p *pkgInfo) localTypeName(id *ast.Ident) string {
+	t := p.typeOf(id)
+	if t == nil && p.info != nil {
+		if obj, ok := p.info.Uses[id]; ok && obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != p.name {
+		return ""
+	}
+	return obj.Name()
+}
+
+// newMutexName matches X.NewMutex("name") / NewMutex("name").
+func newMutexName(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return "", false
+	}
+	name := calleeName(call)
+	if name != "NewMutex" {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || len(lit.Value) < 2 {
+		return "", false
+	}
+	return strings.Trim(lit.Value, "`\""), true
+}
+
+// newCondTarget matches sync.NewCond(&mu) and returns mu.
+func newCondTarget(e ast.Expr) (ast.Expr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || calleeName(call) != "NewCond" {
+		return nil, false
+	}
+	if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X, true
+	}
+	return call.Args[0], true
+}
+
+// calleeName extracts the called method/function name.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// recvInfo returns the receiver name and base type name of a method.
+func recvInfo(d *ast.FuncDecl) (string, string) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", ""
+	}
+	fld := d.Recv.List[0]
+	name := ""
+	if len(fld.Names) == 1 {
+		name = fld.Names[0].Name
+	}
+	return name, litTypeName(fld.Type)
+}
+
+// litTypeName names a (possibly pointered/generic) type expression.
+func litTypeName(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return litTypeName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.IndexExpr:
+		return litTypeName(t.X)
+	case *ast.IndexListExpr:
+		return litTypeName(t.X)
+	}
+	return ""
+}
+
+// canonKey canonicalizes a lock expression: parens and & stripped,
+// the method receiver replaced by its type name. It returns "" for
+// expressions the dataflow cannot track soundly (index expressions,
+// call results), and whether receiver substitution happened.
+func canonKey(e ast.Expr, recvName, recvType string) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if recvName != "" && x.Name == recvName && recvType != "" {
+			return recvType, true
+		}
+		return x.Name, false
+	case *ast.SelectorExpr:
+		base, recv := canonKey(x.X, recvName, recvType)
+		if base == "" {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, recv
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return canonKey(x.X, recvName, recvType)
+		}
+	case *ast.StarExpr:
+		return canonKey(x.X, recvName, recvType)
+	}
+	return "", false
+}
+
+// functions collects every FuncDecl and (recursively) FuncLit body.
+func (p *pkgInfo) functions() []*function {
+	var fns []*function
+	for _, f := range p.files {
+		for _, decl := range f.ast.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			recvName, recvType := recvInfo(d)
+			name := d.Name.Name
+			if recvType != "" {
+				name = recvType + "." + name
+			}
+			fn := &function{
+				pkg: p, file: f, name: name,
+				recvName: recvName, recvType: recvType,
+				body: d.Body, typ: d.Type,
+			}
+			fns = append(fns, fn)
+			fns = append(fns, collectLits(fn, d.Body)...)
+		}
+	}
+	return fns
+}
+
+// collectLits pulls nested FuncLits out as their own functions (they
+// run on other goroutines or at defer time; analyzing them inline
+// would corrupt the parent's dataflow).
+func collectLits(parent *function, root ast.Node) []*function {
+	var fns []*function
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		parent.nLits++
+		fn := &function{
+			pkg: parent.pkg, file: parent.file,
+			name:     parent.name + "·func" + itoa(parent.nLits),
+			recvName: parent.recvName, recvType: parent.recvType,
+			body: lit.Body, typ: lit.Type, parent: parent,
+		}
+		fns = append(fns, fn)
+		fns = append(fns, collectLits(fn, lit.Body)...)
+		return false // inner lits collected by the recursive call
+	})
+	return fns
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// classify extracts the lock-relevant ops of expression tree n in
+// evaluation order, without descending into FuncLits.
+func (fn *function) classify(n ast.Node, out *[]op) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			*out = append(*out, op{kind: opChanSend, pos: fn.pos(e.Arrow), expr: e})
+			return true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				*out = append(*out, op{kind: opChanRecv, pos: fn.pos(e.OpPos), expr: e})
+			}
+			return true
+		case *ast.CallExpr:
+			fn.classifyCall(e, out)
+			// Arguments were classified by classifyCall in eval
+			// order; don't revisit.
+			return false
+		}
+		return true
+	})
+}
+
+// classifyCall classifies one call (arguments first — Go evaluates
+// them before the call takes effect).
+func (fn *function) classifyCall(call *ast.CallExpr, out *[]op) {
+	for _, a := range call.Args {
+		fn.classify(a, out)
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	name := calleeName(call)
+	pos := fn.pos(call.Lparen)
+	mk := func(kind opKind, lockExpr ast.Expr) op {
+		o := op{kind: kind, pos: pos, expr: call}
+		if lockExpr != nil {
+			o.key, o.recv = canonKey(lockExpr, fn.recvName, fn.recvType)
+		}
+		return o
+	}
+	nargs := len(call.Args)
+	switch {
+	case isSel && nargs == 0:
+		switch name {
+		case "Lock":
+			*out = append(*out, mk(opLock, sel.X))
+			return
+		case "Unlock":
+			*out = append(*out, mk(opUnlock, sel.X))
+			return
+		case "RLock":
+			*out = append(*out, mk(opRLock, sel.X))
+			return
+		case "RUnlock":
+			*out = append(*out, mk(opRUnlock, sel.X))
+			return
+		case "TryLock", "TryRLock":
+			o := mk(opTryLock, sel.X)
+			o.shared = name == "TryRLock"
+			*out = append(*out, o)
+			return
+		case "Wait":
+			// Only a condition-variable Wait counts (not
+			// sync.WaitGroup.Wait): the receiver must resolve to
+			// *sync.Cond or be a tracked NewCond result.
+			if fn.isCondRecv(sel.X) {
+				o := mk(opWaitCond, sel.X)
+				o.assoc = fn.pkg.condMutex[o.key]
+				*out = append(*out, o)
+				return
+			}
+		}
+	case isSel && nargs == 1:
+		switch name {
+		case "Lock":
+			*out = append(*out, mk(opLock, call.Args[0]))
+			return
+		case "TryLock":
+			*out = append(*out, mk(opTryLock, call.Args[0]))
+			return
+		case "Unlock":
+			*out = append(*out, mk(opUnlock, call.Args[0]))
+			return
+		case "RLock":
+			*out = append(*out, mk(opRLock, call.Args[0]))
+			return
+		case "RUnlock":
+			*out = append(*out, mk(opRUnlock, call.Args[0]))
+			return
+		case "BarrierWait":
+			*out = append(*out, mk(opBarrierWait, nil))
+			return
+		case "Sleep":
+			if id, ok := sel.X.(*ast.Ident); ok && fn.file.timeName != "" && id.Name == fn.file.timeName {
+				*out = append(*out, mk(opSleep, nil))
+				return
+			}
+		}
+	case isSel && nargs == 2 && name == "Wait":
+		// p.Wait(c, m): blocks with m released, reacquires m.
+		o := mk(opWaitHarness, call.Args[1])
+		o.assoc = o.key
+		*out = append(*out, o)
+		return
+	}
+	// Plain call: a lock-order propagation candidate.
+	o := op{kind: opCall, pos: pos, expr: call, callee: fn.resolveCallee(call)}
+	*out = append(*out, o)
+}
+
+// isCondRecv reports whether e is a condition variable: typed
+// *sync.Cond (when type info resolved) or a tracked NewCond binding.
+func (fn *function) isCondRecv(e ast.Expr) bool {
+	key, _ := canonKey(e, fn.recvName, fn.recvType)
+	if key != "" {
+		if _, ok := fn.pkg.condMutex[key]; ok {
+			return true
+		}
+	}
+	if t := fn.pkg.typeOf(e); t != nil {
+		if strings.TrimPrefix(t.String(), "*") == "sync.Cond" {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOf looks up best-effort type info.
+func (p *pkgInfo) typeOf(e ast.Expr) types.Type {
+	if p.info == nil {
+		return nil
+	}
+	if tv, ok := p.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// resolveCallee maps a call to an analyzed-function key: "pkg:Name"
+// for package-level functions, "pkg:Type.Method" for methods whose
+// receiver type resolves (same-package or via type info).
+func (fn *function) resolveCallee(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.pkg.dir + ":" + f.Name
+	case *ast.SelectorExpr:
+		// Method call on a same-package value: resolve the receiver's
+		// type name through go/types when available.
+		if t := fn.pkg.typeOf(f.X); t != nil {
+			tn := t.String()
+			tn = strings.TrimPrefix(tn, "*")
+			if i := strings.LastIndex(tn, "."); i >= 0 {
+				tn = tn[i+1:]
+			}
+			if tn != "" && !strings.ContainsAny(tn, "[]{}() ") {
+				return fn.pkg.dir + ":" + tn + "." + f.Sel.Name
+			}
+		}
+		// Receiver is the method receiver itself: s.helper().
+		if id, ok := ast.Unparen(f.X).(*ast.Ident); ok && id.Name == fn.recvName && fn.recvType != "" {
+			return fn.pkg.dir + ":" + fn.recvType + "." + f.Sel.Name
+		}
+	}
+	return ""
+}
+
+func (fn *function) pos(p token.Pos) token.Position {
+	pp := fn.pkg.fset.Position(p)
+	pp.Filename = fn.file.path
+	return pp
+}

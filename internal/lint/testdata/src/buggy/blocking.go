@@ -1,0 +1,36 @@
+package buggy
+
+import (
+	"sync"
+	"time"
+)
+
+// pipeline seeds blocking-while-holding: channel operations inside
+// the pl.mu critical section serialize every peer on the channel
+// peer's pace.
+type pipeline struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+func (pl *pipeline) publish(v int) {
+	pl.mu.Lock()
+	pl.out <- v
+	pl.mu.Unlock()
+}
+
+func (pl *pipeline) poll() int {
+	pl.mu.Lock()
+	v := <-pl.out
+	pl.mu.Unlock()
+	return v
+}
+
+// stall seeds barrier-wait and sleep inside a held region (harness
+// style).
+func stall(p Proc, m Mutex, b Barrier) {
+	p.Lock(m)
+	p.BarrierWait(b)
+	time.Sleep(time.Millisecond)
+	p.Unlock(m)
+}

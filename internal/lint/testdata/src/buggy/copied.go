@@ -1,0 +1,21 @@
+package buggy
+
+import "sync"
+
+// counter seeds copied-mutex-value hazards: a mutex passed or
+// returned by value guards nothing (each copy is its own lock).
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func snapshot(mu sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 0
+}
+
+func capture(c *counter) sync.Mutex {
+	held := c.mu
+	return held
+}

@@ -1,0 +1,54 @@
+package buggy
+
+// inversion seeds the classic two-lock order inversion: forward nests
+// A then B, backward nests B then A.
+type inversion struct {
+	a, b Mutex
+}
+
+func newInversion(rt Runtime) *inversion {
+	return &inversion{a: rt.NewMutex("A"), b: rt.NewMutex("B")}
+}
+
+func (s *inversion) forward(p Proc) {
+	p.Lock(s.a)
+	p.Lock(s.b)
+	p.Unlock(s.b)
+	p.Unlock(s.a)
+}
+
+func (s *inversion) backward(p Proc) {
+	p.Lock(s.b)
+	p.Lock(s.a)
+	p.Unlock(s.a)
+	p.Unlock(s.b)
+}
+
+// nested seeds the same inversion with one side hidden behind a call:
+// cd holds C and calls takeD, which acquires D; dc nests D then C
+// inline.
+type nested struct {
+	c, d Mutex
+}
+
+func newNested(rt Runtime) *nested {
+	return &nested{c: rt.NewMutex("C"), d: rt.NewMutex("D")}
+}
+
+func (n *nested) takeD(p Proc) {
+	p.Lock(n.d)
+	p.Unlock(n.d)
+}
+
+func (n *nested) cd(p Proc) {
+	p.Lock(n.c)
+	n.takeD(p)
+	p.Unlock(n.c)
+}
+
+func (n *nested) dc(p Proc) {
+	p.Lock(n.d)
+	p.Lock(n.c)
+	p.Unlock(n.c)
+	p.Unlock(n.d)
+}

@@ -1,0 +1,38 @@
+// Package buggy is clalint's hazard corpus: every file seeds exactly
+// the findings its name says, and the golden test pins them. The
+// harness API is mirrored as interfaces — the analyzer's detection is
+// shape-based (method names and arities), so these stubs are all the
+// corpus needs to stay dependency-free.
+package buggy
+
+// Mutex mirrors harness.Mutex.
+type Mutex interface{ Name() string }
+
+// Barrier mirrors harness.Barrier.
+type Barrier interface {
+	Name() string
+	Parties() int
+}
+
+// Cond mirrors harness.Cond.
+type Cond interface{ Name() string }
+
+// Proc mirrors the harness.Proc lock surface.
+type Proc interface {
+	Lock(m Mutex)
+	TryLock(m Mutex) bool
+	Unlock(m Mutex)
+	RLock(m Mutex)
+	RUnlock(m Mutex)
+	BarrierWait(b Barrier)
+	Wait(c Cond, m Mutex)
+	Signal(c Cond)
+	Broadcast(c Cond)
+}
+
+// Runtime mirrors the harness.Runtime constructor surface.
+type Runtime interface {
+	NewMutex(name string) Mutex
+	NewBarrier(name string, parties int) Barrier
+	NewCond(name string) Cond
+}

@@ -1,0 +1,8 @@
+package buggy
+
+// update seeds a self-deadlocking double lock in harness style.
+func update(p Proc, m Mutex) {
+	p.Lock(m)
+	p.Lock(m)
+	p.Unlock(m)
+}

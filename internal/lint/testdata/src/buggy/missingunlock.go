@@ -1,0 +1,20 @@
+package buggy
+
+import "sync"
+
+// store seeds a missing-unlock-on-path: the not-found early return
+// leaks s.mu.
+type store struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func (s *store) get(key string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.items[key]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}

@@ -1,0 +1,24 @@
+package buggy
+
+import "sync"
+
+// table seeds both RLock/RUnlock pairing violations: badRead releases
+// a read hold with Unlock, badWrite releases an exclusive hold with
+// RUnlock.
+type table struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (t *table) badRead() int {
+	t.mu.RLock()
+	v := t.n
+	t.mu.Unlock()
+	return v
+}
+
+func (t *table) badWrite() {
+	t.mu.Lock()
+	t.n++
+	t.mu.RUnlock()
+}

@@ -1,0 +1,36 @@
+package buggy
+
+import "sync"
+
+// queue seeds Wait-not-in-a-loop in sync.Cond style: the emptiness
+// check is an if, so a spurious or stale wakeup pops from an empty
+// queue.
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// popHarness seeds the same hazard in harness style.
+func popHarness(p Proc, c Cond, m Mutex) {
+	p.Lock(m)
+	p.Wait(c, m)
+	p.Unlock(m)
+}

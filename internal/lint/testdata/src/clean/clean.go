@@ -1,0 +1,79 @@
+package clean
+
+import "sync"
+
+// registry exercises the full correct sync.Cond idiom: defer-paired
+// unlock and a Wait guarded by a re-checking loop.
+type registry struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *registry) pop() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.items) == 0 {
+		r.cond.Wait()
+	}
+	v := r.items[0]
+	r.items = r.items[1:]
+	return v
+}
+
+func (r *registry) push(v int) {
+	r.mu.Lock()
+	r.items = append(r.items, v)
+	r.cond.Signal()
+	r.mu.Unlock()
+}
+
+// table exercises mode-matched RWMutex pairing and a guarded TryLock.
+type table struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+func (t *table) get(k string) (int, bool) {
+	t.mu.RLock()
+	v, ok := t.data[k]
+	t.mu.RUnlock()
+	return v, ok
+}
+
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.data == nil {
+		t.data = map[string]int{}
+	}
+	t.data[k] = v
+}
+
+func (t *table) tryBump(k string) bool {
+	if t.mu.TryLock() {
+		t.data[k]++
+		t.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// drain exercises a non-blocking select inside a critical section: a
+// default clause means the section never waits on channel peers.
+func drain(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

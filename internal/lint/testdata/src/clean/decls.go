@@ -1,0 +1,27 @@
+// Package clean is clalint's zero-findings corpus: every idiom here
+// is correct lock usage, and the golden test pins that the analyzer
+// stays silent on all of it.
+package clean
+
+// Mutex mirrors harness.Mutex.
+type Mutex interface{ Name() string }
+
+// Cond mirrors harness.Cond.
+type Cond interface{ Name() string }
+
+// Proc mirrors the harness.Proc lock surface.
+type Proc interface {
+	Lock(m Mutex)
+	TryLock(m Mutex) bool
+	Unlock(m Mutex)
+	RLock(m Mutex)
+	RUnlock(m Mutex)
+	Wait(c Cond, m Mutex)
+	Signal(c Cond)
+}
+
+// Runtime mirrors the harness.Runtime constructor surface.
+type Runtime interface {
+	NewMutex(name string) Mutex
+	NewCond(name string) Cond
+}

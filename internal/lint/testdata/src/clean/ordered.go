@@ -1,0 +1,36 @@
+package clean
+
+// accounts exercises nested locking with a consistent global order:
+// every function acquires ledger before audit, so the lock-order
+// graph is acyclic.
+type accounts struct {
+	ledger, audit Mutex
+}
+
+func newAccounts(rt Runtime) *accounts {
+	return &accounts{ledger: rt.NewMutex("ledger"), audit: rt.NewMutex("audit")}
+}
+
+func (a *accounts) transfer(p Proc) {
+	p.Lock(a.ledger)
+	p.Lock(a.audit)
+	p.Unlock(a.audit)
+	p.Unlock(a.ledger)
+}
+
+func (a *accounts) review(p Proc) {
+	p.Lock(a.ledger)
+	p.RLock(a.audit)
+	p.RUnlock(a.audit)
+	p.Unlock(a.ledger)
+}
+
+// consume exercises the correct harness Wait idiom: re-check in a
+// loop, signal after mutating.
+func consume(p Proc, c Cond, m Mutex, ready func() bool) {
+	p.Lock(m)
+	for !ready() {
+		p.Wait(c, m)
+	}
+	p.Unlock(m)
+}

@@ -1,0 +1,17 @@
+package clean
+
+import "sync"
+
+var setupMu sync.Mutex
+
+// pinForInit models a lock held past return on purpose; the justified
+// directive keeps the corpus finding-free while counting as one
+// suppression in the golden output.
+func pinForInit() {
+	//lint:ignore missingunlock held for the process lifetime; releaseSetup unpins it
+	setupMu.Lock()
+}
+
+func releaseSetup() {
+	setupMu.Unlock()
+}

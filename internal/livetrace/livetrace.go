@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"critlock/internal/harness"
@@ -227,11 +228,14 @@ func (p *proc) Lock(hm harness.Mutex) {
 		panic("livetrace: mutex from another runtime")
 	}
 	p.buf.Emit(p.rt.now(), trace.EvLockAcquire, m.id, 0)
-	if m.mu.TryLock() {
+	if m.mu.TryLock() { //lint:ignore missingunlock Lock implements the protocol; the caller releases via proc.Unlock
+		m.holder.Store(int64(p.id) + 1)
 		p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, 0)
 		return
 	}
+	//lint:ignore missingunlock Lock implements the protocol; the caller releases via proc.Unlock
 	m.mu.Lock()
+	m.holder.Store(int64(p.id) + 1)
 	p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, 1)
 }
 
@@ -243,20 +247,28 @@ func (p *proc) TryLock(hm harness.Mutex) bool {
 	if !ok || m.rt != p.rt {
 		panic("livetrace: mutex from another runtime")
 	}
+	//lint:ignore missingunlock TryLock implements the protocol; the caller releases via proc.Unlock
 	if !m.mu.TryLock() {
 		return false
 	}
+	m.holder.Store(int64(p.id) + 1)
 	p.buf.Emit(p.rt.now(), trace.EvLockAcquire, m.id, 0)
 	p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, 0)
 	return true
 }
 
 // Unlock implements harness.Proc. The release event is stamped before
-// the real unlock (see the package comment).
+// the real unlock (see the package comment). Unlocking a mutex this
+// thread does not own panics before any event is emitted, so the
+// trace stays valid and Run reports the error — identical failure
+// semantics to the simulator backend.
 func (p *proc) Unlock(hm harness.Mutex) {
 	m, ok := hm.(*liveMutex)
 	if !ok || m.rt != p.rt {
 		panic("livetrace: mutex from another runtime")
+	}
+	if !m.holder.CompareAndSwap(int64(p.id)+1, 0) {
+		panic(fmt.Sprintf("livetrace: thread %s unlocks %q it does not own", p.name, m.name))
 	}
 	p.buf.Emit(p.rt.now(), trace.EvLockRelease, m.id, 0)
 	m.mu.Unlock()
@@ -270,19 +282,27 @@ func (p *proc) RLock(hm harness.Mutex) {
 		panic("livetrace: mutex from another runtime")
 	}
 	p.buf.Emit(p.rt.now(), trace.EvLockAcquire, m.id, trace.LockArgShared)
-	if m.mu.TryRLock() {
+	if m.mu.TryRLock() { //lint:ignore missingunlock RLock implements the protocol; the caller releases via proc.RUnlock
+		m.readers.Add(1)
 		p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, trace.LockArgShared)
 		return
 	}
+	//lint:ignore missingunlock RLock implements the protocol; the caller releases via proc.RUnlock
 	m.mu.RLock()
+	m.readers.Add(1)
 	p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, trace.LockArgShared|trace.LockArgContended)
 }
 
-// RUnlock implements harness.Proc.
+// RUnlock implements harness.Proc. Read-unlocking with no readers
+// panics before any event is emitted (see Unlock).
 func (p *proc) RUnlock(hm harness.Mutex) {
 	m, ok := hm.(*liveMutex)
 	if !ok || m.rt != p.rt {
 		panic("livetrace: mutex from another runtime")
+	}
+	if m.readers.Add(-1) < 0 {
+		m.readers.Add(1)
+		panic(fmt.Sprintf("livetrace: thread %s read-unlocks %q with no readers", p.name, m.name))
 	}
 	p.buf.Emit(p.rt.now(), trace.EvLockRelease, m.id, trace.LockArgShared)
 	m.mu.RUnlock()
@@ -336,6 +356,7 @@ func (p *proc) Wait(hc harness.Cond, hm harness.Mutex) {
 	<-ch
 	// Reacquire with the standard instrumented path so the analyzer
 	// sees the mutex dependency of the wakeup.
+	//lint:ignore missingunlock Wait's contract is to return with the mutex re-held
 	p.Lock(hm)
 	p.buf.Emit(p.rt.now(), trace.EvCondWaitEnd, c.id, int64(m.id))
 }
@@ -383,6 +404,15 @@ type liveMutex struct {
 	id   trace.ObjID
 	name string
 	mu   sync.RWMutex
+
+	// holder is the exclusive owner's thread id + 1 (0 = unheld) and
+	// readers the shared-holder count. They exist so that unlocking a
+	// mutex the thread does not hold fails loudly BEFORE any release
+	// event reaches the trace — the same recovered-panic semantics
+	// (and message shape) as the simulator backend, instead of a
+	// sync.RWMutex runtime fatal after a corrupting dangling release.
+	holder  atomic.Int64
+	readers atomic.Int64
 }
 
 // Name implements harness.Mutex.

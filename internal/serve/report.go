@@ -2,95 +2,24 @@ package serve
 
 import (
 	"critlock/internal/core"
-	"critlock/internal/trace"
+	"critlock/internal/report"
 )
 
-// Report is the JSON analysis result clasrv serves. Every field is a
-// deterministic function of the uploaded trace and the request's
-// options — no wall-clock timestamps or durations — so reports cache
-// by content hash and diff cleanly against goldens.
-type Report struct {
-	// ID is the report's cache key: the hex content hash of the
-	// uploaded trace combined with the analysis options.
-	ID string `json:"id"`
-	// Source describes where the events came from ("trace" for body
-	// uploads, "segments:<dir>" for segment directories).
-	Source string `json:"source"`
-	// Streamed reports whether the bounded-memory pipeline ran (the
-	// report then has no event-replay sections).
-	Streamed bool `json:"streamed"`
+// Report is the JSON analysis result clasrv serves. The shape lives
+// in internal/report (report.Export) so that cla -jsonreport writes
+// the identical format and clalint -report can join on it; see that
+// package for field documentation.
+type Report = report.Export
 
-	Summary  Summary            `json:"summary"`
-	Totals   core.Totals        `json:"totals"`
-	Locks    []core.LockStats   `json:"locks"`
-	Threads  []core.ThreadStats `json:"threads"`
-	Timeline []TimelinePiece    `json:"timeline"`
-	Jumps    []TimelineJump     `json:"jumps"`
-}
-
-// Summary is the whole-run critical-path header.
-type Summary struct {
-	CPLength   trace.Time     `json:"cp_length"`
-	ExecTime   trace.Time     `json:"exec_time"`
-	WaitTime   trace.Time     `json:"wait_time"`
-	WallTime   trace.Time     `json:"wall_time"`
-	Coverage   float64        `json:"coverage"`
-	LastThread trace.ThreadID `json:"last_thread"`
-	Steps      int            `json:"steps"`
-	Jumps      int            `json:"jumps"`
-}
-
-// TimelinePiece is one walked critical-path interval.
-type TimelinePiece struct {
-	Thread trace.ThreadID `json:"thread"`
-	From   trace.Time     `json:"from"`
-	To     trace.Time     `json:"to"`
-	Wait   bool           `json:"wait,omitempty"`
-}
-
-// TimelineJump is one cross-thread hop of the critical path.
-type TimelineJump struct {
-	T    trace.Time     `json:"t"`
-	From trace.ThreadID `json:"from"`
-	To   trace.ThreadID `json:"to"`
-	Kind string         `json:"kind"`
-	Obj  string         `json:"obj,omitempty"`
-}
+// Summary, TimelinePiece and TimelineJump are re-exported for
+// existing callers of this package.
+type (
+	Summary       = report.ExportSummary
+	TimelinePiece = report.TimelinePiece
+	TimelineJump  = report.TimelineJump
+)
 
 // buildReport flattens an analysis into the served report.
 func buildReport(id, source string, streamed bool, an *core.Analysis) *Report {
-	rep := &Report{
-		ID:       id,
-		Source:   source,
-		Streamed: streamed,
-		Summary: Summary{
-			CPLength:   an.CP.Length,
-			ExecTime:   an.CP.ExecTime,
-			WaitTime:   an.CP.WaitTime,
-			WallTime:   an.CP.WallTime,
-			Coverage:   an.CP.Coverage(),
-			LastThread: an.CP.LastThread,
-			Steps:      an.CP.Steps,
-			Jumps:      an.CP.Jumps,
-		},
-		Totals:  an.Totals,
-		Locks:   an.Locks,
-		Threads: an.Threads,
-	}
-	rep.Timeline = make([]TimelinePiece, len(an.CP.Pieces))
-	for i, p := range an.CP.Pieces {
-		rep.Timeline[i] = TimelinePiece{
-			Thread: p.Thread, From: p.From, To: p.To,
-			Wait: p.Kind == core.PieceWait,
-		}
-	}
-	rep.Jumps = make([]TimelineJump, len(an.CP.JumpLog))
-	for i, j := range an.CP.JumpLog {
-		tj := TimelineJump{T: j.T, From: j.From, To: j.To, Kind: j.Kind.String()}
-		if j.Obj != trace.NoObj {
-			tj.Obj = an.Trace.ObjName(j.Obj)
-		}
-		rep.Jumps[i] = tj
-	}
-	return rep
+	return report.BuildExport(id, source, streamed, an)
 }

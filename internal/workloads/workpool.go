@@ -81,6 +81,7 @@ func (w *workPool) idle(q harness.Proc) bool {
 		q.Unlock(w.mu)
 		return true
 	}
+	//lint:ignore waitloop callers re-sweep their queues after every false return (see doc comment)
 	q.Wait(w.cv, w.mu)
 	done := w.done
 	q.Unlock(w.mu)
