@@ -142,6 +142,12 @@ func run(args []string) error {
 	if err := report.LockReport(an, *top).Render(os.Stdout); err != nil {
 		return err
 	}
+	if an.Totals.Channels > 0 {
+		fmt.Println()
+		if err := report.ChanReport(an, *top).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 	if *thr {
 		fmt.Println()
 		if err := report.ThreadReport(an).Render(os.Stdout); err != nil {

@@ -68,6 +68,8 @@ type (
 	Analysis = core.Analysis
 	// LockStats carries the TYPE 1 + TYPE 2 metrics of one lock.
 	LockStats = core.LockStats
+	// ChanStats carries the per-channel handoff and wait metrics.
+	ChanStats = core.ChanStats
 	// ThreadStats summarizes one thread.
 	ThreadStats = core.ThreadStats
 	// CriticalPath describes the walked path.
@@ -79,11 +81,14 @@ type (
 	Runtime = harness.Runtime
 	// Proc is the per-thread execution context.
 	Proc = harness.Proc
-	// Mutex, Barrier, Cond and Thread are backend object handles.
+	// Mutex, Barrier, Cond, Chan and Thread are backend object handles.
 	Mutex   = harness.Mutex
 	Barrier = harness.Barrier
 	Cond    = harness.Cond
+	Chan    = harness.Chan
 	Thread  = harness.Thread
+	// SelectCase is one arm of Proc.Select.
+	SelectCase = harness.SelectCase
 
 	// SimConfig parameterizes the deterministic simulator.
 	SimConfig = sim.Config
@@ -147,6 +152,10 @@ func ValidateTrace(tr *Trace) error { return trace.Validate(tr) }
 // LockTable renders the per-lock TYPE 1 / TYPE 2 statistics in the
 // paper's layout; topN ≤ 0 lists every lock.
 func LockTable(an *Analysis, topN int) *Table { return report.LockReport(an, topN) }
+
+// ChanTable renders per-channel handoff statistics, hottest channel
+// (critical-path wait, then total blocked time) first.
+func ChanTable(an *Analysis, topN int) *Table { return report.ChanReport(an, topN) }
 
 // ThreadTable renders per-thread statistics.
 func ThreadTable(an *Analysis) *Table { return report.ThreadReport(an) }

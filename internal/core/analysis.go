@@ -63,6 +63,9 @@ type Analysis struct {
 	// (critical locks first, exactly the ordering the paper's case
 	// study tables use).
 	Locks []LockStats
+	// Chans holds per-channel statistics, sorted by descending wait
+	// time on the critical path (hot channels first).
+	Chans []ChanStats
 	// Threads holds per-thread summaries indexed by ThreadID.
 	Threads []ThreadStats
 	// Totals aggregates whole-run figures.
@@ -115,6 +118,10 @@ const (
 	JumpJoin
 	// JumpStart: a thread's existence depends on its creator.
 	JumpStart
+	// JumpChan: blocked on a channel operation, released by the peer
+	// that delivered a value (for receives), freed a buffer slot (for
+	// sends) or closed the channel.
+	JumpChan
 )
 
 // String names the jump kind.
@@ -130,6 +137,8 @@ func (k JumpKind) String() string {
 		return "join"
 	case JumpStart:
 		return "start"
+	case JumpChan:
+		return "chan"
 	}
 	return "unknown"
 }
@@ -142,8 +151,12 @@ type Jump struct {
 	From trace.ThreadID
 	To   trace.ThreadID
 	Kind JumpKind
-	// Obj is the mutex/barrier/cond involved, or NoObj.
+	// Obj is the mutex/barrier/cond/chan involved, or NoObj.
 	Obj trace.ObjID
+	// Wait is how long From was blocked before the jump (the interval
+	// between its previous event and the unblock); zero for
+	// thread-start jumps.
+	Wait trace.Time
 }
 
 // Coverage returns Length/WallTime — 1.0 when the walked intervals
@@ -234,6 +247,39 @@ type LockStats struct {
 	MaxHold trace.Time
 }
 
+// ChanStats carries per-channel statistics. Channels are waker edges
+// rather than critical sections: the on-path figures count the
+// cross-thread jumps the walked critical path takes through the
+// channel and the blocked time those jumps absorbed, the analogue of
+// a lock's CP Time for handoff-style synchronization.
+type ChanStats struct {
+	Chan trace.ObjID
+	Name string
+	// Capacity is the buffer capacity (0 = unbuffered).
+	Capacity int
+
+	// Sends, Recvs and Closes count completed operations.
+	Sends  int
+	Recvs  int
+	Closes int
+	// BlockedSends / BlockedRecvs count operations that parked.
+	BlockedSends int
+	BlockedRecvs int
+	// SendWait / RecvWait are summed blocked durations per direction.
+	SendWait trace.Time
+	RecvWait trace.Time
+	// MaxWait is the longest single blocked operation.
+	MaxWait trace.Time
+
+	// JumpsOnCP counts critical-path jumps through this channel.
+	JumpsOnCP int
+	// WaitOnCP is the blocked time those jumps absorbed — the time the
+	// critical path spent waiting on this channel.
+	WaitOnCP trace.Time
+	// TotalWait is SendWait + RecvWait.
+	TotalWait trace.Time
+}
+
 // ThreadStats summarizes one thread.
 type ThreadStats struct {
 	Thread   trace.ThreadID
@@ -250,6 +296,8 @@ type ThreadStats struct {
 	BarrierWait trace.Time
 	// CondWait is total time blocked in condition waits.
 	CondWait trace.Time
+	// ChanWait is total time blocked in channel sends and receives.
+	ChanWait trace.Time
 	// JoinWait is total time blocked joining other threads.
 	JoinWait trace.Time
 	// Invocations counts critical sections executed.
@@ -262,6 +310,7 @@ type ThreadStats struct {
 type Totals struct {
 	Threads          int
 	Mutexes          int
+	Channels         int
 	Events           int
 	Invocations      int
 	ContendedInvs    int
@@ -269,6 +318,7 @@ type Totals struct {
 	TotalLockHold    trace.Time
 	TotalBarrierWait trace.Time
 	TotalCondWait    trace.Time
+	TotalChanWait    trace.Time
 }
 
 // Analyze runs critical lock analysis with the given options. Internal
@@ -296,6 +346,16 @@ func (a *Analysis) Lock(name string) *LockStats {
 	return nil
 }
 
+// Chan returns the stats for the channel with the given name, or nil.
+func (a *Analysis) Chan(name string) *ChanStats {
+	for i := range a.Chans {
+		if a.Chans[i].Name == name {
+			return &a.Chans[i]
+		}
+	}
+	return nil
+}
+
 // CriticalLocks returns the subset of locks on the critical path, most
 // critical first.
 func (a *Analysis) CriticalLocks() []LockStats {
@@ -315,6 +375,21 @@ func (a *Analysis) TopLocks(n int) []LockStats {
 		n = len(a.Locks)
 	}
 	return a.Locks[:n]
+}
+
+// sortChans orders channels by descending critical-path wait, breaking
+// ties by descending total wait and then by name for determinism.
+func sortChans(chans []ChanStats) {
+	sort.Slice(chans, func(i, j int) bool {
+		a, b := &chans[i], &chans[j]
+		if a.WaitOnCP != b.WaitOnCP {
+			return a.WaitOnCP > b.WaitOnCP
+		}
+		if a.TotalWait != b.TotalWait {
+			return a.TotalWait > b.TotalWait
+		}
+		return a.Name < b.Name
+	})
 }
 
 // sortLocks orders locks by descending CP time, breaking ties by

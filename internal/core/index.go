@@ -76,6 +76,105 @@ type pendingDepart struct {
 	episode int
 }
 
+// chanPairing resolves channel wakers for one channel by FIFO pairing
+// of completion events. Both backends stamp a blocked operation's
+// completion after the waker's own event (waker first, wakee second at
+// the same instant), so every waker is already in the past when the
+// blocked completion is scanned and resolution needs no deferred
+// patches:
+//
+//   - value receive #r is delivered by send #r (the value it takes,
+//     whether handed off directly or drained from the buffer);
+//   - send #s on a capacity-C channel is admitted by receive #(s-C),
+//     the receive that freed its buffer slot (for C = 0, the
+//     rendezvous partner #s itself);
+//   - a receive carrying ChanArgClosed consumed no send: its waker is
+//     the close event.
+//
+// Completed pairings are pruned as the counters advance, so live state
+// is O(outstanding operations), never O(trace) — shared by the
+// in-memory index and streaming pass 1, which keeps the two passes'
+// waker edges identical by construction.
+type chanPairing struct {
+	capacity int
+	// sendIdx[s-sendBase] is the event index of send completion #s;
+	// entries below recvs are consumed and pruned.
+	sendIdx  []int32
+	sendBase int
+	sends    int
+	// recvIdx[r-recvBase] is the event index of value receive #r;
+	// entries below sends-capacity can no longer admit a sender.
+	recvIdx   []int32
+	recvBase  int
+	recvs     int
+	lastClose int32
+}
+
+func newChanPairing(capacity int) *chanPairing {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &chanPairing{capacity: capacity, lastClose: -1}
+}
+
+func (cs *chanPairing) sendAt(s int) int32 {
+	if s < cs.sendBase || s >= cs.sends {
+		return -1
+	}
+	return cs.sendIdx[s-cs.sendBase]
+}
+
+func (cs *chanPairing) recvAt(r int) int32 {
+	if r < cs.recvBase || r >= cs.recvs {
+		return -1
+	}
+	return cs.recvIdx[r-cs.recvBase]
+}
+
+// send records send completion #sends at event index i and returns the
+// waker for blocked sends (or -1).
+func (cs *chanPairing) send(i int32, blocked bool) int32 {
+	waker := int32(-1)
+	if blocked {
+		waker = cs.recvAt(cs.sends - cs.capacity)
+	}
+	cs.sendIdx = append(cs.sendIdx, i)
+	cs.sends++
+	// Receives numbered below sends-capacity can no longer be anyone's
+	// waker; drop them from the front.
+	for cs.recvBase < cs.sends-cs.capacity && len(cs.recvIdx) > 0 {
+		cs.recvIdx = cs.recvIdx[1:]
+		cs.recvBase++
+	}
+	return waker
+}
+
+// recv records a receive completion at event index i and returns the
+// waker for blocked receives (or -1). Closed receives consumed no send
+// and advance no counter.
+func (cs *chanPairing) recv(i int32, blocked, closed bool) int32 {
+	if closed {
+		if blocked {
+			return cs.lastClose
+		}
+		return -1
+	}
+	waker := int32(-1)
+	if blocked {
+		waker = cs.sendAt(cs.recvs)
+	}
+	cs.recvIdx = append(cs.recvIdx, i)
+	cs.recvs++
+	// Sends numbered below recvs are paired; drop them from the front.
+	for cs.sendBase < cs.recvs && len(cs.sendIdx) > 0 {
+		cs.sendIdx = cs.sendIdx[1:]
+		cs.sendBase++
+	}
+	return waker
+}
+
+func (cs *chanPairing) close(i int32) { cs.lastClose = i }
+
 // grow returns s with length n, reusing its backing array when the
 // capacity suffices. Contents are unspecified — callers refill.
 func grow[T any](s []T, n int) []T {
@@ -105,6 +204,11 @@ func buildIndex(tr *trace.Trace) (*index, error) {
 // barriers, the thread reaching the same barrier lastly is the desired
 // one. For condition variables, the thread signaling the same condition
 // variable to the blocked thread is the desired one."
+//
+// Channels follow the same discipline: a blocked receive's waker is
+// the send that delivered its value, a blocked send's is the receive
+// that freed its buffer slot, and a receive released by close is woken
+// by the closer (see chanPairing).
 //
 // The index's storage is reused across calls; everything is re-derived
 // from tr.
@@ -215,6 +319,17 @@ func buildIndexInto(idx *index, tr *trace.Trace) error {
 		if cs == nil {
 			cs = &condState{wakerOf: map[trace.ThreadID]int32{}}
 			conds[o] = cs
+		}
+		return cs
+	}
+
+	// Per-channel FIFO pairing of completions with their wakers.
+	chans := map[trace.ObjID]*chanPairing{}
+	chanOf := func(o trace.ObjID) *chanPairing {
+		cs := chans[o]
+		if cs == nil {
+			cs = newChanPairing(tr.Object(o).Parties)
+			chans[o] = cs
 		}
 		return cs
 	}
@@ -346,6 +461,29 @@ func buildIndexInto(idx *index, tr *trace.Trace) error {
 					}
 				}
 			}
+
+		case trace.EvChanSend:
+			blocked := e.Arg&trace.ChanArgBlocked != 0
+			w := chanOf(e.Obj).send(i, blocked)
+			if blocked {
+				idx.blocked[i] = true
+				if w >= 0 {
+					idx.waker[i] = w
+				}
+			}
+
+		case trace.EvChanRecv:
+			blocked := e.Arg&trace.ChanArgBlocked != 0
+			w := chanOf(e.Obj).recv(i, blocked, e.Arg&trace.ChanArgClosed != 0)
+			if blocked {
+				idx.blocked[i] = true
+				if w >= 0 {
+					idx.waker[i] = w
+				}
+			}
+
+		case trace.EvChanClose:
+			chanOf(e.Obj).close(i)
 
 		case trace.EvJoinBegin:
 			joinBeginT[e.Thread] = e.T

@@ -43,6 +43,21 @@ func (a *lockAcc) merge(src *lockAcc) {
 	}
 }
 
+// mergeChan folds src (accumulated over a disjoint set of threads)
+// into dst; every quantity is an integer sum or maximum.
+func mergeChan(dst, src *ChanStats) {
+	dst.Sends += src.Sends
+	dst.Recvs += src.Recvs
+	dst.Closes += src.Closes
+	dst.BlockedSends += src.BlockedSends
+	dst.BlockedRecvs += src.BlockedRecvs
+	dst.SendWait += src.SendWait
+	dst.RecvWait += src.RecvWait
+	if src.MaxWait > dst.MaxWait {
+		dst.MaxWait = src.MaxWait
+	}
+}
+
 // lockSink is one accumulation domain: the serial pass uses a single
 // sink; the parallel pass gives each worker its own and merges them in
 // chunk order afterwards, so results are bit-identical either way (all
@@ -50,6 +65,7 @@ func (a *lockAcc) merge(src *lockAcc) {
 type lockSink struct {
 	nThreads int
 	accs     map[trace.ObjID]*lockAcc
+	chans    map[trace.ObjID]*ChanStats
 	hot      map[trace.ObjID][]interval
 }
 
@@ -57,6 +73,7 @@ func newLockSink(nThreads int) *lockSink {
 	return &lockSink{
 		nThreads: nThreads,
 		accs:     map[trace.ObjID]*lockAcc{},
+		chans:    map[trace.ObjID]*ChanStats{},
 		hot:      map[trace.ObjID][]interval{},
 	}
 }
@@ -72,6 +89,15 @@ func (s *lockSink) accOf(lock trace.ObjID, name string) *lockAcc {
 		s.accs[lock] = a
 	}
 	return a
+}
+
+func (s *lockSink) chanOf(ch trace.ObjID, name string) *ChanStats {
+	c := s.chans[ch]
+	if c == nil {
+		c = &ChanStats{Chan: ch, Name: name}
+		s.chans[ch] = c
+	}
+	return c
 }
 
 // metricsParallelMin is the invocation count below which the parallel
@@ -159,6 +185,13 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 				merged.accs[lock] = acc
 			}
 		}
+		for ch, cs := range sink.chans {
+			if dst := merged.chans[ch]; dst != nil {
+				mergeChan(dst, cs)
+			} else {
+				merged.chans[ch] = cs
+			}
+		}
 		for lock, ivs := range sink.hot {
 			merged.hot[lock] = append(merged.hot[lock], ivs...)
 		}
@@ -177,10 +210,14 @@ func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
 	tr := an.Trace
 	nThreads := len(tr.Threads)
 
-	// Register every mutex, even unused ones, so reports list them.
+	// Register every mutex and channel, even unused ones, so reports
+	// list them.
 	for _, o := range tr.Objects {
-		if o.Kind == trace.ObjMutex {
+		switch o.Kind {
+		case trace.ObjMutex:
 			merged.accOf(o.ID, o.Name)
+		case trace.ObjChan:
+			merged.chanOf(o.ID, o.Name)
 		}
 	}
 
@@ -190,8 +227,11 @@ func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
 		Events:  nEvents,
 	}
 	for _, o := range tr.Objects {
-		if o.Kind == trace.ObjMutex {
+		switch o.Kind {
+		case trace.ObjMutex:
 			an.Totals.Mutexes++
+		case trace.ObjChan:
+			an.Totals.Channels++
 		}
 	}
 	for tid := range an.Threads {
@@ -200,6 +240,7 @@ func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
 		an.Totals.TotalLockHold += ts.LockHold
 		an.Totals.TotalBarrierWait += ts.BarrierWait
 		an.Totals.TotalCondWait += ts.CondWait
+		an.Totals.TotalChanWait += ts.ChanWait
 		an.Totals.Invocations += ts.Invocations
 	}
 
@@ -248,6 +289,24 @@ func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
 		an.Locks = append(an.Locks, *st)
 	}
 	sortLocks(an.Locks)
+
+	// Channel critical-path attribution comes straight from the jump
+	// log: every jump through a channel carries the blocked interval it
+	// absorbed.
+	for _, j := range an.CP.JumpLog {
+		if j.Kind != JumpChan {
+			continue
+		}
+		cs := merged.chanOf(j.Obj, tr.ObjName(j.Obj))
+		cs.JumpsOnCP++
+		cs.WaitOnCP += j.Wait
+	}
+	for _, cs := range merged.chans {
+		cs.Capacity = tr.Object(cs.Chan).Parties
+		cs.TotalWait = cs.SendWait + cs.RecvWait
+		an.Chans = append(an.Chans, *cs)
+	}
+	sortChans(an.Chans)
 }
 
 // accumulateThread runs the full per-thread metric pass for tid:
@@ -284,6 +343,32 @@ func accumulateThread(an *Analysis, idx *index, opts Options, tid int, pieces []
 				ts.CondWait += e.T - begin
 				delete(condBegin, e.Obj)
 			}
+		case trace.EvChanSend:
+			cs := sink.chanOf(e.Obj, tr.ObjName(e.Obj))
+			cs.Sends++
+			if e.Arg&trace.ChanArgBlocked != 0 {
+				w := e.T - tr.Events[evs[pos-1]].T
+				cs.BlockedSends++
+				cs.SendWait += w
+				if w > cs.MaxWait {
+					cs.MaxWait = w
+				}
+				ts.ChanWait += w
+			}
+		case trace.EvChanRecv:
+			cs := sink.chanOf(e.Obj, tr.ObjName(e.Obj))
+			cs.Recvs++
+			if e.Arg&trace.ChanArgBlocked != 0 {
+				w := e.T - tr.Events[evs[pos-1]].T
+				cs.BlockedRecvs++
+				cs.RecvWait += w
+				if w > cs.MaxWait {
+					cs.MaxWait = w
+				}
+				ts.ChanWait += w
+			}
+		case trace.EvChanClose:
+			sink.chanOf(e.Obj, tr.ObjName(e.Obj)).Closes++
 		case trace.EvJoinEnd:
 			if idx.blocked[gi] {
 				ts.JoinWait += e.T - tr.Events[evs[pos-1]].T

@@ -346,6 +346,18 @@ func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile, h *obsHook)
 		}
 		return cs
 	}
+	// Channel waker pairing: the same chanPairing the in-memory index
+	// uses, with O(outstanding operations) state. Wakers precede their
+	// blocked completions in the trace, so no patches arise.
+	chans := map[trace.ObjID]*chanPairing{}
+	chanOf := func(o trace.ObjID) *chanPairing {
+		cs := chans[o]
+		if cs == nil {
+			cs = newChanPairing(skel.Object(o).Parties)
+			chans[o] = cs
+		}
+		return cs
+	}
 	type patch struct {
 		idx   int32
 		waker int32
@@ -508,6 +520,25 @@ func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile, h *obsHook)
 						}
 					}
 				}
+
+			case trace.EvChanSend:
+				blocked := e.Arg&trace.ChanArgBlocked != 0
+				w := chanOf(e.Obj).send(i, blocked)
+				if blocked {
+					rec.flags |= annBlocked
+					rec.waker = w
+				}
+
+			case trace.EvChanRecv:
+				blocked := e.Arg&trace.ChanArgBlocked != 0
+				w := chanOf(e.Obj).recv(i, blocked, e.Arg&trace.ChanArgClosed != 0)
+				if blocked {
+					rec.flags |= annBlocked
+					rec.waker = w
+				}
+
+			case trace.EvChanClose:
+				chanOf(e.Obj).close(i)
 
 			case trace.EvJoinBegin:
 				joinBeginT[e.Thread] = e.T
@@ -747,10 +778,15 @@ func streamWalk(l *segLoader, p1 *pass1Result, n int) (*CriticalPath, error) {
 					continue
 				}
 			}
+			pe, err := l.eventAt(prev)
+			if err != nil {
+				return nil, err
+			}
 			cp.Jumps++
 			cp.JumpLog = append(cp.JumpLog, Jump{
 				T: e.T, From: e.Thread, To: we.Thread,
 				Kind: jumpKindOf(e.Kind), Obj: e.Obj,
+				Wait: e.T - pe.T,
 			})
 			cur = rec.waker
 			continue
@@ -927,6 +963,32 @@ func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Re
 						ts.CondWait += e.T - begin
 						delete(st.condBegin, e.Obj)
 					}
+				case trace.EvChanSend:
+					cs := sink.chanOf(e.Obj, skel.ObjName(e.Obj))
+					cs.Sends++
+					if e.Arg&trace.ChanArgBlocked != 0 {
+						w := e.T - st.prevT
+						cs.BlockedSends++
+						cs.SendWait += w
+						if w > cs.MaxWait {
+							cs.MaxWait = w
+						}
+						ts.ChanWait += w
+					}
+				case trace.EvChanRecv:
+					cs := sink.chanOf(e.Obj, skel.ObjName(e.Obj))
+					cs.Recvs++
+					if e.Arg&trace.ChanArgBlocked != 0 {
+						w := e.T - st.prevT
+						cs.BlockedRecvs++
+						cs.RecvWait += w
+						if w > cs.MaxWait {
+							cs.MaxWait = w
+						}
+						ts.ChanWait += w
+					}
+				case trace.EvChanClose:
+					sink.chanOf(e.Obj, skel.ObjName(e.Obj)).Closes++
 				case trace.EvJoinEnd:
 					rec := getAnnRec(annBuf[k*annRecSize : k*annRecSize+annRecSize])
 					if rec.flags&annBlocked != 0 {

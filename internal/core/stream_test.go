@@ -80,6 +80,20 @@ func requireIdentical(t *testing.T, mem, str *core.Analysis, composition bool) {
 			}
 		}
 	}
+	if !reflect.DeepEqual(mem.Chans, str.Chans) {
+		for i := range mem.Chans {
+			if i >= len(str.Chans) || !reflect.DeepEqual(mem.Chans[i], str.Chans[i]) {
+				t.Errorf("chan %d differs:\n mem: %+v", i, mem.Chans[i])
+				if i < len(str.Chans) {
+					t.Errorf(" str: %+v", str.Chans[i])
+				}
+				break
+			}
+		}
+		if len(mem.Chans) != len(str.Chans) {
+			t.Errorf("chan count differs: mem=%d str=%d", len(mem.Chans), len(str.Chans))
+		}
+	}
 	if !reflect.DeepEqual(mem.Totals, str.Totals) {
 		t.Errorf("totals differ:\n mem: %+v\n str: %+v", mem.Totals, str.Totals)
 	}
@@ -109,6 +123,12 @@ func TestAnalyzeStreamMatchesInMemory(t *testing.T) {
 		{"tsp", 6, 2},
 		{"waternsq", 8, 1},
 		{"uts", 6, 1},
+		// Channel workloads: send/recv/select wakers must stream
+		// identically to the in-memory index.
+		{"pipeline", 4, 1},
+		{"pipeline", 6, 2},
+		{"fanin", 4, 1},
+		{"fanin", 6, 3},
 	}
 	for _, c := range cases {
 		c := c

@@ -102,6 +102,7 @@ func walk(tr *trace.Trace, idx *index) (*CriticalPath, error) {
 			cp.JumpLog = append(cp.JumpLog, Jump{
 				T: e.T, From: e.Thread, To: tr.Events[idx.waker[cur]].Thread,
 				Kind: jumpKindOf(e.Kind), Obj: e.Obj,
+				Wait: e.T - tr.Events[prev].T,
 			})
 			cur = idx.waker[cur]
 			continue
@@ -153,6 +154,8 @@ func jumpKindOf(k trace.EventKind) JumpKind {
 		return JumpJoin
 	case trace.EvThreadStart:
 		return JumpStart
+	case trace.EvChanSend, trace.EvChanRecv:
+		return JumpChan
 	}
 	return 0
 }

@@ -137,6 +137,55 @@ func init() {
 	})
 }
 
+// extension-channels: channels as first-class synchronization. The
+// paper's dependency model stops at locks, barriers and condition
+// variables; this experiment applies the same Fig. 2 backward walk to
+// channel handoffs. The pipeline workload is the channel analogue of a
+// critical lock (one hot stage channel absorbs essentially all blocked
+// time while an amply-buffered results channel stays cold); fanin
+// shows blocked time dispersing across per-producer channels behind a
+// select-driven aggregator.
+func init() {
+	register(Experiment{
+		ID:    "extension-channels",
+		Title: "Extension: channel handoffs on the critical path (pipeline vs fan-in)",
+		Paper: "extension beyond §III's lock/barrier/condvar dependency model",
+		Run: func(o Options) (*Result, error) {
+			o = o.withDefaults()
+			threads := 8
+			if o.Quick {
+				threads = 4
+			}
+			r := &Result{ID: "extension-channels", Title: fmt.Sprintf("Channel workloads at %d threads", threads)}
+			t := report.NewTable("", "Workload", "Hot chan", "Hot share %", "Chan jumps on CP", "Chan wait on CP ns", "Total chan wait ns")
+			for _, name := range []string{"pipeline", "fanin"} {
+				an, _, err := runWorkload(name, workloads.Params{Threads: threads}, o)
+				if err != nil {
+					return nil, err
+				}
+				hot := an.Chans[0]
+				share := 0.0
+				if an.Totals.TotalChanWait > 0 {
+					share = 100 * float64(hot.TotalWait) / float64(an.Totals.TotalChanWait)
+				}
+				var cpJumps int
+				var cpWait trace.Time
+				for _, c := range an.Chans {
+					cpJumps += c.JumpsOnCP
+					cpWait += c.WaitOnCP
+				}
+				t.AddRow(name, hot.Name, report.Pct(share),
+					fmt.Sprint(cpJumps), fmt.Sprint(cpWait), fmt.Sprint(an.Totals.TotalChanWait))
+				r.Tables = append(r.Tables, report.ChanReport(an, 0))
+			}
+			r.Tables = append([]*report.Table{t}, r.Tables...)
+			notef(r, "Pipeline concentrates blocked time on one stage channel (the channel analogue of a critical lock); "+
+				"fan-in spreads it across the producers' channels, and the critical path hops through whichever send the select admits.")
+			return r, nil
+		},
+	})
+}
+
 // extension-extract: the model-extraction loop. Pull a declarative
 // model out of an analyzed radiosity trace and re-simulate it: the
 // statistical caricature must preserve the diagnosis (the extracted

@@ -1,0 +1,345 @@
+package harness_test
+
+// Channel conformance suite: the simulator and the live runtime must
+// implement the harness channel contract identically — rendezvous
+// handoff, buffered admission, close-and-drain semantics, select arm
+// choice, and misuse panics with matching messages. Every check runs
+// against both backends, and every resulting trace must validate and
+// analyze (which exercises channel waker resolution end to end).
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"critlock/internal/core"
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// chanEventCounts tallies channel completion and close events.
+func chanEventCounts(tr *trace.Trace) (sends, recvs, closes int) {
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvChanSend:
+			sends++
+		case trace.EvChanRecv:
+			recvs++
+		case trace.EvChanClose:
+			closes++
+		}
+	}
+	return
+}
+
+// TestConformanceChanRendezvous: every token sent on an unbuffered
+// channel is received exactly once, and the analysis pairs each
+// delivery (sends == recvs, nothing lost or duplicated).
+func TestConformanceChanRendezvous(t *testing.T) {
+	const items = 25
+	var got atomic.Int64
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		ch := rt.NewChan("rdv", 0)
+		got.Store(0)
+		return func(p harness.Proc) {
+			cons := p.Go("consumer", func(q harness.Proc) {
+				for q.Recv(ch) {
+					got.Add(1)
+					q.Compute(500)
+				}
+			})
+			for i := 0; i < items; i++ {
+				p.Compute(200)
+				p.Send(ch)
+			}
+			p.Close(ch)
+			p.Join(cons)
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if got.Load() != items {
+			t.Errorf("received %d, want %d", got.Load(), items)
+		}
+		cs := an.Chan("rdv")
+		if cs == nil {
+			t.Fatal("channel \"rdv\" missing from analysis")
+		}
+		if cs.Capacity != 0 {
+			t.Errorf("capacity = %d, want 0", cs.Capacity)
+		}
+		if cs.Sends != items {
+			t.Errorf("sends = %d, want %d", cs.Sends, items)
+		}
+		// items value receives plus the final closed receive.
+		if cs.Recvs != items+1 {
+			t.Errorf("recvs = %d, want %d", cs.Recvs, items+1)
+		}
+		if cs.Closes != 1 {
+			t.Errorf("closes = %d, want 1", cs.Closes)
+		}
+	})
+}
+
+// TestConformanceChanBuffered: sends within capacity complete without
+// blocking even with no receiver in existence, and a receiver finding
+// a stocked buffer takes tokens without blocking.
+func TestConformanceChanBuffered(t *testing.T) {
+	const capacity = 3
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		ch := rt.NewChan("buf", capacity)
+		return func(p harness.Proc) {
+			p.Compute(100) // advance the clock so the run has extent
+			// No consumer exists yet: these must all be admitted by the
+			// buffer alone.
+			for i := 0; i < capacity; i++ {
+				p.Send(ch)
+			}
+			// The consumer starts after every send completed, so each
+			// of its receives finds a stocked buffer.
+			cons := p.Go("consumer", func(q harness.Proc) {
+				for i := 0; i < capacity; i++ {
+					if !q.Recv(ch) {
+						panic("recv reported closed on an open channel")
+					}
+				}
+			})
+			p.Join(cons)
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		cs := an.Chan("buf")
+		if cs == nil {
+			t.Fatal("channel \"buf\" missing from analysis")
+		}
+		if cs.Capacity != capacity {
+			t.Errorf("capacity = %d, want %d", cs.Capacity, capacity)
+		}
+		if cs.Sends != capacity || cs.BlockedSends != 0 {
+			t.Errorf("sends = %d (blocked %d), want %d (blocked 0)", cs.Sends, cs.BlockedSends, capacity)
+		}
+		if cs.Recvs != capacity || cs.BlockedRecvs != 0 {
+			t.Errorf("recvs = %d (blocked %d), want %d (blocked 0)", cs.Recvs, cs.BlockedRecvs, capacity)
+		}
+	})
+}
+
+// TestConformanceChanCloseDrain: closing a stocked channel lets
+// receivers drain the buffer before observing closed, and the closed
+// observation is itself a traced receive.
+func TestConformanceChanCloseDrain(t *testing.T) {
+	const stock = 3
+	var drained atomic.Int64
+	var sawClosed atomic.Bool
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		ch := rt.NewChan("drain", stock+1)
+		drained.Store(0)
+		sawClosed.Store(false)
+		return func(p harness.Proc) {
+			p.Compute(100) // advance the clock so the run has extent
+			for i := 0; i < stock; i++ {
+				p.Send(ch)
+			}
+			p.Close(ch)
+			cons := p.Go("consumer", func(q harness.Proc) {
+				for q.Recv(ch) {
+					drained.Add(1)
+				}
+				sawClosed.Store(true)
+			})
+			p.Join(cons)
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if drained.Load() != stock {
+			t.Errorf("drained %d, want %d (close must not discard the buffer)", drained.Load(), stock)
+		}
+		if !sawClosed.Load() {
+			t.Error("consumer never observed the close")
+		}
+		cs := an.Chan("drain")
+		if cs == nil {
+			t.Fatal("channel \"drain\" missing from analysis")
+		}
+		if cs.Recvs != stock+1 {
+			t.Errorf("recvs = %d, want %d (drain plus closed observation)", cs.Recvs, stock+1)
+		}
+		if cs.Closes != 1 {
+			t.Errorf("closes = %d, want 1", cs.Closes)
+		}
+	})
+}
+
+// TestConformanceChanSelect: a select with a ready arm takes the
+// lowest ready index; a select with a default and nothing ready takes
+// the default without emitting channel operations; a select arm on a
+// closed channel reports ok == false.
+func TestConformanceChanSelect(t *testing.T) {
+	var chose, defaulted, closedArm atomic.Int64
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		a := rt.NewChan("sel-a", 1)
+		b := rt.NewChan("sel-b", 1)
+		chose.Store(-2)
+		defaulted.Store(-2)
+		closedArm.Store(-2)
+		return func(p harness.Proc) {
+			p.Compute(100) // advance the clock so the run has extent
+			// Nothing is ready: the default must fire.
+			idx, ok := p.Select([]harness.SelectCase{{Ch: a}, {Ch: b}}, true)
+			if ok {
+				defaulted.Store(int64(idx))
+			}
+			// Stock b only: the receive arm for b must win.
+			p.Send(b)
+			idx, ok = p.Select([]harness.SelectCase{{Ch: a}, {Ch: b}}, false)
+			if ok {
+				chose.Store(int64(idx))
+			}
+			// Close a: its receive arm is permanently ready with
+			// ok == false and, at equal readiness, the lowest index wins.
+			p.Close(a)
+			idx, ok = p.Select([]harness.SelectCase{{Ch: a}, {Ch: b}}, false)
+			if !ok {
+				closedArm.Store(int64(idx))
+			}
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if defaulted.Load() != -1 {
+			t.Errorf("default select returned %d, want -1", defaulted.Load())
+		}
+		if chose.Load() != 1 {
+			t.Errorf("select chose arm %d, want 1 (the stocked channel)", chose.Load())
+		}
+		if closedArm.Load() != 0 {
+			t.Errorf("select on closed channel chose arm %d with ok=false, want 0", closedArm.Load())
+		}
+		// The defaulted select performed no channel operation.
+		if cs := an.Chan("sel-a"); cs == nil || cs.Recvs != 1 || cs.Sends != 0 {
+			t.Errorf("sel-a stats = %+v, want exactly one (closed) receive", cs)
+		}
+		if cs := an.Chan("sel-b"); cs == nil || cs.Sends != 1 || cs.Recvs != 1 {
+			t.Errorf("sel-b stats = %+v, want one send and one receive", cs)
+		}
+	})
+}
+
+// TestConformanceChanSelectSend: a select send arm against a full
+// channel parks until a receiver frees the slot.
+func TestConformanceChanSelectSend(t *testing.T) {
+	var sentVia atomic.Int64
+	runBoth(t, func(rt harness.Runtime) func(harness.Proc) {
+		ch := rt.NewChan("sel-send", 1)
+		sentVia.Store(-2)
+		return func(p harness.Proc) {
+			p.Send(ch) // fill the buffer
+			kid := p.Go("sender", func(q harness.Proc) {
+				idx, ok := q.Select([]harness.SelectCase{{Ch: ch, Send: true}}, false)
+				if ok {
+					sentVia.Store(int64(idx))
+				}
+			})
+			p.Compute(20_000_000) // let the select park on the full channel
+			if !p.Recv(ch) {
+				panic("recv reported closed on an open channel")
+			}
+			p.Join(kid)
+			if !p.Recv(ch) {
+				panic("the select's send never landed")
+			}
+		}
+	}, func(t *testing.T, name string, tr *trace.Trace, an *core.Analysis) {
+		if sentVia.Load() != 0 {
+			t.Errorf("select send arm = %d, want 0", sentVia.Load())
+		}
+		cs := an.Chan("sel-send")
+		if cs == nil {
+			t.Fatal("channel \"sel-send\" missing from analysis")
+		}
+		if cs.Sends != 2 || cs.Recvs != 2 {
+			t.Errorf("sends/recvs = %d/%d, want 2/2", cs.Sends, cs.Recvs)
+		}
+	})
+}
+
+// TestConformanceChanMisusePanics: sending on or re-closing a closed
+// channel must fail the run loudly — on BOTH backends, with the same
+// message shape — before any completion event reaches the trace.
+func TestConformanceChanMisusePanics(t *testing.T) {
+	cases := []struct {
+		name      string
+		body      func(p harness.Proc, ch harness.Chan)
+		wantErr   string
+		wantSends int
+	}{
+		{
+			name: "send-on-closed",
+			body: func(p harness.Proc, ch harness.Chan) {
+				p.Close(ch)
+				p.Send(ch)
+			},
+			wantErr:   `sends on closed channel "ch"`,
+			wantSends: 0,
+		},
+		{
+			name: "close-of-closed",
+			body: func(p harness.Proc, ch harness.Chan) {
+				p.Close(ch)
+				p.Close(ch)
+			},
+			wantErr:   `closes already-closed channel "ch"`,
+			wantSends: 0,
+		},
+		{
+			name: "select-send-on-closed",
+			body: func(p harness.Proc, ch harness.Chan) {
+				p.Close(ch)
+				p.Select([]harness.SelectCase{{Ch: ch, Send: true}}, false)
+			},
+			wantErr:   `sends on closed channel "ch"`,
+			wantSends: 0,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, bc := range backends() {
+				bc := bc
+				t.Run(bc.name, func(t *testing.T) {
+					rt := bc.make()
+					ch := rt.NewChan("ch", 1)
+					tr, _, err := rt.Run(func(p harness.Proc) { tc.body(p, ch) })
+					if err == nil {
+						t.Fatalf("%s: run succeeded, want loud failure", bc.name)
+					}
+					if !strings.Contains(err.Error(), tc.wantErr) {
+						t.Fatalf("%s: err = %v, want it to contain %q", bc.name, err, tc.wantErr)
+					}
+					if tr == nil {
+						return
+					}
+					sends, _, _ := chanEventCounts(tr)
+					if sends != tc.wantSends {
+						t.Errorf("%s: %d send completions reached the trace, want %d",
+							bc.name, sends, tc.wantSends)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestConformanceChanNegativeCapacity: constructing a channel with a
+// negative capacity panics immediately on both backends.
+func TestConformanceChanNegativeCapacity(t *testing.T) {
+	for _, bc := range backends() {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("NewChan(-1) did not panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "negative channel capacity") {
+					t.Fatalf("panic = %v, want a negative-capacity message", r)
+				}
+			}()
+			bc.make().NewChan("bad", -1)
+		})
+	}
+}

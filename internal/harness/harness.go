@@ -2,8 +2,8 @@
 // workloads are written against.
 //
 // It plays the role of the Pthreads API in the paper: a workload
-// creates mutexes, barriers and condition variables, spawns threads
-// and performs computation, and the backend records every
+// creates mutexes, barriers, condition variables and channels, spawns
+// threads and performs computation, and the backend records every
 // synchronization event. Two backends implement the API:
 //
 //   - internal/sim, a deterministic discrete-event simulator with
@@ -38,6 +38,23 @@ type Barrier interface {
 // Cond is an opaque handle to a backend condition variable.
 type Cond interface {
 	Name() string
+}
+
+// Chan is an opaque handle to a backend channel. Channels carry
+// anonymous tokens: workloads model the synchronization (who waits on
+// whom, and for how long), not the payload.
+type Chan interface {
+	Name() string
+	// Cap returns the buffer capacity (0 for unbuffered channels).
+	Cap() int
+}
+
+// SelectCase is one arm of Proc.Select.
+type SelectCase struct {
+	Ch Chan
+	// Send selects between sending on Ch (true) and receiving from it
+	// (false).
+	Send bool
 }
 
 // Thread is a handle to a spawned thread, usable for joining.
@@ -79,6 +96,24 @@ type Proc interface {
 	Signal(c Cond)
 	// Broadcast wakes all waiters on c.
 	Broadcast(c Cond)
+	// Send delivers one token on ch, blocking while the buffer is full
+	// (or until a receiver arrives, for unbuffered channels). Sending
+	// on a closed channel panics.
+	Send(ch Chan)
+	// Recv takes one token from ch, blocking while it is empty. It
+	// returns false when ch is closed and drained.
+	Recv(ch Chan) bool
+	// Close closes ch: blocked and subsequent receivers drain the
+	// buffer, then observe Recv == false. Closing an already-closed
+	// channel panics, as does sending on a closed one.
+	Close(ch Chan)
+	// Select blocks until one of the cases can proceed, performs it
+	// and returns its index; when several are ready the lowest index
+	// wins (the deterministic stand-in for Go's random choice). With
+	// def true it never blocks, returning -1 when no case is ready.
+	// The second result is the chosen receive's value-ok flag (true
+	// for sends and the default case).
+	Select(cases []SelectCase, def bool) (int, bool)
 	// Go spawns a new thread running fn and returns its handle.
 	Go(name string, fn func(Proc)) Thread
 	// Join blocks until t has finished.
@@ -96,6 +131,9 @@ type Runtime interface {
 	NewBarrier(name string, parties int) Barrier
 	// NewCond registers a condition variable.
 	NewCond(name string) Cond
+	// NewChan registers a channel with the given buffer capacity
+	// (0 = unbuffered).
+	NewChan(name string, capacity int) Chan
 	// Run executes main as the root thread and blocks until every
 	// spawned thread has finished. It returns the collected trace and
 	// the elapsed (virtual or wall) time.

@@ -67,7 +67,7 @@ func TestCorpusCoverage(t *testing.T) {
 		lint.CheckMissingUnlock: 1,
 		lint.CheckDoubleLock:    1,
 		lint.CheckRWPair:        2,
-		lint.CheckBlockHeld:     4, // chan send, chan recv, barrier wait, sleep
+		lint.CheckBlockHeld:     7, // chan send/recv (Go + harness), select, barrier wait, sleep
 		lint.CheckWaitLoop:      2, // sync.Cond style + harness style
 		lint.CheckCopyLock:      3, // value param, value return, value assignment
 	}

@@ -544,6 +544,15 @@ func (fn *function) classifyCall(call *ast.CallExpr, out *[]op) {
 		case "BarrierWait":
 			*out = append(*out, mk(opBarrierWait, nil))
 			return
+		case "Send":
+			// p.Send(ch): harness channel send, blocks while the
+			// buffer is full (or until a receiver, unbuffered).
+			*out = append(*out, mk(opChanSend, nil))
+			return
+		case "Recv":
+			// p.Recv(ch): harness channel receive, blocks while empty.
+			*out = append(*out, mk(opChanRecv, nil))
+			return
 		case "Sleep":
 			if id, ok := sel.X.(*ast.Ident); ok && fn.file.timeName != "" && id.Name == fn.file.timeName {
 				*out = append(*out, mk(opSleep, nil))
@@ -555,6 +564,12 @@ func (fn *function) classifyCall(call *ast.CallExpr, out *[]op) {
 		o := mk(opWaitHarness, call.Args[1])
 		o.assoc = o.key
 		*out = append(*out, o)
+		return
+	case isSel && nargs == 2 && name == "Select":
+		// p.Select(cases, def): blocks until an arm is ready (a true
+		// def never blocks, but the conservative held-set pass treats
+		// every select as a potential block).
+		*out = append(*out, mk(opSelect, nil))
 		return
 	}
 	// Plain call: a lock-order propagation candidate.

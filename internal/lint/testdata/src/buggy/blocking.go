@@ -34,3 +34,19 @@ func stall(p Proc, m Mutex, b Barrier) {
 	time.Sleep(time.Millisecond)
 	p.Unlock(m)
 }
+
+// relay seeds harness-style channel operations inside held regions:
+// Send, Recv and Select all park the thread while m stays held.
+func relay(p Proc, m Mutex, ch Chan) {
+	p.Lock(m)
+	p.Send(ch)
+	p.Unlock(m)
+
+	p.Lock(m)
+	p.Recv(ch)
+	p.Unlock(m)
+
+	p.Lock(m)
+	p.Select([]SelectCase{{Ch: ch}}, false)
+	p.Unlock(m)
+}

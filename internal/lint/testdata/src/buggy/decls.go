@@ -17,6 +17,18 @@ type Barrier interface {
 // Cond mirrors harness.Cond.
 type Cond interface{ Name() string }
 
+// Chan mirrors harness.Chan.
+type Chan interface {
+	Name() string
+	Cap() int
+}
+
+// SelectCase mirrors harness.SelectCase.
+type SelectCase struct {
+	Ch   Chan
+	Send bool
+}
+
 // Proc mirrors the harness.Proc lock surface.
 type Proc interface {
 	Lock(m Mutex)
@@ -28,6 +40,10 @@ type Proc interface {
 	Wait(c Cond, m Mutex)
 	Signal(c Cond)
 	Broadcast(c Cond)
+	Send(ch Chan)
+	Recv(ch Chan) bool
+	Close(ch Chan)
+	Select(cases []SelectCase, def bool) (int, bool)
 }
 
 // Runtime mirrors the harness.Runtime constructor surface.
@@ -35,4 +51,5 @@ type Runtime interface {
 	NewMutex(name string) Mutex
 	NewBarrier(name string, parties int) Barrier
 	NewCond(name string) Cond
+	NewChan(name string, capacity int) Chan
 }

@@ -9,6 +9,12 @@ type Mutex interface{ Name() string }
 // Cond mirrors harness.Cond.
 type Cond interface{ Name() string }
 
+// Chan mirrors harness.Chan.
+type Chan interface {
+	Name() string
+	Cap() int
+}
+
 // Proc mirrors the harness.Proc lock surface.
 type Proc interface {
 	Lock(m Mutex)
@@ -18,6 +24,18 @@ type Proc interface {
 	RUnlock(m Mutex)
 	Wait(c Cond, m Mutex)
 	Signal(c Cond)
+	Send(ch Chan)
+	Recv(ch Chan) bool
+}
+
+// handoff is correct channel usage: the critical section ends before
+// the potentially-blocking Send/Recv run, so no blockheld finding.
+func handoff(p Proc, m Mutex, ch Chan) {
+	p.Lock(m)
+	p.Unlock(m)
+	p.Send(ch)
+	for p.Recv(ch) {
+	}
 }
 
 // Runtime mirrors the harness.Runtime constructor surface.

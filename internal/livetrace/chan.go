@@ -1,0 +1,382 @@
+package livetrace
+
+import (
+	"fmt"
+	"sync"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// liveChan is the live backend's channel: a mutex-guarded token queue
+// with per-waiter wake channels, mirroring liveCond's design rather
+// than wrapping a raw Go chan. Owning the queues buys the emission
+// discipline the analyzer's waker resolution depends on (and raw
+// channels cannot provide): a blocked operation's completion event is
+// stamped by its waker — under the channel mutex, after the waker's
+// own completion — before the blocked goroutine is released, so the
+// waker always precedes the wakee in (T, Seq) order, exactly as on
+// the simulator backend.
+type liveChan struct {
+	rt       *Runtime
+	id       trace.ObjID
+	name     string
+	capacity int
+
+	mu       sync.Mutex
+	buffered int
+	closed   bool
+	sendq    []*liveChanWaiter
+	recvq    []*liveChanWaiter
+}
+
+var _ harness.Chan = (*liveChan)(nil)
+
+// Name implements harness.Chan.
+func (c *liveChan) Name() string { return c.name }
+
+// Cap implements harness.Chan.
+func (c *liveChan) Cap() int { return c.capacity }
+
+// NewChan implements harness.Runtime. The capacity is recorded as the
+// channel object's Parties, so it survives into traces and manifests.
+func (rt *Runtime) NewChan(name string, capacity int) harness.Chan {
+	if capacity < 0 {
+		panic("livetrace: negative channel capacity")
+	}
+	return &liveChan{rt: rt, id: rt.col.RegisterObject(trace.ObjChan, name, capacity), name: name, capacity: capacity}
+}
+
+// liveChanWaiter is one goroutine parked on a channel operation: a
+// plain send/recv (sel nil, woken via ready) or one arm of a select
+// (woken via sel.ready).
+type liveChanWaiter struct {
+	p     *proc
+	sel   *liveSelect
+	idx   int
+	ready chan struct{}
+	// argExtra is ORed into the completion event's Arg (a select that
+	// committed to an arm and then had to block parks as a plain
+	// waiter but still completes with ChanArgSelect).
+	argExtra int64
+
+	ok          bool // recv result, set by the waker
+	closedPanic bool // send woken by close: panic on resume
+}
+
+// liveSelect is shared by all arms of one blocked select. The first
+// waker to claim any arm wins; stale arms in other queues become
+// unclaimable and are skipped.
+type liveSelect struct {
+	mu     sync.Mutex
+	won    bool
+	chosen int
+
+	ok       bool
+	closedOn *liveChan
+	ready    chan struct{}
+}
+
+// claim marks w as the waiter being woken. Callers hold the channel
+// mutex; the claim itself is guarded by the select's own mutex since
+// arms of one select live on several channels.
+func (w *liveChanWaiter) claim() bool {
+	if w.sel == nil {
+		return true
+	}
+	w.sel.mu.Lock()
+	defer w.sel.mu.Unlock()
+	if w.sel.won {
+		return false
+	}
+	w.sel.won = true
+	w.sel.chosen = w.idx
+	return true
+}
+
+// claimSelf commits the selecting goroutine itself to case i. It
+// fails when a waker on another arm won the race first.
+func (sel *liveSelect) claimSelf(i int) bool {
+	sel.mu.Lock()
+	defer sel.mu.Unlock()
+	if sel.won {
+		return false
+	}
+	sel.won = true
+	sel.chosen = i
+	return true
+}
+
+func (c *liveChan) popSendLocked() *liveChanWaiter {
+	for len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		if w.claim() {
+			return w
+		}
+	}
+	return nil
+}
+
+func (c *liveChan) popRecvLocked() *liveChanWaiter {
+	for len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		if w.claim() {
+			return w
+		}
+	}
+	return nil
+}
+
+// completeSendLocked stamps a blocked sender's completion into its own
+// thread buffer (it is parked, so the buffer is quiescent) and wakes
+// it. Caller holds c.mu.
+func (c *liveChan) completeSendLocked(w *liveChanWaiter) {
+	arg := int64(trace.ChanArgBlocked) | w.argExtra
+	if w.sel != nil {
+		arg |= trace.ChanArgSelect
+		w.sel.ok = true
+		w.p.buf.Emit(c.rt.now(), trace.EvChanSend, c.id, arg)
+		close(w.sel.ready)
+		return
+	}
+	w.p.buf.Emit(c.rt.now(), trace.EvChanSend, c.id, arg)
+	close(w.ready)
+}
+
+// completeRecvLocked stamps a blocked receiver's completion and wakes
+// it. ok is false when the wake came from close. Caller holds c.mu.
+func (c *liveChan) completeRecvLocked(w *liveChanWaiter, ok bool) {
+	arg := int64(trace.ChanArgBlocked) | w.argExtra
+	if !ok {
+		arg |= trace.ChanArgClosed
+	}
+	if w.sel != nil {
+		arg |= trace.ChanArgSelect
+		w.sel.ok = ok
+		w.p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg)
+		close(w.sel.ready)
+		return
+	}
+	w.ok = ok
+	w.p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg)
+	close(w.ready)
+}
+
+// trySendLocked completes a send without blocking when a receiver is
+// waiting or buffer space is free. Caller holds c.mu.
+func (c *liveChan) trySendLocked(p *proc, arg int64) bool {
+	if w := c.popRecvLocked(); w != nil {
+		// Direct handoff: receivers only park on an empty buffer.
+		p.buf.Emit(c.rt.now(), trace.EvChanSend, c.id, arg)
+		c.completeRecvLocked(w, true)
+		return true
+	}
+	if c.buffered < c.capacity {
+		c.buffered++
+		p.buf.Emit(c.rt.now(), trace.EvChanSend, c.id, arg)
+		return true
+	}
+	return false
+}
+
+// tryRecvLocked completes a receive without blocking when a value is
+// buffered, a sender is waiting, or the channel is closed and drained.
+// done is false when the receive would block. Caller holds c.mu.
+func (c *liveChan) tryRecvLocked(p *proc, arg int64) (ok, done bool) {
+	if c.buffered > 0 {
+		c.buffered--
+		p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg)
+		// The freed slot admits the longest-waiting blocked sender.
+		if w := c.popSendLocked(); w != nil {
+			c.buffered++
+			c.completeSendLocked(w)
+		}
+		return true, true
+	}
+	if w := c.popSendLocked(); w != nil { // unbuffered rendezvous
+		p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg)
+		c.completeSendLocked(w)
+		return true, true
+	}
+	if c.closed {
+		p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg|trace.ChanArgClosed)
+		return false, true
+	}
+	return false, false
+}
+
+func (p *proc) chanOf(hc harness.Chan) *liveChan {
+	c, ok := hc.(*liveChan)
+	if !ok || c.rt != p.rt {
+		panic("livetrace: chan from another runtime")
+	}
+	return c
+}
+
+// Send implements harness.Proc. Sending on a closed channel panics
+// before any completion event is emitted, with the same message shape
+// as the simulator backend.
+func (p *proc) Send(hc harness.Chan) {
+	c := p.chanOf(hc)
+	p.buf.Emit(p.rt.now(), trace.EvChanSendBegin, c.id, 0)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
+	}
+	if c.trySendLocked(p, 0) {
+		c.mu.Unlock()
+		return
+	}
+	w := &liveChanWaiter{p: p, ready: make(chan struct{})}
+	c.sendq = append(c.sendq, w)
+	c.mu.Unlock()
+	<-w.ready
+	// The waker stamped our blocked completion before releasing us.
+	if w.closedPanic {
+		panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
+	}
+}
+
+// Recv implements harness.Proc.
+func (p *proc) Recv(hc harness.Chan) bool {
+	c := p.chanOf(hc)
+	p.buf.Emit(p.rt.now(), trace.EvChanRecvBegin, c.id, 0)
+	c.mu.Lock()
+	if ok, done := c.tryRecvLocked(p, 0); done {
+		c.mu.Unlock()
+		return ok
+	}
+	w := &liveChanWaiter{p: p, ready: make(chan struct{})}
+	c.recvq = append(c.recvq, w)
+	c.mu.Unlock()
+	<-w.ready
+	return w.ok
+}
+
+// Close implements harness.Proc. Blocked receivers observe
+// closed-and-drained; blocked senders panic, as in Go. Closing an
+// already-closed channel panics before any event is emitted.
+func (p *proc) Close(hc harness.Chan) {
+	c := p.chanOf(hc)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("livetrace: thread %s closes already-closed channel %q", p.name, c.name))
+	}
+	c.closed = true
+	p.buf.Emit(c.rt.now(), trace.EvChanClose, c.id, 0)
+	for {
+		w := c.popRecvLocked()
+		if w == nil {
+			break
+		}
+		c.completeRecvLocked(w, false)
+	}
+	for {
+		w := c.popSendLocked()
+		if w == nil {
+			break
+		}
+		if w.sel != nil {
+			w.sel.closedOn = c
+			close(w.sel.ready)
+		} else {
+			w.closedPanic = true
+			close(w.ready)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Select implements harness.Proc. Cases are examined in order and the
+// lowest ready index wins, matching the simulator's deterministic
+// choice.
+func (p *proc) Select(cases []harness.SelectCase, def bool) (int, bool) {
+	arg := int64(0)
+	if def {
+		arg = 1
+	}
+	p.buf.Emit(p.rt.now(), trace.EvSelect, trace.NoObj, arg)
+	if def {
+		for i, sc := range cases {
+			c := p.chanOf(sc.Ch)
+			c.mu.Lock()
+			if sc.Send {
+				if c.closed {
+					c.mu.Unlock()
+					panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
+				}
+				if c.trySendLocked(p, trace.ChanArgSelect) {
+					c.mu.Unlock()
+					return i, true
+				}
+			} else if ok, done := c.tryRecvLocked(p, trace.ChanArgSelect); done {
+				c.mu.Unlock()
+				return i, ok
+			}
+			c.mu.Unlock()
+		}
+		return -1, true
+	}
+
+	sel := &liveSelect{chosen: -1, ok: true, ready: make(chan struct{})}
+	for i, sc := range cases {
+		c := p.chanOf(sc.Ch)
+		c.mu.Lock()
+		if sc.Send {
+			if c.closed {
+				c.mu.Unlock()
+				panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
+			}
+			if c.buffered < c.capacity || len(c.recvq) > 0 {
+				if !sel.claimSelf(i) {
+					c.mu.Unlock()
+					break // an earlier arm already fired; go collect it
+				}
+				if c.trySendLocked(p, trace.ChanArgSelect) {
+					c.mu.Unlock()
+					return i, true
+				}
+				// The apparently-ready receiver was stolen by a racing
+				// select; we are committed to this arm, so block on it.
+				w := &liveChanWaiter{p: p, ready: make(chan struct{}), argExtra: trace.ChanArgSelect}
+				c.sendq = append(c.sendq, w)
+				c.mu.Unlock()
+				<-w.ready
+				if w.closedPanic {
+					panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
+				}
+				return i, true
+			}
+		} else if c.buffered > 0 || c.closed || len(c.sendq) > 0 {
+			if !sel.claimSelf(i) {
+				c.mu.Unlock()
+				break
+			}
+			if ok, done := c.tryRecvLocked(p, trace.ChanArgSelect); done {
+				c.mu.Unlock()
+				return i, ok
+			}
+			w := &liveChanWaiter{p: p, ready: make(chan struct{}), argExtra: trace.ChanArgSelect}
+			c.recvq = append(c.recvq, w)
+			c.mu.Unlock()
+			<-w.ready
+			return i, w.ok
+		}
+		w := &liveChanWaiter{p: p, sel: sel, idx: i}
+		if sc.Send {
+			c.sendq = append(c.sendq, w)
+		} else {
+			c.recvq = append(c.recvq, w)
+		}
+		c.mu.Unlock()
+	}
+	<-sel.ready
+	if sel.closedOn != nil {
+		panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, sel.closedOn.name))
+	}
+	return sel.chosen, sel.ok
+}

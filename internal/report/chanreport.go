@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+
+	"critlock/internal/core"
+)
+
+// ChanReport renders the per-channel statistics of an analysis,
+// ordered hottest first (critical-path wait, then total blocked
+// time). It is the channel analogue of the TYPE 1 lock columns: the
+// "On CP" pair says how much of the critical path ran through each
+// channel's handoffs, while the per-direction counts and waits say
+// which side of the channel is starved.
+//
+// topN ≤ 0 lists every channel.
+func ChanReport(an *core.Analysis, topN int) *Table {
+	t := NewTable(
+		"",
+		"Chan", "Cap",
+		"Jumps on CP", "Wait on CP",
+		"Sends", "Blk", "Send Wait", "Recvs", "Blk", "Recv Wait",
+		"Max Wait", "Closes",
+	)
+	chans := an.Chans
+	if topN > 0 && topN < len(chans) {
+		chans = chans[:topN]
+	}
+	for _, c := range chans {
+		t.AddRow(
+			c.Name, fmt.Sprint(c.Capacity),
+			fmt.Sprint(c.JumpsOnCP), fmt.Sprint(c.WaitOnCP),
+			fmt.Sprint(c.Sends), fmt.Sprint(c.BlockedSends), fmt.Sprint(c.SendWait),
+			fmt.Sprint(c.Recvs), fmt.Sprint(c.BlockedRecvs), fmt.Sprint(c.RecvWait),
+			fmt.Sprint(c.MaxWait), fmt.Sprint(c.Closes),
+		)
+	}
+	return t
+}

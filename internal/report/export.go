@@ -29,6 +29,7 @@ type Export struct {
 	Summary  ExportSummary      `json:"summary"`
 	Totals   core.Totals        `json:"totals"`
 	Locks    []core.LockStats   `json:"locks"`
+	Chans    []core.ChanStats   `json:"chans,omitempty"`
 	Threads  []core.ThreadStats `json:"threads"`
 	Timeline []TimelinePiece    `json:"timeline"`
 	Jumps    []TimelineJump     `json:"jumps"`
@@ -61,6 +62,9 @@ type TimelineJump struct {
 	To   trace.ThreadID `json:"to"`
 	Kind string         `json:"kind"`
 	Obj  string         `json:"obj,omitempty"`
+	// Wait is the blocked time the jump absorbed on the destination
+	// thread (0 for thread-start jumps).
+	Wait trace.Time `json:"wait,omitempty"`
 }
 
 // BuildExport flattens an analysis into the canonical JSON report.
@@ -81,6 +85,7 @@ func BuildExport(id, source string, streamed bool, an *core.Analysis) *Export {
 		},
 		Totals:  an.Totals,
 		Locks:   an.Locks,
+		Chans:   an.Chans,
 		Threads: an.Threads,
 	}
 	rep.Timeline = make([]TimelinePiece, len(an.CP.Pieces))
@@ -92,7 +97,7 @@ func BuildExport(id, source string, streamed bool, an *core.Analysis) *Export {
 	}
 	rep.Jumps = make([]TimelineJump, len(an.CP.JumpLog))
 	for i, j := range an.CP.JumpLog {
-		tj := TimelineJump{T: j.T, From: j.From, To: j.To, Kind: j.Kind.String()}
+		tj := TimelineJump{T: j.T, From: j.From, To: j.To, Kind: j.Kind.String(), Wait: j.Wait}
 		if j.Obj != trace.NoObj {
 			tj.Obj = an.Trace.ObjName(j.Obj)
 		}

@@ -40,6 +40,11 @@ func Full(an *core.Analysis, opts FullOptions) string {
 	b.WriteString("\n## Critical path composition\n\n")
 	CompositionReport(an).Markdown(&b)
 
+	if an.Totals.Channels > 0 {
+		b.WriteString("\n## Channels (hottest first)\n\n")
+		ChanReport(an, opts.TopLocks).Markdown(&b)
+	}
+
 	if opts.Windows > 0 {
 		fmt.Fprintf(&b, "\n## Criticality over %d windows\n\n", opts.Windows)
 		WindowReport(an, opts.Windows).Markdown(&b)

@@ -58,13 +58,17 @@ func Summary(w io.Writer, an *core.Analysis) {
 		an.Totals.Invocations, an.Totals.ContendedInvs, an.Totals.TotalLockWait)
 	crit := an.CriticalLocks()
 	fmt.Fprintf(w, "critical locks: %d of %d\n", len(crit), an.Totals.Mutexes)
+	if an.Totals.Channels > 0 {
+		fmt.Fprintf(w, "channels: %d   total channel wait: %d ns\n",
+			an.Totals.Channels, an.Totals.TotalChanWait)
+	}
 }
 
 // ThreadReport renders per-thread statistics.
 func ThreadReport(an *core.Analysis) *Table {
 	t := NewTable("",
 		"Thread", "Lifetime ns", "On CP ns", "CP %",
-		"Lock Wait", "Lock Hold", "Barrier Wait", "Cond Wait", "Invocations")
+		"Lock Wait", "Lock Hold", "Barrier Wait", "Cond Wait", "Chan Wait", "Invocations")
 	for _, ts := range an.Threads {
 		cpPct := 0.0
 		if an.CP.Length > 0 {
@@ -75,7 +79,7 @@ func ThreadReport(an *core.Analysis) *Table {
 			fmt.Sprint(ts.Lifetime), fmt.Sprint(ts.TimeOnCP), Pct(cpPct),
 			fmt.Sprint(ts.LockWait), fmt.Sprint(ts.LockHold),
 			fmt.Sprint(ts.BarrierWait), fmt.Sprint(ts.CondWait),
-			fmt.Sprint(ts.Invocations),
+			fmt.Sprint(ts.ChanWait), fmt.Sprint(ts.Invocations),
 		)
 	}
 	return t

@@ -30,6 +30,9 @@
 //	        uvarint lock-summary entries: (uvarint obj, uvarint
 //	                acquires, uvarint obtains, uvarint contended,
 //	                uvarint releases)
+//	        uvarint chan-summary entries: (uvarint obj, uvarint sends,
+//	                uvarint blockedSends, uvarint recvs, uvarint
+//	                blockedRecvs, uvarint closes)
 //	trailer fixed 20 bytes:
 //	        uint32 LE crc32/IEEE of bytes [0, footer offset)
 //	        uint32 LE crc32/IEEE of the footer payload
@@ -68,7 +71,8 @@ import (
 const (
 	segMagic    = "CLSG"
 	segEndMagic = "GSLC"
-	segVersion  = 1
+	// segVersion 2 added channel summaries to the footer.
+	segVersion = 2
 
 	manifestMagic   = "CLSM"
 	manifestVersion = 1
@@ -137,6 +141,17 @@ type LockSummary struct {
 	Releases  int
 }
 
+// ChanSummary is one footer entry: a segment's channel-event counts
+// for one channel — completed operations and how many of them parked.
+type ChanSummary struct {
+	Obj          trace.ObjID
+	Sends        int
+	BlockedSends int
+	Recvs        int
+	BlockedRecvs int
+	Closes       int
+}
+
 // Footer is the per-segment index.
 type Footer struct {
 	// Count is the number of events in the segment.
@@ -149,6 +164,8 @@ type Footer struct {
 	ThreadCounts []ThreadCount
 	// Locks lists per-mutex event summaries, ascending by object.
 	Locks []LockSummary
+	// Chans lists per-channel event summaries, ascending by object.
+	Chans []ChanSummary
 }
 
 // appendFooter encodes f's payload (without tag/length) to dst.
@@ -170,6 +187,15 @@ func appendFooter(dst []byte, f *Footer) []byte {
 		dst = binary.AppendUvarint(dst, uint64(ls.Obtains))
 		dst = binary.AppendUvarint(dst, uint64(ls.Contended))
 		dst = binary.AppendUvarint(dst, uint64(ls.Releases))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Chans)))
+	for _, cs := range f.Chans {
+		dst = binary.AppendUvarint(dst, uint64(cs.Obj))
+		dst = binary.AppendUvarint(dst, uint64(cs.Sends))
+		dst = binary.AppendUvarint(dst, uint64(cs.BlockedSends))
+		dst = binary.AppendUvarint(dst, uint64(cs.Recvs))
+		dst = binary.AppendUvarint(dst, uint64(cs.BlockedRecvs))
+		dst = binary.AppendUvarint(dst, uint64(cs.Closes))
 	}
 	return dst
 }
@@ -198,6 +224,17 @@ func decodeFooter(buf []byte) (*Footer, error) {
 			Obtains:   int(d.count("obtain")),
 			Contended: int(d.count("contended")),
 			Releases:  int(d.count("release")),
+		})
+	}
+	nChans := d.count("chan")
+	for i := uint64(0); i < nChans && d.err == nil; i++ {
+		f.Chans = append(f.Chans, ChanSummary{
+			Obj:          trace.ObjID(d.id("chan")),
+			Sends:        int(d.count("send")),
+			BlockedSends: int(d.count("blocked send")),
+			Recvs:        int(d.count("recv")),
+			BlockedRecvs: int(d.count("blocked recv")),
+			Closes:       int(d.count("close")),
 		})
 	}
 	if d.err != nil {

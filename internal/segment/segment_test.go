@@ -13,8 +13,9 @@ import (
 
 // sampleTrace builds a small canonical trace exercising every record
 // shape the codec has: multiple threads and objects, equal-timestamp
-// runs (delta 0), contended and shared obtains, negative Obj (NoObj on
-// thread events) and large Arg values.
+// runs (delta 0), contended and shared obtains, channel operations
+// (blocked and select-tagged), negative Obj (NoObj on thread events)
+// and large Arg values.
 func sampleTrace(n int) *trace.Trace {
 	tr := &trace.Trace{
 		Threads: []trace.ThreadInfo{
@@ -26,6 +27,7 @@ func sampleTrace(n int) *trace.Trace {
 			{ID: 0, Kind: trace.ObjMutex, Name: "m0"},
 			{ID: 1, Kind: trace.ObjMutex, Name: "m1"},
 			{ID: 2, Kind: trace.ObjBarrier, Name: "b", Parties: 2},
+			{ID: 3, Kind: trace.ObjChan, Name: "ch", Parties: 1},
 		},
 		Meta: map[string]string{"workload": "sample", "threads": "3"},
 	}
@@ -56,7 +58,23 @@ func sampleTrace(n int) *trace.Trace {
 		}
 		emit(tid, trace.EvLockObtain, obj, arg, trace.Time(i%4))
 		emit(tid, trace.EvLockRelease, obj, 0, 1000003) // large delta
+		if i%4 == 0 {
+			emit(1, trace.EvChanSendBegin, 3, 0, 2)
+			emit(1, trace.EvChanSend, 3, 0, 1)
+			carg := int64(0)
+			if i%8 == 0 {
+				carg = trace.ChanArgBlocked
+			}
+			emit(2, trace.EvChanRecvBegin, 3, 0, 1)
+			emit(2, trace.EvChanRecv, 3, carg, trace.Time(i%3))
+		}
+		if i%6 == 0 {
+			emit(2, trace.EvSelect, trace.NoObj, 0, 1)
+			emit(2, trace.EvChanRecvBegin, 3, 0, 0)
+			emit(2, trace.EvChanRecv, 3, trace.ChanArgSelect|trace.ChanArgClosed, 1)
+		}
 	}
+	emit(1, trace.EvChanClose, 3, 0, 1)
 	emit(1, trace.EvThreadExit, trace.NoObj, 0, 1)
 	emit(2, trace.EvThreadExit, trace.NoObj, 0, 1)
 	emit(0, trace.EvThreadExit, trace.NoObj, 0, 1)
@@ -93,8 +111,32 @@ func TestFileWriterRoundTrip(t *testing.T) {
 	// direct tally of the input.
 	wantThr := map[trace.ThreadID]int{}
 	wantLock := map[trace.ObjID]LockSummary{}
+	wantChan := map[trace.ObjID]ChanSummary{}
 	for _, e := range tr.Events {
 		wantThr[e.Thread]++
+		switch e.Kind {
+		case trace.EvChanSend:
+			cs := wantChan[e.Obj]
+			cs.Obj = e.Obj
+			cs.Sends++
+			if e.ChanBlocked() {
+				cs.BlockedSends++
+			}
+			wantChan[e.Obj] = cs
+		case trace.EvChanRecv:
+			cs := wantChan[e.Obj]
+			cs.Obj = e.Obj
+			cs.Recvs++
+			if e.ChanBlocked() {
+				cs.BlockedRecvs++
+			}
+			wantChan[e.Obj] = cs
+		case trace.EvChanClose:
+			cs := wantChan[e.Obj]
+			cs.Obj = e.Obj
+			cs.Closes++
+			wantChan[e.Obj] = cs
+		}
 		switch e.Kind {
 		case trace.EvLockAcquire:
 			ls := wantLock[e.Obj]
@@ -127,6 +169,14 @@ func TestFileWriterRoundTrip(t *testing.T) {
 	for _, ls := range ftr.Locks {
 		if ls != wantLock[ls.Obj] {
 			t.Errorf("lock %d summary = %+v, want %+v", ls.Obj, ls, wantLock[ls.Obj])
+		}
+	}
+	if len(ftr.Chans) != len(wantChan) {
+		t.Errorf("footer has %d chan summaries, want %d", len(ftr.Chans), len(wantChan))
+	}
+	for _, cs := range ftr.Chans {
+		if cs != wantChan[cs.Obj] {
+			t.Errorf("chan %d summary = %+v, want %+v", cs.Obj, cs, wantChan[cs.Obj])
 		}
 	}
 

@@ -33,6 +33,7 @@ type FileWriter struct {
 	prev      trace.Event
 	thrCounts map[trace.ThreadID]int
 	locks     map[trace.ObjID]*LockSummary
+	chans     map[trace.ObjID]*ChanSummary
 	err       error
 }
 
@@ -51,6 +52,7 @@ func NewFileWriter(path string, opts Options) (*FileWriter, error) {
 		frameEvents: opts.FrameEvents,
 		thrCounts:   map[trace.ThreadID]int{},
 		locks:       map[trace.ObjID]*LockSummary{},
+		chans:       map[trace.ObjID]*ChanSummary{},
 	}
 	w.body([]byte(segMagic))
 	w.body(binary.AppendUvarint(nil, segVersion))
@@ -112,6 +114,20 @@ func (w *FileWriter) Append(e trace.Event) error {
 		}
 	case trace.EvLockRelease:
 		w.lockSum(e.Obj).Releases++
+	case trace.EvChanSend:
+		cs := w.chanSum(e.Obj)
+		cs.Sends++
+		if e.ChanBlocked() {
+			cs.BlockedSends++
+		}
+	case trace.EvChanRecv:
+		cs := w.chanSum(e.Obj)
+		cs.Recvs++
+		if e.ChanBlocked() {
+			cs.BlockedRecvs++
+		}
+	case trace.EvChanClose:
+		w.chanSum(e.Obj).Closes++
 	}
 
 	if w.frameCount >= w.frameEvents {
@@ -127,6 +143,15 @@ func (w *FileWriter) lockSum(obj trace.ObjID) *LockSummary {
 		w.locks[obj] = ls
 	}
 	return ls
+}
+
+func (w *FileWriter) chanSum(obj trace.ObjID) *ChanSummary {
+	cs := w.chans[obj]
+	if cs == nil {
+		cs = &ChanSummary{Obj: obj}
+		w.chans[obj] = cs
+	}
+	return cs
 }
 
 func (w *FileWriter) flushFrame() {
@@ -163,6 +188,11 @@ func (w *FileWriter) Close() (*Footer, error) {
 		w.ftr.Locks = append(w.ftr.Locks, *ls)
 	}
 	slices.SortFunc(w.ftr.Locks, func(a, b LockSummary) int { return int(a.Obj) - int(b.Obj) })
+	w.ftr.Chans = w.ftr.Chans[:0]
+	for _, cs := range w.chans {
+		w.ftr.Chans = append(w.ftr.Chans, *cs)
+	}
+	slices.SortFunc(w.ftr.Chans, func(a, b ChanSummary) int { return int(a.Obj) - int(b.Obj) })
 
 	footerOff := w.off
 	payload := appendFooter(nil, &w.ftr)

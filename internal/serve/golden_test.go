@@ -57,3 +57,40 @@ func TestServeSmokeGolden(t *testing.T) {
 			goldenPath, len(got), len(want))
 	}
 }
+
+// TestServeChanGolden does the same for a channel-dominated workload:
+// the served report must carry the hot-channel table (chans section)
+// and channel-aware jump kinds, pinned byte-for-byte.
+func TestServeChanGolden(t *testing.T) {
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	tr, _, err := critlock.RunWorkload(sim, "pipeline", critlock.WorkloadParams{Threads: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("running pipeline workload: %v", err)
+	}
+
+	_, ts := newTestServer(t, serve.Options{})
+	status, got := post(t, ts, "", traceBytes(t, tr))
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/analyze = %d\n%s", status, got)
+	}
+
+	goldenPath := filepath.Join("testdata", "pipeline_report.golden")
+	if os.Getenv("UPDATE_SERVE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_SERVE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("served report differs from %s (%d vs %d bytes); rerun with UPDATE_SERVE_GOLDEN=1 if the change is intended",
+			goldenPath, len(got), len(want))
+	}
+	if !bytes.Contains(got, []byte(`"chans"`)) {
+		t.Error("served pipeline report has no chans section")
+	}
+}

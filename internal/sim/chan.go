@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// channel is a simulated Go channel: a FIFO token queue with a fixed
+// buffer capacity (0 = unbuffered rendezvous). Like the mutex, all
+// state is mutated in thread context only, and every event a blocked
+// thread completes with is stamped by its waker at the waking instant
+// — waker first, wakee second — which is the emission order the
+// analyzer's channel waker resolution depends on.
+type channel struct {
+	sim      *Sim
+	id       trace.ObjID
+	name     string
+	capacity int
+
+	buffered int
+	closed   bool
+	sendq    []*chanWaiter
+	recvq    []*chanWaiter
+}
+
+var _ harness.Chan = (*channel)(nil)
+
+func (c *channel) Name() string { return c.name }
+func (c *channel) Cap() int     { return c.capacity }
+
+// chanWaiter is one thread parked on a channel operation: a plain
+// send/recv, or one arm of a select (sel non-nil).
+type chanWaiter struct {
+	th  *thread
+	sel *selectState
+	idx int // case index within the select
+
+	ok          bool // recv result, set by the waker
+	closedPanic bool // plain send woken by close: panic on resume
+}
+
+// selectState is shared by all arms of one blocked select. The first
+// waker to claim any arm wins; the stale arms left in other queues
+// become unclaimable and are skipped by later pops.
+type selectState struct {
+	won      bool
+	chosen   int
+	ok       bool
+	closedOn *channel // send arm woken by close: panic on resume
+}
+
+// claim marks w as the waiter being woken. Arms of a select that
+// already fired elsewhere cannot be claimed.
+func (w *chanWaiter) claim() bool {
+	if w.sel == nil {
+		return true
+	}
+	if w.sel.won {
+		return false
+	}
+	w.sel.won = true
+	w.sel.chosen = w.idx
+	return true
+}
+
+func (c *channel) popSend() *chanWaiter {
+	for len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		if w.claim() {
+			return w
+		}
+	}
+	return nil
+}
+
+func (c *channel) popRecv() *chanWaiter {
+	for len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		if w.claim() {
+			return w
+		}
+	}
+	return nil
+}
+
+// NewChan implements harness.Runtime. The capacity is recorded as the
+// channel object's Parties, so it survives into traces and manifests.
+func (s *Sim) NewChan(name string, capacity int) harness.Chan {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &channel{sim: s, id: s.col.RegisterObject(trace.ObjChan, name, capacity), name: name, capacity: capacity}
+}
+
+func (th *thread) chanOf(hc harness.Chan) *channel {
+	c, ok := hc.(*channel)
+	if !ok || c.sim != th.sim {
+		panic("sim: chan from another runtime")
+	}
+	return c
+}
+
+// trySend completes a send without blocking when a receiver is waiting
+// or buffer space is free. arg carries ChanArgSelect for select-chosen
+// sends.
+func (c *channel) trySend(th *thread, arg int64) bool {
+	s := c.sim
+	if w := c.popRecv(); w != nil {
+		// Direct handoff to a blocked receiver: the receiver only
+		// parks when the buffer is empty, so the value skips it.
+		th.buf.Emit(s.now, trace.EvChanSend, c.id, arg)
+		c.completeRecv(w, true)
+		return true
+	}
+	if c.buffered < c.capacity {
+		c.buffered++
+		th.buf.Emit(s.now, trace.EvChanSend, c.id, arg)
+		return true
+	}
+	return false
+}
+
+// tryRecv completes a receive without blocking when a value is
+// buffered, a sender is waiting, or the channel is closed and drained.
+// done is false when the receive would block.
+func (c *channel) tryRecv(th *thread, arg int64) (ok, done bool) {
+	s := c.sim
+	if c.buffered > 0 {
+		c.buffered--
+		th.buf.Emit(s.now, trace.EvChanRecv, c.id, arg)
+		// The freed slot admits the longest-waiting blocked sender.
+		if w := c.popSend(); w != nil {
+			c.buffered++
+			c.completeSend(w)
+		}
+		return true, true
+	}
+	if w := c.popSend(); w != nil { // unbuffered rendezvous
+		th.buf.Emit(s.now, trace.EvChanRecv, c.id, arg)
+		c.completeSend(w)
+		return true, true
+	}
+	if c.closed {
+		th.buf.Emit(s.now, trace.EvChanRecv, c.id, arg|trace.ChanArgClosed)
+		return false, true
+	}
+	return false, false
+}
+
+// completeSend stamps a blocked sender's completion at the current
+// instant and readies it.
+func (c *channel) completeSend(w *chanWaiter) {
+	arg := int64(trace.ChanArgBlocked)
+	if w.sel != nil {
+		arg |= trace.ChanArgSelect
+		w.sel.ok = true
+	}
+	w.th.buf.Emit(c.sim.now, trace.EvChanSend, c.id, arg)
+	w.th.blockedOn = ""
+	c.sim.makeReady(w.th)
+}
+
+// completeRecv stamps a blocked receiver's completion at the current
+// instant and readies it. ok is false when the wake came from close.
+func (c *channel) completeRecv(w *chanWaiter, ok bool) {
+	arg := int64(trace.ChanArgBlocked)
+	if !ok {
+		arg |= trace.ChanArgClosed
+	}
+	if w.sel != nil {
+		arg |= trace.ChanArgSelect
+		w.sel.ok = ok
+	}
+	w.ok = ok
+	w.th.buf.Emit(c.sim.now, trace.EvChanRecv, c.id, arg)
+	w.th.blockedOn = ""
+	c.sim.makeReady(w.th)
+}
+
+// Send implements harness.Proc.
+func (th *thread) Send(hc harness.Chan) {
+	s := th.sim
+	c := th.chanOf(hc)
+	th.buf.Emit(s.now, trace.EvChanSendBegin, c.id, 0)
+	if c.closed {
+		panic(fmt.Sprintf("sim: thread %s sends on closed channel %q", th.name, c.name))
+	}
+	if c.trySend(th, 0) {
+		return
+	}
+	w := &chanWaiter{th: th}
+	c.sendq = append(c.sendq, w)
+	th.block("chan-send:" + c.name)
+	// The waker stamped our blocked completion at the waking instant.
+	if w.closedPanic {
+		panic(fmt.Sprintf("sim: thread %s sends on closed channel %q", th.name, c.name))
+	}
+}
+
+// Recv implements harness.Proc.
+func (th *thread) Recv(hc harness.Chan) bool {
+	s := th.sim
+	c := th.chanOf(hc)
+	th.buf.Emit(s.now, trace.EvChanRecvBegin, c.id, 0)
+	if ok, done := c.tryRecv(th, 0); done {
+		return ok
+	}
+	w := &chanWaiter{th: th}
+	c.recvq = append(c.recvq, w)
+	th.block("chan-recv:" + c.name)
+	return w.ok
+}
+
+// Close implements harness.Proc.
+func (th *thread) Close(hc harness.Chan) {
+	s := th.sim
+	c := th.chanOf(hc)
+	if c.closed {
+		panic(fmt.Sprintf("sim: thread %s closes already-closed channel %q", th.name, c.name))
+	}
+	c.closed = true
+	th.buf.Emit(s.now, trace.EvChanClose, c.id, 0)
+	// Blocked receivers observe closed-and-drained (they only park on
+	// an empty buffer); blocked senders panic, as in Go — they resume
+	// into the panic with no completion event.
+	for {
+		w := c.popRecv()
+		if w == nil {
+			break
+		}
+		c.completeRecv(w, false)
+	}
+	for {
+		w := c.popSend()
+		if w == nil {
+			break
+		}
+		if w.sel != nil {
+			w.sel.closedOn = c
+		} else {
+			w.closedPanic = true
+		}
+		w.th.blockedOn = ""
+		s.makeReady(w.th)
+	}
+}
+
+// Select implements harness.Proc. Cases are polled in order and the
+// lowest ready index wins — the deterministic stand-in for Go's
+// uniform random choice.
+func (th *thread) Select(cases []harness.SelectCase, def bool) (int, bool) {
+	s := th.sim
+	arg := int64(0)
+	if def {
+		arg = 1
+	}
+	th.buf.Emit(s.now, trace.EvSelect, trace.NoObj, arg)
+	for i, sc := range cases {
+		c := th.chanOf(sc.Ch)
+		if sc.Send {
+			if c.closed {
+				panic(fmt.Sprintf("sim: thread %s sends on closed channel %q", th.name, c.name))
+			}
+			if c.trySend(th, trace.ChanArgSelect) {
+				return i, true
+			}
+		} else if ok, done := c.tryRecv(th, trace.ChanArgSelect); done {
+			return i, ok
+		}
+	}
+	if def {
+		return -1, true
+	}
+	sel := &selectState{chosen: -1, ok: true}
+	for i, sc := range cases {
+		c := th.chanOf(sc.Ch)
+		w := &chanWaiter{th: th, sel: sel, idx: i}
+		if sc.Send {
+			c.sendq = append(c.sendq, w)
+		} else {
+			c.recvq = append(c.recvq, w)
+		}
+	}
+	th.block("select")
+	if sel.closedOn != nil {
+		panic(fmt.Sprintf("sim: thread %s sends on closed channel %q", th.name, sel.closedOn.name))
+	}
+	return sel.chosen, sel.ok
+}

@@ -51,6 +51,15 @@ func FuzzDecodeEvent(f *testing.F) {
 	prev := Event{T: 100, Seq: 5, Thread: 1}
 	f.Add(AppendEvent(nil, Event{T: 107, Seq: 6, Thread: 2, Kind: EvLockObtain, Obj: 3, Arg: LockArgContended}, prev))
 	f.Add(AppendEvent(nil, Event{T: 107, Seq: 9, Thread: 0, Kind: EvThreadStart, Obj: NoObj}, prev))
+	f.Add(AppendEvent(nil, Event{T: 109, Seq: 7, Thread: 1, Kind: EvChanSend, Obj: 4, Arg: ChanArgBlocked | ChanArgSelect}, prev))
+	f.Add(AppendEvent(nil, Event{T: 112, Seq: 8, Thread: 2, Kind: EvChanRecv, Obj: 4, Arg: ChanArgClosed}, prev))
+	f.Add(AppendEvent(nil, Event{T: 113, Seq: 10, Thread: 0, Kind: EvSelect, Obj: NoObj, Arg: 1}, prev))
+	chanEnc := AppendEvent(nil, Event{T: 115, Seq: 11, Thread: 1, Kind: EvChanClose, Obj: 5}, prev)
+	f.Add(chanEnc)
+	f.Add(chanEnc[:len(chanEnc)/2]) // truncated channel frame
+	chanFlip := append([]byte(nil), chanEnc...)
+	chanFlip[0] ^= 0x80 // bit-flipped channel frame
+	f.Add(chanFlip)
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 
@@ -84,6 +93,7 @@ func FuzzValidate(f *testing.F) {
 				{ID: 0, Kind: ObjMutex, Name: "m"},
 				{ID: 1, Kind: ObjBarrier, Name: "b", Parties: 2},
 				{ID: 2, Kind: ObjCond, Name: "c"},
+				{ID: 3, Kind: ObjChan, Name: "ch", Parties: 1},
 			},
 			Meta: map[string]string{},
 		}

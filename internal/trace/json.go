@@ -50,6 +50,7 @@ var objKindByName = map[string]ObjKind{
 	"mutex":   ObjMutex,
 	"barrier": ObjBarrier,
 	"cond":    ObjCond,
+	"chan":    ObjChan,
 }
 
 // WriteJSON encodes tr as indented JSON.

@@ -3,8 +3,9 @@
 // A trace is the on-disk / in-memory record of one execution of a
 // multithreaded program: every synchronization event that may block a
 // thread (lock acquire/obtain/release, barrier arrive/depart, condition
-// variable wait/signal, thread create/start/exit/join) is recorded with
-// a timestamp, the executing thread and the synchronization object.
+// variable wait/signal, channel send/recv/close/select, thread
+// create/start/exit/join) is recorded with a timestamp, the executing
+// thread and the synchronization object.
 //
 // These are exactly the MAGIC() instrumentation points of the paper
 // "Critical Lock Analysis" (Chen & Stenström, SC 2012), Fig. 4. The
@@ -84,6 +85,29 @@ const (
 	// EvCondBroadcast is recorded by the broadcasting thread. Obj is
 	// the condvar.
 	EvCondBroadcast
+	// EvChanSendBegin is recorded immediately before a channel send
+	// (the thread may block). Obj is the channel.
+	EvChanSendBegin
+	// EvChanSend is recorded when a send has completed — the value was
+	// handed to a receiver or buffered. Obj is the channel; Arg is a
+	// bitmask of ChanArgBlocked and ChanArgSelect.
+	EvChanSend
+	// EvChanRecvBegin is recorded immediately before a channel receive
+	// (the thread may block). Obj is the channel.
+	EvChanRecvBegin
+	// EvChanRecv is recorded when a receive has completed. Obj is the
+	// channel; Arg is a bitmask of ChanArgBlocked, ChanArgClosed (the
+	// receive returned because the channel was closed and drained, not
+	// because a value arrived) and ChanArgSelect.
+	EvChanRecv
+	// EvChanClose is recorded by the closing thread. Obj is the channel.
+	EvChanClose
+	// EvSelect is recorded when a thread enters a select. Obj is NoObj;
+	// Arg is 1 when the select has a default case. The chosen operation
+	// completes with an EvChanSend/EvChanRecv carrying ChanArgSelect; a
+	// select resolved by its default case completes with no further
+	// event.
+	EvSelect
 
 	evKindMax
 )
@@ -103,6 +127,12 @@ var evKindNames = [...]string{
 	EvCondWaitEnd:   "cond-wait-end",
 	EvCondSignal:    "cond-signal",
 	EvCondBroadcast: "cond-broadcast",
+	EvChanSendBegin: "chan-send-begin",
+	EvChanSend:      "chan-send",
+	EvChanRecvBegin: "chan-recv-begin",
+	EvChanRecv:      "chan-recv",
+	EvChanClose:     "chan-close",
+	EvSelect:        "select",
 }
 
 // String returns the lowercase dashed name of the event kind.
@@ -143,9 +173,30 @@ const (
 	LockArgShared = 1 << 1
 )
 
+// Channel event Arg bits (EvChanSend / EvChanRecv completions).
+const (
+	// ChanArgBlocked marks a completion whose thread blocked first.
+	ChanArgBlocked = 1 << 0
+	// ChanArgClosed marks a receive that returned the closed-and-empty
+	// indication rather than a value.
+	ChanArgClosed = 1 << 1
+	// ChanArgSelect marks a completion chosen inside a select.
+	ChanArgSelect = 1 << 2
+)
+
 // Contended reports whether a lock-obtain event records a contended
 // invocation. It is false for all other kinds.
 func (e Event) Contended() bool { return e.Kind == EvLockObtain && e.Arg&LockArgContended != 0 }
+
+// ChanBlocked reports whether a channel completion event records an
+// operation that blocked first. It is false for all other kinds.
+func (e Event) ChanBlocked() bool {
+	return (e.Kind == EvChanSend || e.Kind == EvChanRecv) && e.Arg&ChanArgBlocked != 0
+}
+
+// ChanClosed reports whether a channel receive completed because the
+// channel was closed and drained.
+func (e Event) ChanClosed() bool { return e.Kind == EvChanRecv && e.Arg&ChanArgClosed != 0 }
 
 // Shared reports whether a lock event is a reader (shared) operation.
 func (e Event) Shared() bool {
@@ -168,6 +219,7 @@ const (
 	ObjMutex ObjKind = iota + 1
 	ObjBarrier
 	ObjCond
+	ObjChan
 )
 
 // String returns the object kind name.
@@ -179,6 +231,8 @@ func (k ObjKind) String() string {
 		return "barrier"
 	case ObjCond:
 		return "cond"
+	case ObjChan:
+		return "chan"
 	}
 	return fmt.Sprintf("obj-kind-%d", uint8(k))
 }
@@ -189,7 +243,9 @@ type ObjectInfo struct {
 	Kind ObjKind
 	// Name is the user-visible name, e.g. "tq[0].qlock".
 	Name string
-	// Parties is the participant count for barriers (0 otherwise).
+	// Parties is the participant count for barriers and the buffer
+	// capacity for channels (0 otherwise, and 0 for unbuffered
+	// channels).
 	Parties int
 }
 

@@ -33,8 +33,11 @@ func (e *ValidationError) Error() string {
 //     no release of a lock the thread does not hold;
 //   - per (thread, barrier/cond): arrive/depart and wait-begin/wait-end
 //     correctly bracketed;
+//   - per (thread, chan): send/recv begin → completion sequences, with
+//     select-chosen completions preceded by a select event, and no
+//     channel closed twice;
 //   - lock events reference mutex objects, barrier events barriers,
-//     cond events condvars;
+//     cond events condvars, channel events channels;
 //   - thread-create/thread-start and join-begin/join-end reference
 //     existing threads.
 //
@@ -70,6 +73,15 @@ type threadState struct {
 	inBarrier map[ObjID]bool
 	// inCondWait maps cond → true between wait-begin and wait-end.
 	inCondWait map[ObjID]bool
+	// pendingSend/pendingRecv map chan → true between a channel op's
+	// begin and its completion.
+	pendingSend map[ObjID]bool
+	pendingRecv map[ObjID]bool
+	// inSelect is true between a select event and the completion of
+	// its chosen case (a select resolved by default leaves it set; the
+	// next select-chosen completion still needs a fresh select event,
+	// which simply re-arms the flag).
+	inSelect bool
 }
 
 func (v *validator) run(tr *Trace) {
@@ -80,8 +92,11 @@ func (v *validator) run(tr *Trace) {
 			pendingAcquire: make(map[ObjID]bool),
 			inBarrier:      make(map[ObjID]bool),
 			inCondWait:     make(map[ObjID]bool),
+			pendingSend:    make(map[ObjID]bool),
+			pendingRecv:    make(map[ObjID]bool),
 		}
 	}
+	closedChans := make(map[ObjID]bool)
 
 	objKind := func(id ObjID) (ObjKind, bool) {
 		if id < 0 || int(id) >= len(tr.Objects) {
@@ -200,6 +215,58 @@ func (v *validator) run(tr *Trace) {
 				}
 				delete(st.inCondWait, e.Obj)
 			}
+		case EvChanSendBegin, EvChanSend, EvChanRecvBegin, EvChanRecv, EvChanClose:
+			kind, ok := objKind(e.Obj)
+			if !ok || kind != ObjChan {
+				v.errf("event %d: %s on non-chan object %d", i, e.Kind, e.Obj)
+				continue
+			}
+			switch e.Kind {
+			case EvChanSendBegin:
+				if st.pendingSend[e.Obj] {
+					v.errf("event %d: thread %d nested send on %q", i, e.Thread, tr.ObjName(e.Obj))
+				}
+				st.pendingSend[e.Obj] = true
+			case EvChanSend:
+				if e.Arg&ChanArgSelect != 0 {
+					if !st.inSelect {
+						v.errf("event %d: thread %d select-chosen send on %q without select", i, e.Thread, tr.ObjName(e.Obj))
+					}
+					st.inSelect = false
+				} else {
+					if !st.pendingSend[e.Obj] {
+						v.errf("event %d: thread %d send on %q without begin", i, e.Thread, tr.ObjName(e.Obj))
+					}
+					delete(st.pendingSend, e.Obj)
+				}
+			case EvChanRecvBegin:
+				if st.pendingRecv[e.Obj] {
+					v.errf("event %d: thread %d nested recv on %q", i, e.Thread, tr.ObjName(e.Obj))
+				}
+				st.pendingRecv[e.Obj] = true
+			case EvChanRecv:
+				if e.Arg&ChanArgSelect != 0 {
+					if !st.inSelect {
+						v.errf("event %d: thread %d select-chosen recv on %q without select", i, e.Thread, tr.ObjName(e.Obj))
+					}
+					st.inSelect = false
+				} else {
+					if !st.pendingRecv[e.Obj] {
+						v.errf("event %d: thread %d recv on %q without begin", i, e.Thread, tr.ObjName(e.Obj))
+					}
+					delete(st.pendingRecv, e.Obj)
+				}
+			case EvChanClose:
+				if closedChans[e.Obj] {
+					v.errf("event %d: channel %q closed twice", i, tr.ObjName(e.Obj))
+				}
+				closedChans[e.Obj] = true
+			}
+		case EvSelect:
+			if e.Obj != NoObj {
+				v.errf("event %d: select with object %d (want none)", i, e.Obj)
+			}
+			st.inSelect = true
 		}
 	}
 
@@ -215,6 +282,12 @@ func (v *validator) run(tr *Trace) {
 		}
 		for m := range st.pendingAcquire {
 			v.errf("thread %d has unresolved acquire of %q", id, tr.ObjName(m))
+		}
+		for c := range st.pendingSend {
+			v.errf("thread %d has unresolved send on %q", id, tr.ObjName(c))
+		}
+		for c := range st.pendingRecv {
+			v.errf("thread %d has unresolved recv on %q", id, tr.ObjName(c))
 		}
 	}
 }

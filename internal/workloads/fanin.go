@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"fmt"
+
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// fanin models a select-driven aggregator: each producer owns a
+// capacity-1 channel, sends a fixed number of items into it and closes
+// it; a single aggregator thread selects across all the source
+// channels, consuming items as they arrive and retiring each arm when
+// its channel reports closed.
+//
+// Unlike pipeline, the bottleneck is the consumer: producers park on
+// their full source channels waiting for the aggregator's selects to
+// free the slot, so blocked time spreads across the sources and the
+// critical path alternates between the aggregator and whichever
+// producer it admits.
+func init() {
+	register(Spec{
+		Name:           "fanin",
+		Desc:           "producers with private capacity-1 channels drained by one select-based aggregator",
+		Paper:          "extension: select across channels on the critical path",
+		DefaultThreads: 4,
+		Build:          buildFanin,
+	})
+}
+
+const (
+	faninItemsPerProducer = 10
+	faninProduceCost      = trace.Time(30_000)
+	faninAggregateCost    = trace.Time(60_000)
+	faninTallyCost        = trace.Time(4_000)
+)
+
+func buildFanin(rt harness.Runtime, p Params) func(harness.Proc) {
+	producers := p.Threads
+	srcs := make([]harness.Chan, producers)
+	for i := range srcs {
+		srcs[i] = rt.NewChan(fmt.Sprintf("src-%d", i), 1)
+	}
+	tallyMu := rt.NewMutex("tally.mu")
+
+	return func(main harness.Proc) {
+		agg := main.Go("aggregator", func(q harness.Proc) {
+			open := append([]harness.Chan(nil), srcs...)
+			for len(open) > 0 {
+				cases := make([]harness.SelectCase, len(open))
+				for i, ch := range open {
+					cases[i] = harness.SelectCase{Ch: ch}
+				}
+				idx, ok := q.Select(cases, false)
+				if !ok {
+					open = append(open[:idx], open[idx+1:]...)
+					continue
+				}
+				q.Compute(jittered(q, p, faninAggregateCost))
+				q.Lock(tallyMu)
+				q.Compute(scaled(p, faninTallyCost))
+				q.Unlock(tallyMu)
+			}
+		})
+		spawnWorkers(main, producers, "producer", func(q harness.Proc, i int) {
+			for k := 0; k < faninItemsPerProducer; k++ {
+				q.Compute(jittered(q, p, faninProduceCost))
+				q.Send(srcs[i])
+			}
+			q.Close(srcs[i])
+		})
+		main.Join(agg)
+	}
+}

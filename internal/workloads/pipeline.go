@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// pipeline models a producer-limited channel pipeline: one slow
+// producer feeds a small-capacity stage channel, a pool of fast
+// workers drains it and forwards results into an amply-buffered
+// results channel the main thread collects at the end.
+//
+// The structure is deliberately lopsided: the workers spend nearly all
+// their time parked on the stage channel, so essentially all channel
+// blocked time accrues to "stage1" and the critical path runs through
+// the producer's sends — the channel analogue of a critical lock. The
+// results channel never blocks (its capacity covers every item) and
+// should rank cold.
+func init() {
+	register(Spec{
+		Name:           "pipeline",
+		Desc:           "slow producer feeding fast workers through a capacity-1 stage channel",
+		Paper:          "extension: channel handoffs as critical-path dependencies",
+		DefaultThreads: 4,
+		Build:          buildPipeline,
+	})
+}
+
+const (
+	pipelineItemsPerWorker = 12
+	pipelineProduceCost    = trace.Time(400_000)
+	pipelineWorkCost       = trace.Time(40_000)
+	pipelineTallyCost      = trace.Time(5_000)
+)
+
+func buildPipeline(rt harness.Runtime, p Params) func(harness.Proc) {
+	workers := p.Threads
+	items := pipelineItemsPerWorker * workers
+	stage := rt.NewChan("stage1", 1)
+	results := rt.NewChan("results", items) // ample: sends never block
+	statsMu := rt.NewMutex("stats.mu")
+
+	return func(main harness.Proc) {
+		producer := main.Go("producer", func(q harness.Proc) {
+			for i := 0; i < items; i++ {
+				q.Compute(jittered(q, p, pipelineProduceCost))
+				q.Send(stage)
+			}
+			q.Close(stage)
+		})
+		spawnWorkers(main, workers, "worker", func(q harness.Proc, _ int) {
+			for q.Recv(stage) {
+				q.Compute(jittered(q, p, pipelineWorkCost))
+				q.Lock(statsMu)
+				q.Compute(scaled(p, pipelineTallyCost))
+				q.Unlock(statsMu)
+				q.Send(results)
+			}
+		})
+		main.Join(producer)
+		for i := 0; i < items; i++ {
+			main.Recv(results)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func analyzeRun(t *testing.T, name string, p Params) (*core.Analysis, trace.Time
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"ldap", "micro", "radiosity", "raytrace", "tsp", "uts", "volrend", "waternsq"}
+	want := []string{"fanin", "ldap", "micro", "pipeline", "radiosity", "raytrace", "tsp", "uts", "volrend", "waternsq"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("Names() = %v, want %v", names, want)
 	}
@@ -259,6 +259,66 @@ func TestVolrendShape(t *testing.T) {
 	q := an.Lock("Global->QLock")
 	if q == nil || !q.Critical {
 		t.Fatalf("Global->QLock missing or not critical: %+v", q)
+	}
+}
+
+// TestPipelineShape: the stage channel is the hot channel — it absorbs
+// at least 90% of all channel blocked time, sits on the critical path,
+// and the amply-buffered results channel never blocks anyone.
+func TestPipelineShape(t *testing.T) {
+	an, _ := analyzeRun(t, "pipeline", Params{Threads: 4, Seed: 1})
+	stage := an.Chan("stage1")
+	results := an.Chan("results")
+	if stage == nil || results == nil {
+		t.Fatalf("channels missing: stage=%v results=%v", stage, results)
+	}
+	if an.Totals.TotalChanWait == 0 {
+		t.Fatal("no channel wait recorded")
+	}
+	share := float64(stage.TotalWait) / float64(an.Totals.TotalChanWait)
+	if share < 0.9 {
+		t.Errorf("stage1 holds %.1f%% of channel blocked time, want ≥90%%", 100*share)
+	}
+	if stage.JumpsOnCP == 0 || stage.WaitOnCP == 0 {
+		t.Errorf("stage1 not on critical path: jumps=%d wait=%d", stage.JumpsOnCP, stage.WaitOnCP)
+	}
+	if an.Chans[0].Name != "stage1" {
+		t.Errorf("hot channel = %s, want stage1", an.Chans[0].Name)
+	}
+	if results.BlockedSends != 0 || results.BlockedRecvs != 0 {
+		t.Errorf("results channel blocked: %d sends, %d recvs", results.BlockedSends, results.BlockedRecvs)
+	}
+	if stage.Closes != 1 {
+		t.Errorf("stage1 closes = %d, want 1", stage.Closes)
+	}
+}
+
+// TestFaninShape: the consumer-limited select aggregator leaves the
+// producers' source channels holding the blocked sends.
+func TestFaninShape(t *testing.T) {
+	an, _ := analyzeRun(t, "fanin", Params{Threads: 4, Seed: 1})
+	if an.Totals.Channels != 4 {
+		t.Fatalf("channels = %d, want 4", an.Totals.Channels)
+	}
+	var blockedSends, closes int
+	for _, cs := range an.Chans {
+		blockedSends += cs.BlockedSends
+		closes += cs.Closes
+	}
+	if blockedSends == 0 {
+		t.Error("no blocked sends — producers should outpace the aggregator")
+	}
+	if closes != 4 {
+		t.Errorf("closes = %d, want one per source", closes)
+	}
+	var cpJumps int
+	for _, j := range an.CP.JumpLog {
+		if j.Kind == core.JumpChan {
+			cpJumps++
+		}
+	}
+	if cpJumps == 0 {
+		t.Error("critical path never jumps through a channel")
 	}
 }
 
