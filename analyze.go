@@ -58,17 +58,20 @@ func TraceSource(tr *Trace) AnalysisSource { return core.TraceSource(tr) }
 func SegmentsSource(src SegmentReader) AnalysisSource { return core.StreamSource(src) }
 
 // SegmentDirSource analyzes the segmented trace directory at dir,
-// opened when Analyze runs (segment loads open and close files per
-// segment, so nothing needs explicit cleanup).
+// opened when Analyze runs: the manifest is parsed and validated once,
+// every pass shares the reader's footer index and memory-mapped (or
+// buffered, under WithMmap(false)) segment images, and the reader is
+// closed when the analysis returns.
 func SegmentDirSource(dir string) AnalysisSource { return segmentDirSource{dir} }
 
 type segmentDirSource struct{ dir string }
 
 func (s segmentDirSource) Run(a *core.Analyzer, cfg core.Config) (*core.Analysis, error) {
-	r, err := segment.Open(s.dir)
+	r, err := segment.OpenWith(s.dir, segment.ReadOptions{NoMmap: cfg.NoMmap})
 	if err != nil {
 		return nil, err
 	}
+	defer r.Close()
 	return core.StreamSource(r).Run(a, cfg)
 }
 
@@ -128,6 +131,31 @@ func WithComposition(on bool) Option {
 	return func(c *core.Config) { c.Composition = on }
 }
 
+// WithParallelSegments runs streaming passes 1 and 3 over disjoint
+// segment ranges on up to n goroutines, merged deterministically (0 or
+// 1 = sequential). Results are bit-identical at any setting; the
+// source must support concurrent segment loads (segment directories
+// do). In-memory analyses ignore it.
+func WithParallelSegments(n int) Option {
+	return func(c *core.Config) { c.ParallelSegments = n }
+}
+
+// WithMmap selects how SegmentDirSource reads segment files: true (the
+// default) memory-maps them so pass decoding runs over the page cache
+// with zero copies; false forces buffered reads (for filesystems where
+// mapping misbehaves). Sources that are already open ignore it.
+func WithMmap(on bool) Option {
+	return func(c *core.Config) { c.NoMmap = !on }
+}
+
+// WithAnnotationBudget caps the memory the streaming analysis spends
+// keeping waker annotations resident (9 bytes per event); runs over
+// budget spill them to a temp file as before. 0 = the default budget,
+// negative = always spill. In-memory analyses ignore it.
+func WithAnnotationBudget(bytes int64) Option {
+	return func(c *core.Config) { c.AnnotationBudget = bytes }
+}
+
 // WithObserver attaches an instrumentation observer; multiple
 // observers compose. Observation never changes analysis results.
 func WithObserver(o Observer) Option {
@@ -142,27 +170,14 @@ func WithProgress(fn func(Progress)) Option {
 
 // Analyze runs critical lock analysis on src with default options
 // (clipped hold accounting, validation on for in-memory traces),
-// adjusted by opts.
+// adjusted by opts. It is the package's one entry point: the former
+// AnalyzeWithOptions(tr, opts) is Analyze(TraceSource(tr),
+// WithOptions(opts)), and the former AnalyzeStream(src, ...) is
+// Analyze(SegmentsSource(src), ...).
 func Analyze(src AnalysisSource, opts ...Option) (*Analysis, error) {
 	cfg := core.DefaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	return core.AnalyzeSource(src, cfg)
-}
-
-// AnalyzeWithOptions runs critical lock analysis on an in-memory trace
-// with explicit options.
-//
-// Deprecated: use Analyze(TraceSource(tr), WithOptions(opts)).
-func AnalyzeWithOptions(tr *Trace, opts AnalyzeOptions) (*Analysis, error) {
-	return Analyze(TraceSource(tr), WithOptions(opts))
-}
-
-// AnalyzeStream analyzes an open segmented trace in bounded memory.
-//
-// Deprecated: AnalyzeStream predates the unified entry point; use
-// Analyze(SegmentsSource(src), ...), which accepts the same options.
-func AnalyzeStream(src SegmentReader, opts ...Option) (*Analysis, error) {
-	return Analyze(SegmentsSource(src), opts...)
 }

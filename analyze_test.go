@@ -98,21 +98,25 @@ func TestObserverDoesNotChangeResults(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShimsAgree keeps the migration shims honest: the old
-// entry points must equal the unified one.
-func TestDeprecatedShimsAgree(t *testing.T) {
+// TestAnalyzeOptionSpellingsAgree pins the finalized facade: every way
+// of spelling the same analysis through Analyze — WithOptions vs the
+// individual options, SegmentsSource vs SegmentDirSource, and the
+// performance knobs (parallelism, mmap, annotation budget), which must
+// never change results — produces identical output.
+func TestAnalyzeOptionSpellingsAgree(t *testing.T) {
 	tr := workloadTrace(t, "micro", 4)
 
 	unified, err := critlock.Analyze(critlock.TraceSource(tr), critlock.WithClipHold(false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	shimmed, err := critlock.AnalyzeWithOptions(tr, critlock.AnalyzeOptions{ClipHold: false, Validate: true})
+	wholesale, err := critlock.Analyze(critlock.TraceSource(tr),
+		critlock.WithOptions(critlock.AnalyzeOptions{ClipHold: false, Validate: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(unified.Locks, shimmed.Locks) {
-		t.Errorf("AnalyzeWithOptions shim disagrees with Analyze")
+	if !reflect.DeepEqual(unified.Locks, wholesale.Locks) {
+		t.Errorf("WithOptions disagrees with WithClipHold")
 	}
 
 	dir := t.TempDir()
@@ -127,11 +131,23 @@ func TestDeprecatedShimsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	streamShim, err := critlock.AnalyzeStream(rdr)
+	defer rdr.Close()
+	fromReader, err := critlock.Analyze(critlock.SegmentsSource(rdr))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(fromDir.Locks, streamShim.Locks) {
-		t.Errorf("AnalyzeStream shim disagrees with Analyze(SegmentDirSource)")
+	if !reflect.DeepEqual(fromDir.Locks, fromReader.Locks) {
+		t.Errorf("SegmentsSource disagrees with Analyze(SegmentDirSource)")
+	}
+
+	tuned, err := critlock.Analyze(critlock.SegmentDirSource(dir),
+		critlock.WithParallelSegments(8),
+		critlock.WithMmap(false),
+		critlock.WithAnnotationBudget(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromDir.Locks, tuned.Locks) || !reflect.DeepEqual(fromDir.CP, tuned.CP) {
+		t.Errorf("performance options changed analysis results")
 	}
 }

@@ -239,17 +239,19 @@ func BenchmarkAnalyzeStream2M(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer r.Close()
 	b.Run("stream", func(b *testing.B) {
+		cfg := core.Config{Options: core.Options{ClipHold: true}}
 		b.ReportAllocs()
 		b.SetBytes(int64(len(tr.Events)))
 		peak := measurePeakHeap(b, func() {
-			if _, err := core.AnalyzeStream(r, core.StreamOptions{Options: core.Options{ClipHold: true}}); err != nil {
+			if _, err := core.AnalyzeStream(r, cfg); err != nil {
 				b.Fatal(err)
 			}
 		})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			an, err := core.AnalyzeStream(r, core.StreamOptions{Options: core.Options{ClipHold: true}})
+			an, err := core.AnalyzeStream(r, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -57,6 +57,9 @@ func run(args []string) error {
 		narrate    = fs.Int("narrate", -1, "narrate the critical path's thread hops (0 = all, N = cap)")
 		segdir     = cliflags.SegDir(fs)
 		window     = cliflags.Window(fs)
+		parSeg     = cliflags.Par(fs)
+		mmap       = cliflags.Mmap(fs)
+		annBudget  = cliflags.AnnBudget(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +84,10 @@ func run(args []string) error {
 		an, err = critlock.Analyze(critlock.SegmentDirSource(*segdir),
 			critlock.WithClipHold(!*noClip),
 			critlock.WithWindow(*window),
-			critlock.WithComposition(*compose))
+			critlock.WithComposition(*compose),
+			critlock.WithParallelSegments(*parSeg),
+			critlock.WithMmap(*mmap),
+			critlock.WithAnnotationBudget(*annBudget))
 		if err != nil {
 			return fmt.Errorf("analyzing %s: %w", *segdir, err)
 		}

@@ -17,9 +17,9 @@ import (
 	"fmt"
 	"os"
 
+	"critlock"
 	"critlock/internal/cliflags"
 	"critlock/internal/core"
-	"critlock/internal/segment"
 	"critlock/internal/synth"
 	"critlock/internal/trace"
 )
@@ -35,6 +35,9 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("clagen", flag.ContinueOnError)
 	jsonIn := fs.Bool("json", false, "input trace is JSON instead of binary")
 	segdir := cliflags.SegDir(fs)
+	parSeg := cliflags.Par(fs)
+	mmap := cliflags.Mmap(fs)
+	annBudget := cliflags.AnnBudget(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,11 +47,11 @@ func run(args []string, out *os.File) error {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("-segdir replaces the trace file argument")
 		}
-		r, err := segment.Open(*segdir)
-		if err != nil {
-			return fmt.Errorf("opening %s: %w", *segdir, err)
-		}
-		an, err = core.AnalyzeStream(r, core.DefaultStreamOptions())
+		var err error
+		an, err = critlock.Analyze(critlock.SegmentDirSource(*segdir),
+			critlock.WithParallelSegments(*parSeg),
+			critlock.WithMmap(*mmap),
+			critlock.WithAnnotationBudget(*annBudget))
 		if err != nil {
 			return fmt.Errorf("analyzing %s: %w", *segdir, err)
 		}

@@ -60,6 +60,8 @@ func run(args []string) error {
 		svgOut   = fs.String("svg", "", "write an SVG timeline to this file")
 		segdir   = cliflags.SegDir(fs)
 		spill    = cliflags.Spill(fs)
+		parSeg   = cliflags.Par(fs)
+		annBud   = cliflags.AnnBudget(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,7 +144,9 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote segmented trace to %s (%d events, %d segments)\n",
 			*segdir, rdr.NumEvents(), rdr.NumSegments())
-		an, err := critlock.Analyze(critlock.SegmentsSource(rdr))
+		an, err := critlock.Analyze(critlock.SegmentsSource(rdr),
+			critlock.WithParallelSegments(*parSeg),
+			critlock.WithAnnotationBudget(*annBud))
 		if err != nil {
 			return fmt.Errorf("analyzing: %w", err)
 		}

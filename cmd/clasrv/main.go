@@ -42,6 +42,9 @@ func run(args []string) error {
 		addr    = fs.String("addr", ":8126", "listen address")
 		jobs    = cliflags.Jobs(fs)
 		window  = cliflags.Window(fs)
+		parSeg  = cliflags.Par(fs)
+		mmap    = cliflags.Mmap(fs)
+		annBud  = cliflags.AnnBudget(fs)
 		timeout = fs.Duration("timeout", 60*time.Second, "per-request analysis budget (queueing included)")
 		upload  = fs.Int64("max-upload", 256<<20, "maximum trace upload size in bytes")
 		tmpdir  = fs.String("tmpdir", "", "spill directory for streamed analyses (default system temp)")
@@ -53,12 +56,15 @@ func run(args []string) error {
 	}
 
 	srv := serve.New(serve.Options{
-		MaxConcurrent:  *jobs,
-		MaxUploadBytes: *upload,
-		Timeout:        *timeout,
-		TmpDir:         *tmpdir,
-		Window:         *window,
-		CacheReports:   *cache,
+		MaxConcurrent:    *jobs,
+		MaxUploadBytes:   *upload,
+		Timeout:          *timeout,
+		TmpDir:           *tmpdir,
+		Window:           *window,
+		ParallelSegments: *parSeg,
+		NoMmap:           !*mmap,
+		AnnotationBudget: *annBud,
+		CacheReports:     *cache,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

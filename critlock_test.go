@@ -149,7 +149,7 @@ func TestPublicLiveRuntime(t *testing.T) {
 	}
 }
 
-func TestAnalyzeWithOptions(t *testing.T) {
+func TestAnalyzeWithClipHoldOff(t *testing.T) {
 	sim := critlock.NewSimulator(critlock.SimConfig{})
 	mu := sim.NewMutex("m")
 	tr, _, err := sim.Run(func(p critlock.Proc) {

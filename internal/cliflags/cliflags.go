@@ -32,3 +32,21 @@ func Spill(fs *flag.FlagSet) *int {
 func Jobs(fs *flag.FlagSet) *int {
 	return fs.Int("j", runtime.NumCPU(), "parallel workers")
 }
+
+// Par registers -par: how many goroutines the streaming analysis runs
+// its forward passes on. Results are bit-identical at any setting.
+func Par(fs *flag.FlagSet) *int {
+	return fs.Int("par", 1, "parallel segment-range workers for streaming passes (results identical at any setting)")
+}
+
+// Mmap registers -mmap: whether segment files are memory-mapped (the
+// default) or read through buffers.
+func Mmap(fs *flag.FlagSet) *bool {
+	return fs.Bool("mmap", true, "memory-map segment files (disable for filesystems where mapping misbehaves)")
+}
+
+// AnnBudget registers -annbudget: the resident waker-annotation ceiling
+// in bytes before the streaming analysis spills to a temp file.
+func AnnBudget(fs *flag.FlagSet) *int64 {
+	return fs.Int64("annbudget", 0, "resident annotation budget in bytes (0 = default, negative = always spill)")
+}

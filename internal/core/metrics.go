@@ -64,17 +64,21 @@ func mergeChan(dst, src *ChanStats) {
 // merged quantities are integer sums, maxima or bools).
 type lockSink struct {
 	nThreads int
-	accs     map[trace.ObjID]*lockAcc
-	chans    map[trace.ObjID]*ChanStats
-	hot      map[trace.ObjID][]interval
+	// Object IDs are dense (0..nObjs), so the per-object accumulators
+	// are plain slices — the metric pass touches one per critical
+	// section, and a map lookup there costs more than the whole
+	// arithmetic update. A nil entry means the object was never hit.
+	accs  []*lockAcc
+	chans []*ChanStats
+	hot   [][]interval
 }
 
-func newLockSink(nThreads int) *lockSink {
+func newLockSink(nThreads, nObjs int) *lockSink {
 	return &lockSink{
 		nThreads: nThreads,
-		accs:     map[trace.ObjID]*lockAcc{},
-		chans:    map[trace.ObjID]*ChanStats{},
-		hot:      map[trace.ObjID][]interval{},
+		accs:     make([]*lockAcc, nObjs),
+		chans:    make([]*ChanStats, nObjs),
+		hot:      make([][]interval, nObjs),
 	}
 }
 
@@ -148,11 +152,23 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 		ts.Lifetime = ts.End - ts.Start
 	}
 
-	// Critical-path pieces per thread, for clipping; sorted by time in
+	// Critical-path pieces per thread, for clipping — packed (From, To)
+	// pairs rather than indices into CP.Pieces, so the clip sweep scans
+	// a dense 16-byte stride with no pointer chase; sorted by time in
 	// the per-thread pass below.
-	piecesByThread := make([][]Piece, nThreads)
-	for _, p := range an.CP.Pieces {
-		piecesByThread[p.Thread] = append(piecesByThread[p.Thread], p)
+	clipsByThread := make([][]interval, nThreads)
+	clipCounts := make([]int, nThreads)
+	for pi := range an.CP.Pieces {
+		clipCounts[an.CP.Pieces[pi].Thread]++
+	}
+	for tid, n := range clipCounts {
+		if n > 0 {
+			clipsByThread[tid] = make([]interval, 0, n)
+		}
+	}
+	for pi := range an.CP.Pieces {
+		p := &an.CP.Pieces[pi]
+		clipsByThread[p.Thread] = append(clipsByThread[p.Thread], interval{p.From, p.To})
 		an.Threads[p.Thread].TimeOnCP += p.Dur()
 	}
 
@@ -162,39 +178,24 @@ func computeMetrics(an *Analysis, idx *index, opts Options) {
 	// private sink and merge below.
 	an.holdsByThread = make([][]interval, nThreads)
 	an.hotByLock = map[trace.ObjID][]interval{}
+	nObjs := len(tr.Objects)
 	workers := metricsWorkers(len(idx.invocations), nThreads, opts.Workers)
 	sinks := make([]*lockSink, min(workers, nThreads))
 	par.Chunks(nThreads, workers, func(chunk, lo, hi int) {
-		sink := newLockSink(nThreads)
+		sink := newLockSink(nThreads, nObjs)
 		sinks[chunk] = sink
 		for tid := lo; tid < hi; tid++ {
-			accumulateThread(an, idx, opts, tid, piecesByThread[tid], sink)
+			accumulateThread(an, idx, opts, tid, clipsByThread[tid], sink)
 		}
 	})
 
 	// Merge the workers' sinks in chunk (= thread) order.
-	merged := newLockSink(nThreads)
+	merged := newLockSink(nThreads, nObjs)
 	if len(sinks) > 0 && sinks[0] != nil {
 		merged = sinks[0]
 	}
 	for _, sink := range sinks[1:] {
-		for lock, acc := range sink.accs {
-			if dst := merged.accs[lock]; dst != nil {
-				dst.merge(acc)
-			} else {
-				merged.accs[lock] = acc
-			}
-		}
-		for ch, cs := range sink.chans {
-			if dst := merged.chans[ch]; dst != nil {
-				mergeChan(dst, cs)
-			} else {
-				merged.chans[ch] = cs
-			}
-		}
-		for lock, ivs := range sink.hot {
-			merged.hot[lock] = append(merged.hot[lock], ivs...)
-		}
+		foldSink(merged, sink)
 	}
 	finalizeMetrics(an, merged, len(tr.Events))
 }
@@ -247,12 +248,17 @@ func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
 	// Sort the per-lock on-path intervals (a mutex is held by one
 	// thread at a time, so they never overlap and merging just sorts).
 	for lock, ivs := range merged.hot {
-		an.hotByLock[lock] = mergeIntervals(ivs)
+		if len(ivs) > 0 {
+			an.hotByLock[trace.ObjID(lock)] = mergeIntervals(ivs)
+		}
 	}
 
 	// Finalize percentages.
 	cpLen := an.CP.Length
 	for _, a := range merged.accs {
+		if a == nil {
+			continue
+		}
 		st := &a.stats
 		an.Totals.ContendedInvs += st.TotalContended
 		if cpLen > 0 {
@@ -302,6 +308,9 @@ func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
 		cs.WaitOnCP += j.Wait
 	}
 	for _, cs := range merged.chans {
+		if cs == nil {
+			continue
+		}
 		cs.Capacity = tr.Object(cs.Chan).Parties
 		cs.TotalWait = cs.SendWait + cs.RecvWait
 		an.Chans = append(an.Chans, *cs)
@@ -314,7 +323,7 @@ func finalizeMetrics(an *Analysis, merged *lockSink, nEvents int) {
 // critical-path clipping of the thread's invocations. It writes only
 // tid-indexed analysis state and the sink, so disjoint thread ranges
 // accumulate concurrently.
-func accumulateThread(an *Analysis, idx *index, opts Options, tid int, pieces []Piece, sink *lockSink) {
+func accumulateThread(an *Analysis, idx *index, opts Options, tid int, clips []interval, sink *lockSink) {
 	tr := an.Trace
 	evs := idx.thrEvents[tid]
 	ts := &an.Threads[tid]
@@ -376,15 +385,7 @@ func accumulateThread(an *Analysis, idx *index, opts Options, tid int, pieces []
 		}
 	}
 
-	slices.SortFunc(pieces, func(a, b Piece) int {
-		switch {
-		case a.From < b.From:
-			return -1
-		case a.From > b.From:
-			return 1
-		}
-		return 0
-	})
+	sortClipIndex(clips)
 
 	// Clip invocations against critical-path pieces with a two-pointer
 	// sweep (invocations are in obtain order per thread).
@@ -396,16 +397,47 @@ func accumulateThread(an *Analysis, idx *index, opts Options, tid int, pieces []
 	for _, pi := range invs {
 		inv := &idx.invocations[pi]
 		an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
-		accumulateInvocation(sink, ts, inv, tr.ObjName(inv.lock), opts, pieces, &cursor)
+		accumulateInvocation(sink, ts, inv, tr.ObjName(inv.lock), opts, clips, &cursor)
 	}
+}
+
+// sortClipIndex time-orders one thread's clip index by piece start.
+// The comparator consults only From, exactly like the []Piece sort it
+// replaced, so the resulting clip order is unchanged (ties keep their
+// emit order only by accident of the sort, but clipAgainst sums over
+// overlapping pieces and mergeIntervals canonicalizes the emitted
+// intervals, so tie order cannot reach the output).
+func sortClipIndex(clips []interval) {
+	// The walk emits pieces in forward time order, so a thread's index
+	// subsequence is nearly always sorted already; verify in one scan
+	// before paying for a sort.
+	sorted := true
+	for k := 1; k < len(clips); k++ {
+		if clips[k].From < clips[k-1].From {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	slices.SortFunc(clips, func(a, b interval) int {
+		switch {
+		case a.From < b.From:
+			return -1
+		case a.From > b.From:
+			return 1
+		}
+		return 0
+	})
 }
 
 // accumulateInvocation folds one obtained invocation into the sink and
 // its thread's stats, clipping the hold interval against the thread's
-// time-sorted critical-path pieces via the caller's advancing cursor.
-// Invocations of a thread must arrive in obtain order. Shared by the
-// in-memory and streaming metric passes.
-func accumulateInvocation(sink *lockSink, ts *ThreadStats, inv *invocation, name string, opts Options, pieces []Piece, cursor *int) {
+// time-sorted critical-path clip index (indices into cp) via the
+// caller's advancing cursor. Invocations of a thread must arrive in
+// obtain order. Shared by the in-memory and streaming metric passes.
+func accumulateInvocation(sink *lockSink, ts *ThreadStats, inv *invocation, name string, opts Options, clips []interval, cursor *int) {
 	a := sink.accOf(inv.lock, name)
 	st := &a.stats
 	tid := int(inv.thread)
@@ -433,7 +465,7 @@ func accumulateInvocation(sink *lockSink, ts *ThreadStats, inv *invocation, name
 	ts.LockHold += h
 	ts.Invocations++
 
-	onCP, clipped := clipAgainst(pieces, cursor, inv.obtT, inv.relT,
+	onCP, clipped := clipAgainst(clips, cursor, inv.obtT, inv.relT,
 		func(lo, hi trace.Time) {
 			sink.hot[inv.lock] = append(sink.hot[inv.lock], interval{lo, hi})
 		})
@@ -452,23 +484,24 @@ func accumulateInvocation(sink *lockSink, ts *ThreadStats, inv *invocation, name
 	}
 }
 
-// clipAgainst intersects [from, to] with the sorted pieces, advancing
-// the caller's cursor (invocations arrive in increasing obtain order,
-// so the sweep is O(pieces + invocations) per thread). It returns
-// whether the interval touches the critical path and the total
-// intersection length; each nonzero intersection is also reported to
-// emit (used to build the per-lock on-path interval index).
-func clipAgainst(pieces []Piece, cursor *int, from, to trace.Time, emit func(lo, hi trace.Time)) (bool, trace.Time) {
+// clipAgainst intersects [from, to] with the sorted clip intervals,
+// advancing the caller's cursor (invocations arrive in increasing
+// obtain order, so the sweep is O(pieces + invocations) per thread).
+// It returns whether the interval touches the critical path and the
+// total intersection length; each nonzero intersection is also
+// reported to emit (used to build the per-lock on-path interval
+// index).
+func clipAgainst(clips []interval, cursor *int, from, to trace.Time, emit func(lo, hi trace.Time)) (bool, trace.Time) {
 	// Advance past pieces that end before this invocation begins. The
 	// cursor only moves forward: a later invocation can never overlap
 	// a piece that ended before an earlier one began.
-	for *cursor < len(pieces) && pieces[*cursor].To < from {
+	for *cursor < len(clips) && clips[*cursor].To < from {
 		*cursor++
 	}
 	onCP := false
 	var total trace.Time
-	for i := *cursor; i < len(pieces); i++ {
-		p := pieces[i]
+	for i := *cursor; i < len(clips); i++ {
+		p := clips[i]
 		if p.From > to {
 			break
 		}

@@ -40,6 +40,21 @@ type Config struct {
 	// memory, so it is off by default there. The in-memory pipeline
 	// always retains them.
 	Composition bool
+	// ParallelSegments runs streaming passes 1 and 3 over disjoint
+	// segment ranges on up to this many goroutines, merged
+	// deterministically (0 or 1 = sequential). Results are
+	// bit-identical at any setting. Ignored by the in-memory pipeline.
+	ParallelSegments int
+	// NoMmap forces buffered reads of segment files instead of
+	// memory-mapping them. Consulted by sources that open segment
+	// directories (the facade's SegmentDirSource, the server), not by
+	// the passes themselves.
+	NoMmap bool
+	// AnnotationBudget caps the resident waker-annotation shards
+	// (9 bytes per event); a run over budget spills them to a TmpDir
+	// temp file instead. 0 = DefaultAnnotationBudget, negative =
+	// always spill. Ignored by the in-memory pipeline.
+	AnnotationBudget int64
 }
 
 // DefaultConfig returns the recommended configuration: clipped hold
@@ -125,10 +140,12 @@ func (h *obsHook) phaseStart(name string) time.Time {
 	return time.Now()
 }
 
-// phaseDone completes a phase: duration callback plus a final snapshot
-// with the phase's full event count (pass events < 0 to keep whatever
-// the phase's scanned calls accumulated — the walk touches only the
-// segments the path crosses).
+// phaseDone completes a phase: a final snapshot with the phase's full
+// event count (pass events < 0 to keep whatever the phase's scanned
+// calls accumulated — the walk touches only the segments the path
+// crosses), then the duration callback. The snapshot lands first so
+// per-phase throughput derived at PhaseDone (bytes since PhaseStart
+// over the duration) sees the phase's complete byte count.
 func (h *obsHook) phaseDone(name string, start time.Time, events int64) {
 	if h == nil {
 		return
@@ -136,17 +153,33 @@ func (h *obsHook) phaseDone(name string, start time.Time, events int64) {
 	if events >= 0 {
 		h.p.Events = events
 	}
-	h.o.PhaseDone(name, time.Since(start))
 	h.o.OnProgress(h.p)
+	h.o.PhaseDone(name, time.Since(start))
 }
 
-// scanned records one segment load of n events and emits a snapshot.
-func (h *obsHook) scanned(n int) {
+// scanned records one segment load of n events (bytes encoded body
+// bytes, 0 if unknown) and emits a snapshot. Must be called from one
+// goroutine; parallel passes accumulate locally and report through
+// scannedBulk after their barrier.
+func (h *obsHook) scanned(n int, bytes int64) {
 	if h == nil {
 		return
 	}
 	h.p.Segments++
 	h.p.Events += int64(n)
+	h.p.BytesRead += bytes
+	h.o.OnProgress(h.p)
+}
+
+// scannedBulk folds a parallel pass's totals into the snapshot in one
+// step — workers must not touch the hook concurrently.
+func (h *obsHook) scannedBulk(segments int, events int64, bytes int64) {
+	if h == nil {
+		return
+	}
+	h.p.Segments += int64(segments)
+	h.p.Events += events
+	h.p.BytesRead += bytes
 	h.o.OnProgress(h.p)
 }
 

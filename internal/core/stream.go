@@ -1,11 +1,8 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
-	"slices"
 	"sort"
 
 	"critlock/internal/trace"
@@ -30,51 +27,57 @@ type SegmentSource interface {
 	LoadSegment(i int, buf []trace.Event) ([]trace.Event, error)
 }
 
-// StreamOptions tunes AnalyzeStream.
+// ColumnSource is a SegmentSource that can decode segments straight
+// into a columnar layout — the streaming passes' fast path (no
+// per-event struct materialization; segment.Reader batch-decodes from
+// the mapped file). LoadColumns resets cols and reports the encoded
+// body bytes consumed (0 if unknown). Distinct segments must be
+// loadable from distinct goroutines concurrently.
 //
-// Options.Validate is not consulted by the streaming pipeline:
-// whole-trace validation would defeat the memory bound, and the
-// streaming passes already enforce the invariants the analysis depends
-// on (canonical ordering and checksums in the segment reader, thread
-// ranges and acquire/obtain/release pairing in the passes).
-//
-// Deprecated: StreamOptions is the unified Config under its historical
-// name; new code should build a Config and call AnalyzeSource with a
-// StreamSource.
-type StreamOptions = Config
+// Plain SegmentSources are adapted automatically (asColumnSource).
+type ColumnSource interface {
+	SegmentSource
+	LoadColumns(i int, cols *trace.Columns) (int64, error)
+}
 
 // DefaultCacheSegments is the default backward-walk window.
 const DefaultCacheSegments = 4
 
-// DefaultStreamOptions returns the recommended streaming options.
-func DefaultStreamOptions() StreamOptions {
-	return StreamOptions{Options: Options{ClipHold: true}}
-}
-
 // AnalyzeStream runs critical lock analysis over a segmented trace in
 // bounded memory. The result is bit-identical to Analyze on the same
 // events (Analysis.Trace holds the skeleton rather than the events,
-// and holdsByThread is only populated with opts.Composition).
+// and holdsByThread is only populated with cfg.Composition).
+//
+// Options.Validate is not consulted: whole-trace validation would
+// defeat the memory bound, and the streaming passes already enforce
+// the invariants the analysis depends on (canonical ordering and
+// checksums in the segment reader, thread ranges and
+// acquire/obtain/release pairing in the passes).
 //
 // Three passes, per the paper's structure:
 //
 //  1. forward over segments — waker resolution (§IV.B) written as a
-//     fixed-size annotation record per event to a temp file, plus the
-//     incremental per-thread lifecycle state;
+//     fixed-size annotation record per event to per-segment shards
+//     (in memory under cfg.AnnotationBudget, spilled to a temp file
+//     over it), plus the incremental per-thread lifecycle state;
 //  2. backward — the critical-path walk of Fig. 2 over segments loaded
 //     window-by-window in reverse through an LRU cache;
 //  3. forward again — TYPE 1/TYPE 2 metric accumulation, streaming
 //     invocations per thread in acquire order against the walked path.
-func AnalyzeStream(src SegmentSource, opts StreamOptions) (*Analysis, error) {
-	return NewAnalyzer().AnalyzeStream(src, opts)
+//
+// With cfg.ParallelSegments > 1, passes 1 and 3 run over disjoint
+// segment ranges concurrently and merge deterministically; the result
+// is bit-identical at any setting.
+func AnalyzeStream(src SegmentSource, cfg Config) (*Analysis, error) {
+	return NewAnalyzer().AnalyzeStream(src, cfg)
 }
 
 // AnalyzeStream is the Analyzer form of the package-level
 // AnalyzeStream. The streaming passes keep no event-count-sized state,
 // so unlike Analyze there is no retained storage to reuse; the method
 // exists so pipelines can drive both modes through one Analyzer.
-func (a *Analyzer) AnalyzeStream(src SegmentSource, opts StreamOptions) (*Analysis, error) {
-	return a.analyzeStream(src, opts)
+func (a *Analyzer) AnalyzeStream(src SegmentSource, cfg Config) (*Analysis, error) {
+	return a.analyzeStream(src, cfg)
 }
 
 // analyzeStream is the bounded-memory pipeline behind StreamSource:
@@ -91,25 +94,37 @@ func (a *Analyzer) analyzeStream(src SegmentSource, cfg Config) (*Analysis, erro
 	if cfg.CacheSegments <= 0 {
 		cfg.CacheSegments = DefaultCacheSegments
 	}
+	workers := cfg.ParallelSegments
+	if workers > src.NumSegments() {
+		workers = src.NumSegments()
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	skel := src.Skeleton()
+	cs := asColumnSource(src)
 	h := newObsHook(cfg.Observer, n)
 
-	ann, err := newAnnFile(cfg.TmpDir, n)
+	ann, err := newAnnStore(src, n, cfg.TmpDir, cfg.AnnotationBudget)
 	if err != nil {
 		return nil, err
 	}
 	defer ann.remove()
-	ann.hook = h
 
 	start := h.phaseStart("pass1")
-	p1, err := streamPass1(src, skel, ann, h)
+	var p1 *pass1Result
+	if workers > 1 {
+		p1, err = streamPass1Par(cs, skel, ann, workers, h)
+	} else {
+		p1, err = streamPass1(cs, skel, ann, h)
+	}
 	if err != nil {
 		return nil, err
 	}
 	h.phaseDone("pass1", start, int64(n))
 
 	start = h.phaseStart("walk")
-	loader := newSegLoader(src, ann, cfg.CacheSegments)
+	loader := newSegLoader(cs, ann, cfg.CacheSegments)
 	loader.hook = h
 	cp, err := streamWalk(loader, p1, n)
 	if err != nil {
@@ -119,118 +134,16 @@ func (a *Analyzer) analyzeStream(src SegmentSource, cfg Config) (*Analysis, erro
 
 	start = h.phaseStart("pass3")
 	an := &Analysis{Trace: skel, CP: *cp}
-	if err := streamPass3(src, skel, ann, p1, an, cfg, h); err != nil {
+	if workers > 1 {
+		err = streamPass3Par(cs, skel, ann, p1, an, cfg, workers, h)
+	} else {
+		err = streamPass3(cs, skel, ann, p1, an, cfg, h)
+	}
+	if err != nil {
 		return nil, err
 	}
 	h.phaseDone("pass3", start, int64(n))
 	return an, nil
-}
-
-// Annotation records: one fixed-size record per event in a temp file,
-// the streaming stand-in for the index's posInThread/waker/blocked
-// arrays. 9 bytes: prev (int32 LE, previous event on the same thread
-// or -1), waker (int32 LE or -1), flags (bit 0 = blocked).
-const annRecSize = 9
-
-const annBlocked = 1 << 0
-
-type annRec struct {
-	prev  int32
-	waker int32
-	flags byte
-}
-
-func putAnnRec(dst []byte, r annRec) {
-	binary.LittleEndian.PutUint32(dst[0:4], uint32(r.prev))
-	binary.LittleEndian.PutUint32(dst[4:8], uint32(r.waker))
-	dst[8] = r.flags
-}
-
-func getAnnRec(src []byte) annRec {
-	return annRec{
-		prev:  int32(binary.LittleEndian.Uint32(src[0:4])),
-		waker: int32(binary.LittleEndian.Uint32(src[4:8])),
-		flags: src[8],
-	}
-}
-
-// annFile is the annotation spill file: sequential buffered writes
-// during pass 1, point patches once deferred wakers resolve, random
-// chunk reads during passes 2 and 3.
-type annFile struct {
-	f    *os.File
-	buf  []byte
-	off  int64    // file offset of buf[0]
-	hook *obsHook // spill-byte accounting (nil = none)
-}
-
-func newAnnFile(dir string, n int) (*annFile, error) {
-	f, err := os.CreateTemp(dir, "cla-ann-*.tmp")
-	if err != nil {
-		return nil, fmt.Errorf("core: creating annotation file: %w", err)
-	}
-	bufRecs := 1 << 16
-	if n < bufRecs {
-		bufRecs = n
-	}
-	return &annFile{f: f, buf: make([]byte, 0, bufRecs*annRecSize)}, nil
-}
-
-func (a *annFile) append(r annRec) error {
-	if len(a.buf) == cap(a.buf) {
-		if err := a.flush(); err != nil {
-			return err
-		}
-	}
-	a.buf = a.buf[:len(a.buf)+annRecSize]
-	putAnnRec(a.buf[len(a.buf)-annRecSize:], r)
-	return nil
-}
-
-func (a *annFile) flush() error {
-	if len(a.buf) == 0 {
-		return nil
-	}
-	if _, err := a.f.WriteAt(a.buf, a.off); err != nil {
-		return fmt.Errorf("core: writing annotations: %w", err)
-	}
-	// Patches later rewrite these bytes in place, so flushed bytes are
-	// exactly the file's growth.
-	a.hook.spilled(int64(len(a.buf)))
-	a.off += int64(len(a.buf))
-	a.buf = a.buf[:0]
-	return nil
-}
-
-// patch overwrites the waker and flags of record idx. Only valid after
-// flush (pass 1 applies all patches at its end).
-func (a *annFile) patch(idx int32, waker int32, flags byte) error {
-	var b [5]byte
-	binary.LittleEndian.PutUint32(b[0:4], uint32(waker))
-	b[4] = flags
-	if _, err := a.f.WriteAt(b[:], int64(idx)*annRecSize+4); err != nil {
-		return fmt.Errorf("core: patching annotation %d: %w", idx, err)
-	}
-	return nil
-}
-
-// readRange reads the records [first, first+count) into buf.
-func (a *annFile) readRange(first, count int, buf []byte) ([]byte, error) {
-	need := count * annRecSize
-	if cap(buf) < need {
-		buf = make([]byte, need)
-	}
-	buf = buf[:need]
-	if _, err := a.f.ReadAt(buf, int64(first)*annRecSize); err != nil {
-		return nil, fmt.Errorf("core: reading annotations: %w", err)
-	}
-	return buf, nil
-}
-
-func (a *annFile) remove() {
-	name := a.f.Name()
-	a.f.Close()
-	os.Remove(name)
 }
 
 // pass1Result carries the O(threads) lifecycle state pass 1 derives.
@@ -241,6 +154,21 @@ type pass1Result struct {
 	exitIdx       []int32
 	exitT         []trace.Time
 	exitSeq       []uint64
+}
+
+func newPass1Result(nThreads int) *pass1Result {
+	p1 := &pass1Result{
+		startIdx: make([]int32, nThreads),
+		startT:   make([]trace.Time, nThreads),
+		exitIdx:  make([]int32, nThreads),
+		exitT:    make([]trace.Time, nThreads),
+		exitSeq:  make([]uint64, nThreads),
+	}
+	for tid := 0; tid < nThreads; tid++ {
+		p1.startIdx[tid] = -1
+		p1.exitIdx[tid] = -1
+	}
+	return p1
 }
 
 // barEpisode tracks one barrier episode until its wakers resolve.
@@ -296,286 +224,362 @@ type condStream struct {
 	wakerOf map[trace.ThreadID]int32
 }
 
-// streamPass1 is the forward waker-resolution pass: one annotation
-// record per event, deferred resolutions applied as patches. Its
-// working set is O(threads + objects + open barrier episodes + waiting
-// cond threads) — independent of trace length.
-func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile, h *obsHook) (*pass1Result, error) {
+// annPatch is a deferred waker resolution applied after the scan.
+type annPatch struct {
+	idx   int32
+	waker int32
+}
+
+// pass1Sync is the sequential waker state machine for every
+// synchronization kind whose resolution needs global order: thread
+// lifecycle, barriers, conds, channels and joins. The sequential pass
+// feeds it every event inline; the parallel pass replays only the
+// (rare) sync events through it at merge time, in global order, so
+// both produce identical wakers and patches. Lock release→obtain
+// wakers are NOT handled here — they are the per-range case the
+// parallel workers resolve locally (see streamPass1Par).
+type pass1Sync struct {
+	skel         *trace.Trace
+	p1           *pass1Result
+	createIdx    []int32
+	pendingStart []int32
+	joinBeginT   []trace.Time
+	// exit tracking lives here (not in p1) for the parallel pass: a
+	// JoinEnd's waker must consult only exits that precede it, and in
+	// the parallel pass p1.exitIdx is filled by workers out of order.
+	exitIdx  []int32
+	exitT    []trace.Time
+	barriers map[trace.ObjID]*barStream
+	conds    map[trace.ObjID]*condStream
+	chans    map[trace.ObjID]*chanPairing
+	patches  []annPatch
+}
+
+func newPass1Sync(skel *trace.Trace, p1 *pass1Result) *pass1Sync {
 	nThreads := len(skel.Threads)
-	p1 := &pass1Result{
-		startIdx: make([]int32, nThreads),
-		startT:   make([]trace.Time, nThreads),
-		exitIdx:  make([]int32, nThreads),
-		exitT:    make([]trace.Time, nThreads),
-		exitSeq:  make([]uint64, nThreads),
+	m := &pass1Sync{
+		skel:         skel,
+		p1:           p1,
+		createIdx:    make([]int32, nThreads),
+		pendingStart: make([]int32, nThreads),
+		joinBeginT:   make([]trace.Time, nThreads),
+		exitIdx:      make([]int32, nThreads),
+		exitT:        make([]trace.Time, nThreads),
+		barriers:     map[trace.ObjID]*barStream{},
+		conds:        map[trace.ObjID]*condStream{},
+		chans:        map[trace.ObjID]*chanPairing{},
 	}
-	lastOfThread := make([]int32, nThreads)
-	createIdx := make([]int32, nThreads)
-	pendingStart := make([]int32, nThreads)
-	joinBeginT := make([]trace.Time, nThreads)
 	for tid := 0; tid < nThreads; tid++ {
-		p1.startIdx[tid] = -1
-		p1.exitIdx[tid] = -1
+		m.createIdx[tid] = -1
+		m.pendingStart[tid] = -1
+		m.exitIdx[tid] = -1
+	}
+	return m
+}
+
+func (m *pass1Sync) barOf(o trace.ObjID) *barStream {
+	bs := m.barriers[o]
+	if bs == nil {
+		bs = &barStream{
+			parties:  m.skel.Object(o).Parties,
+			episodes: map[int]*barEpisode{},
+			arriveEp: map[trace.ThreadID]*intQueue{},
+		}
+		m.barriers[o] = bs
+	}
+	return bs
+}
+
+func (m *pass1Sync) condOf(o trace.ObjID) *condStream {
+	cs := m.conds[o]
+	if cs == nil {
+		cs = &condStream{wakerOf: map[trace.ThreadID]int32{}}
+		m.conds[o] = cs
+	}
+	return cs
+}
+
+func (m *pass1Sync) chanOf(o trace.ObjID) *chanPairing {
+	cs := m.chans[o]
+	if cs == nil {
+		cs = newChanPairing(m.skel.Object(o).Parties)
+		m.chans[o] = cs
+	}
+	return cs
+}
+
+// step advances the sync machine by one event, mutating rec's waker
+// and blocked flag where this event is a resolution site and queueing
+// patches where the resolution is deferred.
+func (m *pass1Sync) step(i int32, kind trace.EventKind, thread trace.ThreadID,
+	obj trace.ObjID, arg int64, t trace.Time, seq uint64, rec *annRec) {
+	switch kind {
+	case trace.EvThreadStart:
+		m.p1.startIdx[thread] = i
+		m.p1.startT[thread] = t
+		if c := m.createIdx[thread]; c >= 0 {
+			rec.flags |= annBlocked
+			rec.waker = c
+		} else {
+			m.pendingStart[thread] = i
+		}
+
+	case trace.EvThreadExit:
+		m.p1.exitIdx[thread] = i
+		m.p1.exitT[thread] = t
+		m.p1.exitSeq[thread] = seq
+		m.exitIdx[thread] = i
+		m.exitT[thread] = t
+
+	case trace.EvThreadCreate:
+		child := trace.ThreadID(arg)
+		if int(child) >= 0 && int(child) < len(m.createIdx) && m.createIdx[child] == -1 {
+			m.createIdx[child] = i
+			if ps := m.pendingStart[child]; ps >= 0 {
+				m.patches = append(m.patches, annPatch{idx: ps, waker: i})
+				m.pendingStart[child] = -1
+			}
+		}
+
+	case trace.EvBarrierArrive:
+		bs := m.barOf(obj)
+		ep := 0
+		if bs.parties > 0 {
+			ep = bs.arrivals / bs.parties
+		}
+		bs.arrivals++
+		epi := bs.episodes[ep]
+		if epi == nil {
+			epi = &barEpisode{}
+			bs.episodes[ep] = epi
+		}
+		epi.lastArrive = i
+		epi.lastArriveThread = thread
+		epi.arrives++
+		q := bs.arriveEp[thread]
+		if q == nil {
+			q = &intQueue{}
+			bs.arriveEp[thread] = q
+		}
+		q.push(ep)
+		if bs.parties > 0 && epi.arrives == bs.parties {
+			// Episode complete: its last arrive is final, so
+			// deferred departs resolve now.
+			for _, d := range epi.pending {
+				if epi.lastArriveThread != d.thread {
+					m.patches = append(m.patches, annPatch{idx: d.idx, waker: epi.lastArrive})
+				}
+			}
+			epi.pending = nil
+			if epi.departs >= bs.parties {
+				delete(bs.episodes, ep)
+			}
+		}
+
+	case trace.EvBarrierDepart:
+		bs := m.barOf(obj)
+		var epi *barEpisode
+		ep := -1
+		if q := bs.arriveEp[thread]; q != nil {
+			if v, ok := q.pop(); ok {
+				ep = v
+				epi = bs.episodes[ep]
+			}
+		}
+		if epi != nil {
+			epi.departs++
+		}
+		if arg == 0 && epi != nil {
+			rec.flags |= annBlocked
+			if bs.parties > 0 && epi.arrives >= bs.parties {
+				if epi.lastArriveThread != thread {
+					rec.waker = epi.lastArrive
+				}
+			} else {
+				epi.pending = append(epi.pending, pendingDepart{idx: i, obj: obj, thread: thread, episode: ep})
+			}
+		}
+		if epi != nil && bs.parties > 0 && epi.arrives >= bs.parties &&
+			epi.departs >= bs.parties && len(epi.pending) == 0 {
+			delete(bs.episodes, ep)
+		}
+
+	case trace.EvCondWaitBegin:
+		cs := m.condOf(obj)
+		cs.waiting = append(cs.waiting, thread)
+
+	case trace.EvCondSignal:
+		cs := m.condOf(obj)
+		if len(cs.waiting) > 0 {
+			cs.wakerOf[cs.waiting[0]] = i
+			cs.waiting = cs.waiting[1:]
+		}
+
+	case trace.EvCondBroadcast:
+		cs := m.condOf(obj)
+		for _, th := range cs.waiting {
+			cs.wakerOf[th] = i
+		}
+		cs.waiting = cs.waiting[:0]
+
+	case trace.EvCondWaitEnd:
+		cs := m.condOf(obj)
+		rec.flags |= annBlocked
+		if w, ok := cs.wakerOf[thread]; ok {
+			rec.waker = w
+			delete(cs.wakerOf, thread)
+		} else {
+			// Spurious wakeup or unmatched signal: drop from
+			// the waiting queue, leave the waker unknown.
+			for j, th := range cs.waiting {
+				if th == thread {
+					cs.waiting = append(cs.waiting[:j], cs.waiting[j+1:]...)
+					break
+				}
+			}
+		}
+
+	case trace.EvChanSend:
+		blocked := arg&trace.ChanArgBlocked != 0
+		w := m.chanOf(obj).send(i, blocked)
+		if blocked {
+			rec.flags |= annBlocked
+			rec.waker = w
+		}
+
+	case trace.EvChanRecv:
+		blocked := arg&trace.ChanArgBlocked != 0
+		w := m.chanOf(obj).recv(i, blocked, arg&trace.ChanArgClosed != 0)
+		if blocked {
+			rec.flags |= annBlocked
+			rec.waker = w
+		}
+
+	case trace.EvChanClose:
+		m.chanOf(obj).close(i)
+
+	case trace.EvJoinBegin:
+		m.joinBeginT[thread] = t
+
+	case trace.EvJoinEnd:
+		target := trace.ThreadID(arg)
+		if int(target) >= 0 && int(target) < len(m.exitIdx) && m.exitIdx[target] >= 0 &&
+			m.exitT[target] > m.joinBeginT[thread] {
+			rec.flags |= annBlocked
+			rec.waker = m.exitIdx[target]
+		}
+	}
+}
+
+// finish resolves barrier episodes that never completed (truncated
+// traces, zero-party barriers): their last arrive so far is the waker,
+// as in the in-memory post-pass. Returns all deferred patches.
+func (m *pass1Sync) finish() []annPatch {
+	for _, bs := range m.barriers {
+		for _, epi := range bs.episodes {
+			for _, d := range epi.pending {
+				if epi.lastArriveThread != d.thread {
+					m.patches = append(m.patches, annPatch{idx: d.idx, waker: epi.lastArrive})
+				}
+			}
+		}
+	}
+	return m.patches
+}
+
+// isSyncKind reports whether kind routes through pass1Sync. Lock
+// events are excluded: obtain wakers resolve against lastRelease
+// per-range in the parallel pass.
+func isSyncKind(kind trace.EventKind) bool {
+	switch kind {
+	case trace.EvThreadStart, trace.EvThreadExit, trace.EvThreadCreate,
+		trace.EvBarrierArrive, trace.EvBarrierDepart,
+		trace.EvCondWaitBegin, trace.EvCondWaitEnd, trace.EvCondSignal, trace.EvCondBroadcast,
+		trace.EvChanSend, trace.EvChanRecv, trace.EvChanClose,
+		trace.EvJoinBegin, trace.EvJoinEnd:
+		return true
+	}
+	return false
+}
+
+// streamPass1 is the forward waker-resolution pass: one annotation
+// record per event written to per-segment shards, deferred
+// resolutions applied as patches. Its working set is O(threads +
+// objects + open barrier episodes + waiting cond threads + one
+// decoded segment) — independent of trace length.
+func streamPass1(src ColumnSource, skel *trace.Trace, ann *annStore, h *obsHook) (*pass1Result, error) {
+	nThreads := len(skel.Threads)
+	p1 := newPass1Result(nThreads)
+	sync := newPass1Sync(skel, p1)
+	lastOfThread := make([]int32, nThreads)
+	for tid := 0; tid < nThreads; tid++ {
 		lastOfThread[tid] = -1
-		createIdx[tid] = -1
-		pendingStart[tid] = -1
 	}
 	lastRelease := make([]int32, len(skel.Objects))
 	for i := range lastRelease {
 		lastRelease[i] = -1
 	}
-	barriers := map[trace.ObjID]*barStream{}
-	barOf := func(o trace.ObjID) *barStream {
-		bs := barriers[o]
-		if bs == nil {
-			bs = &barStream{
-				parties:  skel.Object(o).Parties,
-				episodes: map[int]*barEpisode{},
-				arriveEp: map[trace.ThreadID]*intQueue{},
-			}
-			barriers[o] = bs
-		}
-		return bs
-	}
-	conds := map[trace.ObjID]*condStream{}
-	condOf := func(o trace.ObjID) *condStream {
-		cs := conds[o]
-		if cs == nil {
-			cs = &condStream{wakerOf: map[trace.ThreadID]int32{}}
-			conds[o] = cs
-		}
-		return cs
-	}
-	// Channel waker pairing: the same chanPairing the in-memory index
-	// uses, with O(outstanding operations) state. Wakers precede their
-	// blocked completions in the trace, so no patches arise.
-	chans := map[trace.ObjID]*chanPairing{}
-	chanOf := func(o trace.ObjID) *chanPairing {
-		cs := chans[o]
-		if cs == nil {
-			cs = newChanPairing(skel.Object(o).Parties)
-			chans[o] = cs
-		}
-		return cs
-	}
-	type patch struct {
-		idx   int32
-		waker int32
-	}
-	var patches []patch
 
-	var buf []trace.Event
+	var cols trace.Columns
+	var lkScratch, flScratch []byte
 	i := int32(0)
 	for s := 0; s < src.NumSegments(); s++ {
-		var err error
-		buf, err = src.LoadSegment(s, buf)
+		bytes, err := src.LoadColumns(s, &cols)
 		if err != nil {
 			return nil, err
 		}
-		for k := range buf {
-			e := &buf[k]
-			if e.Thread < 0 || int(e.Thread) >= nThreads {
-				return nil, fmt.Errorf("core: event %d references thread %d out of range", i, e.Thread)
+		count := cols.Len()
+		lk, fl := ann.shard(s, lkScratch, flScratch)
+		cT, cSeq, cTh, cKind, cObj, cArg := cols.T, cols.Seq, cols.Thread, cols.Kind, cols.Obj, cols.Arg
+		for k := 0; k < count; k++ {
+			th := cTh[k]
+			if th < 0 || int(th) >= nThreads {
+				return nil, fmt.Errorf("core: event %d references thread %d out of range", i, th)
 			}
+			t := cT[k]
 			if i == 0 {
-				p1.firstT = e.T
+				p1.firstT = t
 			}
-			p1.lastT = e.T
-			rec := annRec{prev: lastOfThread[e.Thread], waker: -1}
-			lastOfThread[e.Thread] = i
+			p1.lastT = t
+			rec := annRec{prev: lastOfThread[th], waker: -1}
+			lastOfThread[th] = i
 
-			switch e.Kind {
-			case trace.EvThreadStart:
-				p1.startIdx[e.Thread] = i
-				p1.startT[e.Thread] = e.T
-				if c := createIdx[e.Thread]; c >= 0 {
-					rec.flags |= annBlocked
-					rec.waker = c
-				} else {
-					pendingStart[e.Thread] = i
-				}
-
-			case trace.EvThreadExit:
-				p1.exitIdx[e.Thread] = i
-				p1.exitT[e.Thread] = e.T
-				p1.exitSeq[e.Thread] = e.Seq
-
-			case trace.EvThreadCreate:
-				child := trace.ThreadID(e.Arg)
-				if int(child) >= 0 && int(child) < nThreads && createIdx[child] == -1 {
-					createIdx[child] = i
-					if ps := pendingStart[child]; ps >= 0 {
-						patches = append(patches, patch{idx: ps, waker: i})
-						pendingStart[child] = -1
-					}
-				}
-
+			switch kind := trace.EventKind(cKind[k]); kind {
 			case trace.EvLockObtain:
-				if e.Contended() {
+				if cArg[k]&trace.LockArgContended != 0 {
 					rec.flags |= annBlocked
-					if e.Obj >= 0 && int(e.Obj) < len(lastRelease) {
-						rec.waker = lastRelease[e.Obj]
+					if obj := cObj[k]; obj >= 0 && int(obj) < len(lastRelease) {
+						rec.waker = lastRelease[obj]
 					}
 				}
-
 			case trace.EvLockRelease:
-				if e.Obj >= 0 && int(e.Obj) < len(lastRelease) {
-					lastRelease[e.Obj] = i
+				if obj := cObj[k]; obj >= 0 && int(obj) < len(lastRelease) {
+					lastRelease[obj] = i
 				}
-
-			case trace.EvBarrierArrive:
-				bs := barOf(e.Obj)
-				ep := 0
-				if bs.parties > 0 {
-					ep = bs.arrivals / bs.parties
-				}
-				bs.arrivals++
-				epi := bs.episodes[ep]
-				if epi == nil {
-					epi = &barEpisode{}
-					bs.episodes[ep] = epi
-				}
-				epi.lastArrive = i
-				epi.lastArriveThread = e.Thread
-				epi.arrives++
-				q := bs.arriveEp[e.Thread]
-				if q == nil {
-					q = &intQueue{}
-					bs.arriveEp[e.Thread] = q
-				}
-				q.push(ep)
-				if bs.parties > 0 && epi.arrives == bs.parties {
-					// Episode complete: its last arrive is final, so
-					// deferred departs resolve now.
-					for _, d := range epi.pending {
-						if epi.lastArriveThread != d.thread {
-							patches = append(patches, patch{idx: d.idx, waker: epi.lastArrive})
-						}
-					}
-					epi.pending = nil
-					if epi.departs >= bs.parties {
-						delete(bs.episodes, ep)
-					}
-				}
-
-			case trace.EvBarrierDepart:
-				bs := barOf(e.Obj)
-				var epi *barEpisode
-				ep := -1
-				if q := bs.arriveEp[e.Thread]; q != nil {
-					if v, ok := q.pop(); ok {
-						ep = v
-						epi = bs.episodes[ep]
-					}
-				}
-				if epi != nil {
-					epi.departs++
-				}
-				if e.Arg == 0 && epi != nil {
-					rec.flags |= annBlocked
-					if bs.parties > 0 && epi.arrives >= bs.parties {
-						if epi.lastArriveThread != e.Thread {
-							rec.waker = epi.lastArrive
-						}
-					} else {
-						epi.pending = append(epi.pending, pendingDepart{idx: i, obj: e.Obj, thread: e.Thread, episode: ep})
-					}
-				}
-				if epi != nil && bs.parties > 0 && epi.arrives >= bs.parties &&
-					epi.departs >= bs.parties && len(epi.pending) == 0 {
-					delete(bs.episodes, ep)
-				}
-
-			case trace.EvCondWaitBegin:
-				cs := condOf(e.Obj)
-				cs.waiting = append(cs.waiting, e.Thread)
-
-			case trace.EvCondSignal:
-				cs := condOf(e.Obj)
-				if len(cs.waiting) > 0 {
-					cs.wakerOf[cs.waiting[0]] = i
-					cs.waiting = cs.waiting[1:]
-				}
-
-			case trace.EvCondBroadcast:
-				cs := condOf(e.Obj)
-				for _, th := range cs.waiting {
-					cs.wakerOf[th] = i
-				}
-				cs.waiting = cs.waiting[:0]
-
-			case trace.EvCondWaitEnd:
-				cs := condOf(e.Obj)
-				rec.flags |= annBlocked
-				if w, ok := cs.wakerOf[e.Thread]; ok {
-					rec.waker = w
-					delete(cs.wakerOf, e.Thread)
-				} else {
-					// Spurious wakeup or unmatched signal: drop from
-					// the waiting queue, leave the waker unknown.
-					for j, th := range cs.waiting {
-						if th == e.Thread {
-							cs.waiting = append(cs.waiting[:j], cs.waiting[j+1:]...)
-							break
-						}
-					}
-				}
-
-			case trace.EvChanSend:
-				blocked := e.Arg&trace.ChanArgBlocked != 0
-				w := chanOf(e.Obj).send(i, blocked)
-				if blocked {
-					rec.flags |= annBlocked
-					rec.waker = w
-				}
-
-			case trace.EvChanRecv:
-				blocked := e.Arg&trace.ChanArgBlocked != 0
-				w := chanOf(e.Obj).recv(i, blocked, e.Arg&trace.ChanArgClosed != 0)
-				if blocked {
-					rec.flags |= annBlocked
-					rec.waker = w
-				}
-
-			case trace.EvChanClose:
-				chanOf(e.Obj).close(i)
-
-			case trace.EvJoinBegin:
-				joinBeginT[e.Thread] = e.T
-
-			case trace.EvJoinEnd:
-				target := trace.ThreadID(e.Arg)
-				if int(target) >= 0 && int(target) < nThreads && p1.exitIdx[target] >= 0 &&
-					p1.exitT[target] > joinBeginT[e.Thread] {
-					rec.flags |= annBlocked
-					rec.waker = p1.exitIdx[target]
+			default:
+				if isSyncKind(kind) {
+					sync.step(i, kind, trace.ThreadID(th), trace.ObjID(cObj[k]), cArg[k], t, cSeq[k], &rec)
 				}
 			}
 
-			if err := ann.append(rec); err != nil {
-				return nil, err
-			}
+			putAnnLink(lk[k*annLinkSize:], rec.prev, rec.waker)
+			fl[k] = rec.flags
 			i++
 		}
-		h.scanned(len(buf))
-	}
-	if err := ann.flush(); err != nil {
-		return nil, err
+		spilled, err := ann.commit(s, lk, fl)
+		if err != nil {
+			return nil, err
+		}
+		if !ann.inMemory() {
+			lkScratch, flScratch = lk, fl
+		}
+		if spilled > 0 {
+			h.spilled(spilled)
+		}
+		h.scanned(count, bytes)
 	}
 
-	// End-of-trace resolution for barrier episodes that never
-	// completed (truncated traces, zero-party barriers): their last
-	// arrive so far is the waker, as in the in-memory post-pass.
-	for _, bs := range barriers {
-		for _, epi := range bs.episodes {
-			for _, d := range epi.pending {
-				if epi.lastArriveThread != d.thread {
-					patches = append(patches, patch{idx: d.idx, waker: epi.lastArrive})
-				}
-			}
-		}
-	}
-	for _, p := range patches {
+	for _, p := range sync.finish() {
 		if err := ann.patch(p.idx, p.waker, annBlocked); err != nil {
 			return nil, err
 		}
@@ -584,25 +588,30 @@ func streamPass1(src SegmentSource, skel *trace.Trace, ann *annFile, h *obsHook)
 }
 
 // segLoader serves random event/annotation lookups for the backward
-// walk from an LRU cache of decoded segments.
+// walk from an LRU cache of decoded segments. The most recent window
+// short-circuits: the walk steps through one segment at a time, so
+// nearly every lookup hits it without the binary search or LRU scan.
 type segLoader struct {
-	src    SegmentSource
-	ann    *annFile
+	src    ColumnSource
+	ann    *annStore
 	firsts []int // global index of each segment's first event
 	total  int
 	cache  map[int]*segWindow
 	lru    []int // segment ids, least recent first
 	max    int
-	hook   *obsHook // cache-miss load accounting (nil = none)
+	cur    *segWindow // most recently used window
+	hook   *obsHook   // cache-miss load accounting (nil = none)
 }
 
 type segWindow struct {
-	first  int
-	events []trace.Event
-	ann    []byte
+	first int
+	end   int // first + count
+	cols  trace.Columns
+	links []byte
+	flags []byte
 }
 
-func newSegLoader(src SegmentSource, ann *annFile, cacheSegments int) *segLoader {
+func newSegLoader(src ColumnSource, ann *annStore, cacheSegments int) *segLoader {
 	n := src.NumSegments()
 	l := &segLoader{
 		src:    src,
@@ -622,6 +631,9 @@ func newSegLoader(src SegmentSource, ann *annFile, cacheSegments int) *segLoader
 // window returns the cached window containing global event index i,
 // loading (and evicting) as needed.
 func (l *segLoader) window(i int32) (*segWindow, error) {
+	if w := l.cur; w != nil && w.first <= int(i) && int(i) < w.end {
+		return w, nil
+	}
 	seg := sort.SearchInts(l.firsts, int(i)+1) - 1
 	if w := l.cache[seg]; w != nil {
 		// Refresh LRU position.
@@ -632,6 +644,7 @@ func (l *segLoader) window(i int32) (*segWindow, error) {
 				break
 			}
 		}
+		l.cur = w
 		return w, nil
 	}
 	var reuse *segWindow
@@ -645,36 +658,88 @@ func (l *segLoader) window(i int32) (*segWindow, error) {
 		reuse = &segWindow{}
 	}
 	first, count := l.src.SegmentBounds(seg)
-	events, err := l.src.LoadSegment(seg, reuse.events)
+	bytes, err := l.src.LoadColumns(seg, &reuse.cols)
 	if err != nil {
 		return nil, err
 	}
-	ann, err := l.ann.readRange(first, count, reuse.ann)
+	links, err := l.ann.readLinks(first, count, reuse.links)
 	if err != nil {
 		return nil, err
 	}
-	w := &segWindow{first: first, events: events, ann: ann}
-	l.cache[seg] = w
+	flags, err := l.ann.readFlags(first, count, reuse.flags)
+	if err != nil {
+		return nil, err
+	}
+	reuse.first, reuse.end, reuse.links, reuse.flags = first, first+count, links, flags
+	l.cache[seg] = reuse
 	l.lru = append(l.lru, seg)
-	l.hook.scanned(len(events))
-	return w, nil
+	l.cur = reuse
+	l.hook.scanned(count, bytes)
+	return reuse, nil
 }
 
-func (l *segLoader) eventAt(i int32) (trace.Event, error) {
+func (l *segLoader) timeAt(i int32) (trace.Time, error) {
 	w, err := l.window(i)
 	if err != nil {
-		return trace.Event{}, err
+		return 0, err
 	}
-	return w.events[int(i)-w.first], nil
+	return w.cols.T[int(i)-w.first], nil
 }
 
-func (l *segLoader) annAt(i int32) (annRec, error) {
+func (l *segLoader) threadAt(i int32) (trace.ThreadID, error) {
 	w, err := l.window(i)
 	if err != nil {
-		return annRec{}, err
+		return 0, err
 	}
-	off := (int(i) - w.first) * annRecSize
-	return getAnnRec(w.ann[off : off+annRecSize]), nil
+	return trace.ThreadID(w.cols.Thread[int(i)-w.first]), nil
+}
+
+// revChunks collects values emitted back-to-front into fixed-size
+// chunks, then assembles them into one exact-size forward-ordered
+// slice — a single final copy instead of append-doubling over a slice
+// whose length is unknown until the walk ends.
+type revChunks[T any] struct {
+	chunks [][]T
+	cur    []T
+	n      int
+}
+
+func (r *revChunks[T]) push(v T) {
+	if len(r.cur) == cap(r.cur) {
+		c := 2 * cap(r.cur)
+		if c < 64 {
+			c = 64
+		}
+		if c > 1<<13 {
+			c = 1 << 13
+		}
+		if r.cur != nil {
+			r.chunks = append(r.chunks, r.cur)
+		}
+		r.cur = make([]T, 0, c)
+	}
+	r.cur = append(r.cur, v)
+	r.n++
+}
+
+// forward returns the pushed values in reverse push order (the walk
+// pushes newest-first, so this is forward time order).
+func (r *revChunks[T]) forward() []T {
+	out := make([]T, r.n)
+	k := r.n - 1
+	fill := func(ch []T) {
+		for _, v := range ch {
+			out[k] = v
+			k--
+		}
+	}
+	for i, ch := range r.chunks {
+		fill(ch)
+		r.chunks[i] = nil // shed each chunk as it is copied out
+	}
+	fill(r.cur)
+	r.chunks, r.cur = nil, nil
+	return out
 }
 
 // streamWalk is the backward critical-path walk (paper Fig. 2) over
@@ -703,15 +768,16 @@ func streamWalk(l *segLoader, p1 *pass1Result, n int) (*CriticalPath, error) {
 		anchor = int32(n - 1)
 	}
 
-	anchorEv, err := l.eventAt(anchor)
+	anchorThread, err := l.threadAt(anchor)
 	if err != nil {
 		return nil, err
 	}
 	cp := &CriticalPath{
-		LastThread: anchorEv.Thread,
+		LastThread: anchorThread,
 		WallTime:   p1.lastT - p1.firstT,
-		Pieces:     make([]Piece, 0, n/3+8),
 	}
+	var pieces revChunks[Piece]
+	var jumps revChunks[Jump]
 
 	cur := anchor
 	maxSteps := 2*n + 2
@@ -720,26 +786,33 @@ func streamWalk(l *segLoader, p1 *pass1Result, n int) (*CriticalPath, error) {
 			return nil, fmt.Errorf("core: critical-path walk did not terminate after %d steps", steps)
 		}
 		cp.Steps = steps
-		e, err := l.eventAt(cur)
+		// Copy the current event's fields out of its window before
+		// touching any other index: a later load may evict and reuse
+		// the window's backing storage.
+		w, err := l.window(cur)
 		if err != nil {
 			return nil, err
 		}
-		rec, err := l.annAt(cur)
-		if err != nil {
-			return nil, err
-		}
+		j := int(cur) - w.first
+		kind := trace.EventKind(w.cols.Kind[j])
+		t := w.cols.T[j]
+		thread := trace.ThreadID(w.cols.Thread[j])
+		obj := trace.ObjID(w.cols.Obj[j])
+		var rec annRec
+		rec.prev, rec.waker = getAnnLink(w.links[j*annLinkSize : j*annLinkSize+annLinkSize])
+		rec.flags = w.flags[j]
 
-		if e.Kind == trace.EvThreadStart {
+		if kind == trace.EvThreadStart {
 			if rec.waker < 0 {
 				break // root thread's start: the program's beginning
 			}
-			we, err := l.eventAt(rec.waker)
+			weThread, err := l.threadAt(rec.waker)
 			if err != nil {
 				return nil, err
 			}
 			cp.Jumps++
-			cp.JumpLog = append(cp.JumpLog, Jump{
-				T: e.T, From: e.Thread, To: we.Thread,
+			jumps.push(Jump{
+				T: t, From: thread, To: weThread,
 				Kind: JumpStart, Obj: trace.NoObj,
 			})
 			cur = rec.waker
@@ -752,10 +825,6 @@ func streamWalk(l *segLoader, p1 *pass1Result, n int) (*CriticalPath, error) {
 		}
 
 		if rec.flags&annBlocked != 0 && rec.waker >= 0 {
-			we, err := l.eventAt(rec.waker)
-			if err != nil {
-				return nil, err
-			}
 			// A condition wait that had to re-acquire a contended
 			// mutex has two dependencies: the signaller and the
 			// previous mutex holder. The binding one is whichever
@@ -763,40 +832,50 @@ func streamWalk(l *segLoader, p1 *pass1Result, n int) (*CriticalPath, error) {
 			// obtain directly precedes the wait-end, at or after the
 			// signal), step back so the obtain's own jump routes the
 			// path through the releaser without losing time.
-			if e.Kind == trace.EvCondWaitEnd {
-				pe, err := l.eventAt(prev)
+			if kind == trace.EvCondWaitEnd {
+				pw, err := l.window(prev)
 				if err != nil {
 					return nil, err
 				}
-				prec, err := l.annAt(prev)
+				pj := int(prev) - pw.first
+				peKind := trace.EventKind(pw.cols.Kind[pj])
+				peT := pw.cols.T[pj]
+				var prec annRec
+				prec.prev, prec.waker = getAnnLink(pw.links[pj*annLinkSize : pj*annLinkSize+annLinkSize])
+				prec.flags = pw.flags[pj]
+				weT, err := l.timeAt(rec.waker)
 				if err != nil {
 					return nil, err
 				}
-				if pe.Kind == trace.EvLockObtain && prec.flags&annBlocked != 0 && prec.waker >= 0 &&
-					pe.T >= we.T {
+				if peKind == trace.EvLockObtain && prec.flags&annBlocked != 0 && prec.waker >= 0 &&
+					peT >= weT {
 					cur = prev
 					continue
 				}
 			}
-			pe, err := l.eventAt(prev)
+			weThread, err := l.threadAt(rec.waker)
+			if err != nil {
+				return nil, err
+			}
+			peT, err := l.timeAt(prev)
 			if err != nil {
 				return nil, err
 			}
 			cp.Jumps++
-			cp.JumpLog = append(cp.JumpLog, Jump{
-				T: e.T, From: e.Thread, To: we.Thread,
-				Kind: jumpKindOf(e.Kind), Obj: e.Obj,
-				Wait: e.T - pe.T,
+			jumps.push(Jump{
+				T: t, From: thread, To: weThread,
+				Kind: jumpKindOf(kind), Obj: obj,
+				Wait: t - peT,
 			})
 			cur = rec.waker
 			continue
 		}
 
-		pe, err := l.eventAt(prev)
+		peT, err := l.timeAt(prev)
 		if err != nil {
 			return nil, err
 		}
-		from, to := pe.T, e.T
+		from, to := peT, t
 		if to > from {
 			kind := PieceExec
 			if rec.flags&annBlocked != 0 {
@@ -804,20 +883,25 @@ func streamWalk(l *segLoader, p1 *pass1Result, n int) (*CriticalPath, error) {
 				// the critical path.
 				kind = PieceWait
 			}
-			cp.Pieces = append(cp.Pieces, Piece{Thread: e.Thread, From: from, To: to, Kind: kind})
+			pieces.push(Piece{Thread: thread, From: from, To: to, Kind: kind})
 		}
 		cur = prev
 	}
 
-	// Pieces and jumps were generated back-to-front; reverse into
-	// forward order.
-	for i, j := 0, len(cp.Pieces)-1; i < j; i, j = i+1, j-1 {
-		cp.Pieces[i], cp.Pieces[j] = cp.Pieces[j], cp.Pieces[i]
+	// Pieces and jumps were generated back-to-front; assemble into
+	// forward order. The window cache and the annotation link plane
+	// (prev/waker — only the walk reads them) are dead weight from here
+	// on — drop both first so the assembly's transient (chunks plus the
+	// final slices) replaces them in the live set instead of stacking
+	// on top of them.
+	l.cache, l.lru, l.cur = nil, nil, nil
+	l.ann.releaseLinks()
+	cp.Pieces = pieces.forward()
+	if jumps.n > 0 {
+		cp.JumpLog = jumps.forward()
 	}
-	for i, j := 0, len(cp.JumpLog)-1; i < j; i, j = i+1, j-1 {
-		cp.JumpLog[i], cp.JumpLog[j] = cp.JumpLog[j], cp.JumpLog[i]
-	}
-	for _, p := range cp.Pieces {
+	for i := range cp.Pieces {
+		p := &cp.Pieces[i]
 		cp.Length += p.Dur()
 		switch p.Kind {
 		case PieceExec:
@@ -839,10 +923,50 @@ type streamThread struct {
 	condBegin map[trace.ObjID]trace.Time
 	pend      []invocation
 	head      int
-	base      int                 // absolute queue position of pend[0]
-	open      map[trace.ObjID]int // lock → absolute queue position
-	pieces    []Piece
+	base      int        // absolute queue position of pend[0]
+	open      openSet    // lock → absolute queue position
+	clips     []interval // clip index: (From, To) of this thread's CP pieces
 	cursor    int
+}
+
+// openSet maps a held lock to its queue position with map semantics —
+// one entry per lock, a later acquire overwriting an earlier one — over
+// a linear scan. A thread holds very few locks at once, so the scan
+// beats a hash map's assign/delete per critical section.
+type openSet struct {
+	objs []trace.ObjID
+	pos  []int
+}
+
+func (o *openSet) set(obj trace.ObjID, p int) {
+	for k, oo := range o.objs {
+		if oo == obj {
+			o.pos[k] = p
+			return
+		}
+	}
+	o.objs = append(o.objs, obj)
+	o.pos = append(o.pos, p)
+}
+
+func (o *openSet) get(obj trace.ObjID) (int, bool) {
+	for k, oo := range o.objs {
+		if oo == obj {
+			return o.pos[k], true
+		}
+	}
+	return 0, false
+}
+
+func (o *openSet) del(obj trace.ObjID) {
+	for k, oo := range o.objs {
+		if oo == obj {
+			last := len(o.objs) - 1
+			o.objs[k], o.pos[k] = o.objs[last], o.pos[last]
+			o.objs, o.pos = o.objs[:last], o.pos[:last]
+			return
+		}
+	}
 }
 
 // push appends an in-flight invocation, returning its absolute
@@ -867,13 +991,11 @@ func (st *streamThread) compact() {
 	}
 }
 
-// streamPass3 is the forward metric pass: per-thread blocking-time
-// accounting and per-lock accumulation, delivering each thread's
-// invocations in acquire order (identical to the in-memory
-// invsByThread order) as their critical sections close.
-func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Result, an *Analysis, cfg Config, h *obsHook) error {
+// initStreamThreads fills the analysis's ThreadStats from pass 1 and
+// builds the per-thread clip index from the walked path — shared by
+// the sequential and parallel metric passes.
+func initStreamThreads(an *Analysis, skel *trace.Trace, p1 *pass1Result) []streamThread {
 	nThreads := len(skel.Threads)
-
 	an.Threads = make([]ThreadStats, nThreads)
 	for tid := 0; tid < nThreads; tid++ {
 		ts := &an.Threads[tid]
@@ -890,84 +1012,99 @@ func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Re
 		ts.Lifetime = ts.End - ts.Start
 	}
 
-	// Critical-path pieces per thread, sorted by time for clipping —
-	// the same construction and sort the in-memory pass uses, so tie
-	// orders match exactly.
+	// Critical-path pieces per thread, packed as (From, To) pairs and
+	// sorted by time for clipping — the same construction and sort the
+	// in-memory pass uses, so tie orders match exactly.
 	threads := make([]streamThread, nThreads)
-	for _, p := range an.CP.Pieces {
-		threads[p.Thread].pieces = append(threads[p.Thread].pieces, p)
+	counts := make([]int, nThreads)
+	for pi := range an.CP.Pieces {
+		counts[an.CP.Pieces[pi].Thread]++
+	}
+	for tid, n := range counts {
+		if n > 0 {
+			threads[tid].clips = make([]interval, 0, n)
+		}
+	}
+	for pi := range an.CP.Pieces {
+		p := &an.CP.Pieces[pi]
+		threads[p.Thread].clips = append(threads[p.Thread].clips, interval{p.From, p.To})
 		an.Threads[p.Thread].TimeOnCP += p.Dur()
 	}
 	for tid := range threads {
-		slices.SortFunc(threads[tid].pieces, func(a, b Piece) int {
-			switch {
-			case a.From < b.From:
-				return -1
-			case a.From > b.From:
-				return 1
-			}
-			return 0
-		})
+		sortClipIndex(threads[tid].clips)
 	}
+	return threads
+}
+
+// streamPass3 is the forward metric pass: per-thread blocking-time
+// accounting and per-lock accumulation, delivering each thread's
+// invocations in acquire order (identical to the in-memory
+// invsByThread order) as their critical sections close.
+func streamPass3(src ColumnSource, skel *trace.Trace, ann *annStore, p1 *pass1Result, an *Analysis, cfg Config, h *obsHook) error {
+	nThreads := len(skel.Threads)
+	threads := initStreamThreads(an, skel, p1)
 
 	an.hotByLock = map[trace.ObjID][]interval{}
 	if cfg.Composition {
 		an.holdsByThread = make([][]interval, nThreads)
 	}
-	sink := newLockSink(nThreads)
+	sink := newLockSink(nThreads, len(skel.Objects))
 
 	deliver := func(tid int, inv *invocation) {
 		if cfg.Composition {
 			an.holdsByThread[tid] = append(an.holdsByThread[tid], interval{inv.obtT, inv.relT})
 		}
 		st := &threads[tid]
-		accumulateInvocation(sink, &an.Threads[tid], inv, skel.ObjName(inv.lock), cfg.Options, st.pieces, &st.cursor)
+		accumulateInvocation(sink, &an.Threads[tid], inv, skel.ObjName(inv.lock), cfg.Options, st.clips, &st.cursor)
 	}
 
-	var buf []trace.Event
-	var annBuf []byte
+	var cols trace.Columns
+	var flagsBuf []byte
 	i := int32(0)
 	for s := 0; s < src.NumSegments(); s++ {
 		first, count := src.SegmentBounds(s)
-		var err error
-		buf, err = src.LoadSegment(s, buf)
+		bytes, err := src.LoadColumns(s, &cols)
 		if err != nil {
 			return err
 		}
-		annBuf, err = ann.readRange(first, count, annBuf)
+		flagsBuf, err = ann.readFlags(first, count, flagsBuf)
 		if err != nil {
 			return err
 		}
-		for k := range buf {
-			e := &buf[k]
-			tid := int(e.Thread)
+		cT, cTh, cKind, cObj, cArg := cols.T, cols.Thread, cols.Kind, cols.Obj, cols.Arg
+		for k := 0; k < count; k++ {
+			tid := int(cTh[k])
 			st := &threads[tid]
+			kind := trace.EventKind(cKind[k])
+			t := cT[k]
+			obj := trace.ObjID(cObj[k])
+			arg := cArg[k]
 
 			// Blocking-time accounting skips each thread's first event
 			// (as the in-memory pass does: there is no preceding
 			// interval to account).
 			if st.seen {
 				ts := &an.Threads[tid]
-				switch e.Kind {
+				switch kind {
 				case trace.EvBarrierDepart:
-					if e.Arg == 0 {
-						ts.BarrierWait += e.T - st.prevT
+					if arg == 0 {
+						ts.BarrierWait += t - st.prevT
 					}
 				case trace.EvCondWaitBegin:
 					if st.condBegin == nil {
 						st.condBegin = map[trace.ObjID]trace.Time{}
 					}
-					st.condBegin[e.Obj] = e.T
+					st.condBegin[obj] = t
 				case trace.EvCondWaitEnd:
-					if begin, ok := st.condBegin[e.Obj]; ok {
-						ts.CondWait += e.T - begin
-						delete(st.condBegin, e.Obj)
+					if begin, ok := st.condBegin[obj]; ok {
+						ts.CondWait += t - begin
+						delete(st.condBegin, obj)
 					}
 				case trace.EvChanSend:
-					cs := sink.chanOf(e.Obj, skel.ObjName(e.Obj))
+					cs := sink.chanOf(obj, skel.ObjName(obj))
 					cs.Sends++
-					if e.Arg&trace.ChanArgBlocked != 0 {
-						w := e.T - st.prevT
+					if arg&trace.ChanArgBlocked != 0 {
+						w := t - st.prevT
 						cs.BlockedSends++
 						cs.SendWait += w
 						if w > cs.MaxWait {
@@ -976,10 +1113,10 @@ func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Re
 						ts.ChanWait += w
 					}
 				case trace.EvChanRecv:
-					cs := sink.chanOf(e.Obj, skel.ObjName(e.Obj))
+					cs := sink.chanOf(obj, skel.ObjName(obj))
 					cs.Recvs++
-					if e.Arg&trace.ChanArgBlocked != 0 {
-						w := e.T - st.prevT
+					if arg&trace.ChanArgBlocked != 0 {
+						w := t - st.prevT
 						cs.BlockedRecvs++
 						cs.RecvWait += w
 						if w > cs.MaxWait {
@@ -988,50 +1125,46 @@ func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Re
 						ts.ChanWait += w
 					}
 				case trace.EvChanClose:
-					sink.chanOf(e.Obj, skel.ObjName(e.Obj)).Closes++
+					sink.chanOf(obj, skel.ObjName(obj)).Closes++
 				case trace.EvJoinEnd:
-					rec := getAnnRec(annBuf[k*annRecSize : k*annRecSize+annRecSize])
-					if rec.flags&annBlocked != 0 {
-						ts.JoinWait += e.T - st.prevT
+					if flagsBuf[k]&annBlocked != 0 {
+						ts.JoinWait += t - st.prevT
 					}
 				}
 			} else {
 				st.seen = true
 			}
-			st.prevT = e.T
+			st.prevT = t
 
-			switch e.Kind {
+			switch kind {
 			case trace.EvLockAcquire:
 				pos := st.push(invocation{
-					lock: e.Obj, thread: e.Thread,
+					lock: obj, thread: trace.ThreadID(tid),
 					acquireIdx: i, obtainIdx: -1, releaseIdx: -1,
-					acqT: e.T,
+					acqT: t,
 				})
-				if st.open == nil {
-					st.open = map[trace.ObjID]int{}
-				}
-				st.open[e.Obj] = pos
+				st.open.set(obj, pos)
 
 			case trace.EvLockObtain:
-				pos, ok := st.open[e.Obj]
+				pos, ok := st.open.get(obj)
 				if !ok {
-					return fmt.Errorf("core: event %d: obtain of %q without acquire", i, skel.ObjName(e.Obj))
+					return fmt.Errorf("core: event %d: obtain of %q without acquire", i, skel.ObjName(obj))
 				}
 				inv := st.at(pos)
 				inv.obtainIdx = i
-				inv.obtT = e.T
-				inv.contended = e.Contended()
-				inv.shared = e.Shared()
+				inv.obtT = t
+				inv.contended = arg&trace.LockArgContended != 0
+				inv.shared = arg&trace.LockArgShared != 0
 
 			case trace.EvLockRelease:
-				pos, ok := st.open[e.Obj]
+				pos, ok := st.open.get(obj)
 				if !ok {
-					return fmt.Errorf("core: event %d: release of %q without hold", i, skel.ObjName(e.Obj))
+					return fmt.Errorf("core: event %d: release of %q without hold", i, skel.ObjName(obj))
 				}
 				inv := st.at(pos)
 				inv.releaseIdx = i
-				inv.relT = e.T
-				delete(st.open, e.Obj)
+				inv.relT = t
+				st.open.del(obj)
 				// Deliver the closed prefix of the queue — acquire
 				// order, matching the in-memory pass.
 				for st.head < len(st.pend) && st.pend[st.head].releaseIdx >= 0 {
@@ -1044,7 +1177,10 @@ func streamPass3(src SegmentSource, skel *trace.Trace, ann *annFile, p1 *pass1Re
 			}
 			i++
 		}
-		h.scanned(len(buf))
+		h.scanned(count, bytes)
+		// Pass 3 is the last annotation consumer; shed each segment's
+		// shard as soon as it is behind us.
+		ann.release(s)
 	}
 
 	// End of trace: invocations still open get the trace's end as

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -28,18 +29,19 @@ func simTrace(t *testing.T, name string, threads int, seed int64) *trace.Trace {
 }
 
 // segmented writes tr under dir with the given segment/frame sizes and
-// opens it back.
-func segmented(t *testing.T, tr *trace.Trace, segEvents, frameEvents int) *segment.Reader {
+// opens it back, memory-mapped or buffered per noMmap.
+func segmented(t *testing.T, tr *trace.Trace, segEvents, frameEvents int, noMmap bool) *segment.Reader {
 	t.Helper()
 	dir := filepath.Join(t.TempDir(), "segs")
 	err := segment.WriteTrace(dir, tr, segment.Options{SegmentEvents: segEvents, FrameEvents: frameEvents})
 	if err != nil {
 		t.Fatalf("WriteTrace: %v", err)
 	}
-	r, err := segment.Open(dir)
+	r, err := segment.OpenWith(dir, segment.ReadOptions{NoMmap: noMmap})
 	if err != nil {
-		t.Fatalf("Open: %v", err)
+		t.Fatalf("OpenWith: %v", err)
 	}
+	t.Cleanup(func() { r.Close() })
 	if r.NumEvents() != len(tr.Events) {
 		t.Fatalf("segmented trace has %d events, want %d", r.NumEvents(), len(tr.Events))
 	}
@@ -106,9 +108,9 @@ func requireIdentical(t *testing.T, mem, str *core.Analysis, composition bool) {
 
 // TestAnalyzeStreamMatchesInMemory is the differential oracle for the
 // tentpole invariant: AnalyzeStream over segments is bit-identical to
-// Analyze over the same events, across workloads, seeds, segment sizes
-// and walk-window sizes (including the pathological 1-event segments
-// and a 1-segment cache).
+// Analyze over the same events, across workloads, seeds, segment
+// sizes (including the pathological 1-event segments), walk-window
+// sizes, pass parallelism, mmap on/off and annotation spill mode.
 func TestAnalyzeStreamMatchesInMemory(t *testing.T) {
 	type cfg struct {
 		workload string
@@ -146,22 +148,49 @@ func TestAnalyzeStreamMatchesInMemory(t *testing.T) {
 				// Small traces earn the pathological shapes.
 				segSizes = append(segSizes, 7, 1)
 			}
+			check := func(r *segment.Reader, cfg core.Config, label string) {
+				t.Helper()
+				str, err := core.AnalyzeStream(r, cfg)
+				if err != nil {
+					t.Fatalf("AnalyzeStream(%s): %v", label, err)
+				}
+				requireIdentical(t, mem, str, true)
+				if t.Failed() {
+					t.Fatalf("divergence at %s", label)
+				}
+			}
 			for _, segEvents := range segSizes {
-				r := segmented(t, tr, segEvents, 16)
-				for _, window := range []int{1, 2, 4} {
-					str, err := core.AnalyzeStream(r, core.StreamOptions{
-						Options:       core.DefaultOptions(),
-						CacheSegments: window,
-						Composition:   true,
-					})
-					if err != nil {
-						t.Fatalf("AnalyzeStream(seg=%d, window=%d): %v", segEvents, window, err)
-					}
-					requireIdentical(t, mem, str, true)
-					if t.Failed() {
-						t.Fatalf("divergence at seg=%d window=%d", segEvents, window)
+				for _, noMmap := range []bool{false, true} {
+					r := segmented(t, tr, segEvents, 16, noMmap)
+					for _, par := range []int{1, 2, 8} {
+						check(r, core.Config{
+							Options:          core.DefaultOptions(),
+							CacheSegments:    2,
+							Composition:      true,
+							ParallelSegments: par,
+						}, fmt.Sprintf("seg=%d mmap=%t par=%d", segEvents, !noMmap, par))
 					}
 				}
+			}
+			// Walk-window sweep (the backward walk is sequential at
+			// any parallelism; vary its residency separately).
+			r := segmented(t, tr, segSizes[0], 16, false)
+			for _, window := range []int{1, 2, 4} {
+				check(r, core.Config{
+					Options:       core.DefaultOptions(),
+					CacheSegments: window,
+					Composition:   true,
+				}, fmt.Sprintf("window=%d", window))
+			}
+			// Spill mode: a negative annotation budget forces the
+			// temp-file path, sequential and parallel.
+			for _, par := range []int{1, 8} {
+				check(r, core.Config{
+					Options:          core.DefaultOptions(),
+					Composition:      true,
+					ParallelSegments: par,
+					AnnotationBudget: -1,
+				}, fmt.Sprintf("spill par=%d", par))
 			}
 		})
 	}
@@ -207,20 +236,28 @@ func TestAnalyzeStreamSpilledCollector(t *testing.T) {
 	if r.NumEvents() != len(tr.Events) {
 		t.Fatalf("spilled trace has %d events, want %d", r.NumEvents(), len(tr.Events))
 	}
-	str, err := core.AnalyzeStream(r, core.StreamOptions{Options: core.DefaultOptions(), Composition: true})
+	str, err := core.AnalyzeStream(r, core.Config{Options: core.DefaultOptions(), Composition: true})
 	if err != nil {
 		t.Fatalf("AnalyzeStream: %v", err)
 	}
 	requireIdentical(t, mem, str, true)
+
+	// The spiller's reader supports concurrent loads too: the parallel
+	// passes must agree byte-for-byte.
+	par, err := core.AnalyzeStream(r, core.Config{Options: core.DefaultOptions(), Composition: true, ParallelSegments: 4})
+	if err != nil {
+		t.Fatalf("AnalyzeStream(par=4): %v", err)
+	}
+	requireIdentical(t, mem, par, true)
 }
 
 // TestAnalyzeStreamEmpty checks the empty-source contract.
 func TestAnalyzeStreamEmpty(t *testing.T) {
 	tr := simTrace(t, "micro", 4, 1)
-	r := segmented(t, tr, 0, 0)
+	r := segmented(t, tr, 0, 0, false)
 	// A reader over a real directory is never empty; exercise the
 	// guard through a stub.
-	if _, err := core.AnalyzeStream(emptySource{r}, core.DefaultStreamOptions()); err != trace.ErrEmptyTrace {
+	if _, err := core.AnalyzeStream(emptySource{r}, core.DefaultConfig()); err != trace.ErrEmptyTrace {
 		t.Fatalf("AnalyzeStream(empty) = %v, want ErrEmptyTrace", err)
 	}
 }

@@ -23,6 +23,10 @@ type Progress struct {
 	// BytesSpilled is the number of bytes written to spill storage
 	// (annotation temp file, collector run files).
 	BytesSpilled int64 `json:"bytes_spilled"`
+	// BytesRead is the number of encoded segment-body bytes decoded so
+	// far (0 for the in-memory pipeline and for sources that do not
+	// report sizes). Per-pass throughput derives from its growth.
+	BytesRead int64 `json:"bytes_read"`
 }
 
 // Observer receives the analysis pipeline's self-instrumentation
@@ -117,6 +121,7 @@ type Instruments struct {
 	events   *Counter
 	segments *Counter
 	spilled  *Counter
+	read     *Counter
 }
 
 // NewInstruments binds instrumentation to reg, creating the counter
@@ -127,6 +132,7 @@ func NewInstruments(reg *Registry) *Instruments {
 		events:   reg.Counter("critlock_analysis_events_total", "Trace events processed by analysis passes.", nil),
 		segments: reg.Counter("critlock_analysis_segments_total", "Segment loads performed by streaming analyses.", nil),
 		spilled:  reg.Counter("critlock_analysis_spilled_bytes_total", "Bytes written to analysis spill storage.", nil),
+		read:     reg.Counter("critlock_analysis_read_bytes_total", "Encoded segment bytes decoded by streaming analyses.", nil),
 	}
 }
 
@@ -137,34 +143,61 @@ func (ins *Instruments) phaseHistogram(phase string) *Histogram {
 		map[string]string{"phase": phase}, nil)
 }
 
+// rateBuckets bound the per-pass decode-throughput histogram, in MB/s.
+var rateBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// rateHistogram returns the decode-throughput histogram for one phase.
+func (ins *Instruments) rateHistogram(phase string) *Histogram {
+	return ins.reg.Histogram("critlock_pass_mbps",
+		"Segment decode throughput of analysis passes, MB per second.",
+		map[string]string{"phase": phase}, rateBuckets)
+}
+
 // Run returns a fresh per-run Observer feeding this Instruments.
 func (ins *Instruments) Run() Observer { return &insRun{ins: ins} }
 
 // insRun tracks one run's last cumulative Progress so shared counters
-// advance by deltas.
+// advance by deltas, plus the bytes mark at the current phase's start
+// so PhaseDone can observe the phase's decode throughput.
 type insRun struct {
-	ins  *Instruments
-	mu   sync.Mutex
-	last Progress
+	ins        *Instruments
+	mu         sync.Mutex
+	last       Progress
+	phaseBytes int64
 }
 
-func (r *insRun) PhaseStart(string) {}
+func (r *insRun) PhaseStart(string) {
+	r.mu.Lock()
+	r.phaseBytes = r.last.BytesRead
+	r.mu.Unlock()
+}
 
 func (r *insRun) PhaseDone(phase string, d time.Duration) {
 	r.ins.phaseHistogram(phase).Observe(d.Seconds())
+	r.mu.Lock()
+	dBytes := r.last.BytesRead - r.phaseBytes
+	r.phaseBytes = r.last.BytesRead
+	r.mu.Unlock()
+	// The analyzer emits the phase's final snapshot before PhaseDone,
+	// so dBytes covers the whole phase.
+	if dBytes > 0 && d > 0 {
+		r.ins.rateHistogram(phase).Observe(float64(dBytes) / 1e6 / d.Seconds())
+	}
 }
 
 func (r *insRun) OnProgress(p Progress) {
 	r.mu.Lock()
 	// The event cursor resets at phase boundaries (each pass re-reads
 	// the trace), so a phase change restarts the event delta from zero;
-	// Segments and BytesSpilled stay cumulative over the whole run.
+	// Segments, BytesSpilled and BytesRead stay cumulative over the
+	// whole run.
 	if p.Phase != r.last.Phase {
 		r.last.Events = 0
 	}
 	dEvents := p.Events - r.last.Events
 	dSegments := p.Segments - r.last.Segments
 	dSpilled := p.BytesSpilled - r.last.BytesSpilled
+	dRead := p.BytesRead - r.last.BytesRead
 	r.last = p
 	r.mu.Unlock()
 	// Only forward movement within a phase counts.
@@ -176,6 +209,9 @@ func (r *insRun) OnProgress(p Progress) {
 	}
 	if dSpilled > 0 {
 		r.ins.spilled.Add(dSpilled)
+	}
+	if dRead > 0 {
+		r.ins.read.Add(dRead)
 	}
 }
 

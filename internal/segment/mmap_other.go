@@ -1,0 +1,16 @@
+//go:build !unix
+
+package segment
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("segment: mmap unsupported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole of f read-only. Returns the mapping, which
+// must be released with munmapFile. Fails (and the caller falls back
+// to buffered reads) for empty files or on platforms/filesystems that
+// refuse the mapping.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

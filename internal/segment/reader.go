@@ -10,6 +10,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"critlock/internal/trace"
 )
@@ -244,17 +246,55 @@ func (fr *FileReader) Close() error {
 
 // Reader reads a segmented trace directory. It implements the
 // streaming analyzer's SegmentSource: the skeleton (registrations,
-// metadata, no events) plus random access to whole decoded segments.
+// metadata, no events) plus random access to whole decoded segments —
+// as events (LoadSegment) or as a columnar view (LoadColumns).
+//
+// Segment files open lazily on first access and stay open —
+// memory-mapped unless ReadOptions.NoMmap or the platform forbids it
+// — so repeated passes over the same segment never reopen, reseek or
+// re-verify the file. Checksums, the footer-vs-manifest cross-check
+// and the magic/version header are verified exactly once per segment.
+// Distinct segments may be loaded from distinct goroutines
+// concurrently; Close releases every mapping and buffer.
 type Reader struct {
-	dir   string
-	skel  *trace.Trace
-	segs  []SegmentInfo
-	total int
+	dir     string
+	opts    ReadOptions
+	skel    *trace.Trace
+	segs    []SegmentInfo
+	total   int
+	handles []segHandle
 }
 
-// Open reads and verifies dir's manifest. Segment files themselves
-// are opened lazily by LoadSegment.
-func Open(dir string) (*Reader, error) {
+// ReadOptions configures how a Reader accesses segment files.
+type ReadOptions struct {
+	// NoMmap forces buffered reads of segment bodies. The zero value
+	// memory-maps each file where the platform supports it and falls
+	// back to reading it into memory where it does not.
+	NoMmap bool
+}
+
+// segHandle is the lazily initialized per-segment state: the raw file
+// image (mapped or read) with its verified frame region.
+type segHandle struct {
+	once   sync.Once
+	data   []byte // whole file image
+	mapped bool   // data is an mmap and needs munmapFile
+	body   []byte // frame region: data[after magic+version : footerOff]
+	err    error
+
+	// verified flips once LoadColumns has checked event ordering,
+	// thread ranges and the footer range against this handle's
+	// immutable bytes; later loads of the same segment skip those
+	// scans. Atomic because parallel passes may load concurrently.
+	verified atomic.Bool
+}
+
+// Open reads and verifies dir's manifest with default options.
+// Segment files themselves are opened lazily on first load.
+func Open(dir string) (*Reader, error) { return OpenWith(dir, ReadOptions{}) }
+
+// OpenWith is Open with explicit access options.
+func OpenWith(dir string, opts ReadOptions) (*Reader, error) {
 	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, err
@@ -304,7 +344,7 @@ func Open(dir string) (*Reader, error) {
 			})
 		}
 	}
-	r := &Reader{dir: dir, skel: skel}
+	r := &Reader{dir: dir, opts: opts, skel: skel}
 	nSegs := d.count("segment")
 	for i := uint64(0); i < nSegs && d.err == nil; i++ {
 		s := SegmentInfo{
@@ -340,6 +380,7 @@ func Open(dir string) (*Reader, error) {
 	if d.pos != len(body) {
 		return nil, fmt.Errorf("segment: manifest has %d trailing bytes", len(body)-d.pos)
 	}
+	r.handles = make([]segHandle, len(r.segs))
 	return r, nil
 }
 
@@ -362,38 +403,235 @@ func (r *Reader) SegmentBounds(i int) (first, count int) {
 	return r.segs[i].First, r.segs[i].Count
 }
 
-// LoadSegment decodes segment i into buf (reusing its capacity),
-// verifying checksums, ordering, the manifest's index entry and that
-// every event's thread is registered.
-func (r *Reader) LoadSegment(i int, buf []trace.Event) ([]trace.Event, error) {
+// handle returns segment i's verified file image, opening and
+// checking it on first access. Safe for concurrent use.
+func (r *Reader) handle(i int) (*segHandle, error) {
+	h := &r.handles[i]
+	h.once.Do(func() { h.err = r.openSegment(i, h) })
+	if h.err != nil {
+		return nil, h.err
+	}
+	return h, nil
+}
+
+// openSegment maps (or reads) segment i's file and verifies, once for
+// the reader's lifetime: trailer, footer CRC, body CRC, magic/version
+// header and the footer-vs-manifest cross-check.
+func (r *Reader) openSegment(i int, h *segHandle) error {
 	s := r.segs[i]
-	fr, err := OpenFile(filepath.Join(r.dir, s.Name))
+	f, err := os.Open(filepath.Join(r.dir, s.Name))
 	if err != nil {
-		return buf[:0], err
+		return err
 	}
-	defer fr.Close()
-	ftr := fr.Footer()
-	if ftr.Count != s.Count || ftr.MinT != s.MinT || ftr.MaxT != s.MaxT ||
-		ftr.FirstSeq != s.FirstSeq || ftr.LastSeq != s.LastSeq {
-		return buf[:0], fmt.Errorf("segment: %s footer disagrees with manifest", s.Name)
-	}
-	if cap(buf) < s.Count {
-		// Presize from the manifest count: append growth from nil
-		// cumulatively allocates ~5x the final size.
-		buf = make([]trace.Event, 0, s.Count)
-	}
-	out, err := fr.ReadAll(buf[:0])
+	defer f.Close()
+	st, err := f.Stat()
 	if err != nil {
-		return out, err
+		return err
 	}
-	nThreads := len(r.skel.Threads)
-	for j := range out {
-		if out[j].Thread < 0 || int(out[j].Thread) >= nThreads {
-			return out, fmt.Errorf("segment: %s event %d: thread %d out of range",
-				s.Name, s.First+j, out[j].Thread)
+	size := st.Size()
+	if size < int64(len(segMagic))+1+trailerSize {
+		return fmt.Errorf("segment: file %w (%d bytes)", trace.ErrTruncated, size)
+	}
+	if size > int64(maxCount) {
+		return fmt.Errorf("segment: %s is implausibly large (%d bytes)", s.Name, size)
+	}
+	if !r.opts.NoMmap {
+		if data, merr := mmapFile(f, size); merr == nil {
+			h.data, h.mapped = data, true
 		}
 	}
-	return out, nil
+	if h.data == nil {
+		h.data = make([]byte, size)
+		if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), h.data); err != nil {
+			h.data = nil
+			return fmt.Errorf("segment: reading %s: %w", s.Name, err)
+		}
+	}
+	ftr, body, err := verifyImage(h.data)
+	if err != nil {
+		r.dropHandle(h)
+		return err
+	}
+	if ftr.Count != s.Count || ftr.MinT != s.MinT || ftr.MaxT != s.MaxT ||
+		ftr.FirstSeq != s.FirstSeq || ftr.LastSeq != s.LastSeq {
+		r.dropHandle(h)
+		return fmt.Errorf("segment: %s footer disagrees with manifest", s.Name)
+	}
+	h.body = body
+	return nil
+}
+
+// dropHandle releases a handle whose verification failed.
+func (r *Reader) dropHandle(h *segHandle) {
+	if h.mapped && h.data != nil {
+		munmapFile(h.data)
+	}
+	h.data, h.body, h.mapped = nil, nil, false
+}
+
+// verifyImage checks a whole segment file image — trailer, footer CRC
+// and decode, body CRC, magic and version — and returns the decoded
+// footer plus the frame region.
+func verifyImage(data []byte) (*Footer, []byte, error) {
+	size := int64(len(data))
+	tr := data[size-trailerSize:]
+	if string(tr[16:20]) != segEndMagic {
+		return nil, nil, fmt.Errorf("segment: bad end magic %q", tr[16:20])
+	}
+	crcBody := binary.LittleEndian.Uint32(tr[0:4])
+	crcFooter := binary.LittleEndian.Uint32(tr[4:8])
+	footerOff := int64(binary.LittleEndian.Uint64(tr[8:16]))
+	if footerOff < int64(len(segMagic))+1 || footerOff >= size-trailerSize {
+		return nil, nil, fmt.Errorf("segment: footer offset %d out of range", footerOff)
+	}
+	fbuf := data[footerOff : size-trailerSize]
+	if fbuf[0] != footerTag {
+		return nil, nil, fmt.Errorf("segment: bad footer tag 0x%02x", fbuf[0])
+	}
+	plen, n := binary.Uvarint(fbuf[1:])
+	if n <= 0 || plen > maxCount {
+		return nil, nil, errors.New("segment: bad footer length")
+	}
+	payload := fbuf[1+n:]
+	if uint64(len(payload)) != plen {
+		return nil, nil, fmt.Errorf("segment: footer length %d does not match region %d", plen, len(payload))
+	}
+	if crcOf(payload) != crcFooter {
+		return nil, nil, fmt.Errorf("segment: footer %w", trace.ErrChecksum)
+	}
+	ftr, err := decodeFooter(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if crcOf(data[:footerOff]) != crcBody {
+		return nil, nil, fmt.Errorf("segment: body %w", trace.ErrChecksum)
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return nil, nil, fmt.Errorf("segment: bad magic %q", data[:len(segMagic)])
+	}
+	version, n := binary.Uvarint(data[len(segMagic):footerOff])
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("segment: reading version: %w", trace.ErrTruncated)
+	}
+	if version != segVersion {
+		return nil, nil, fmt.Errorf("segment: unsupported version %d", version)
+	}
+	return ftr, data[len(segMagic)+n : footerOff], nil
+}
+
+// LoadColumns batch-decodes segment i into cols (reusing its
+// capacity), verifying frame structure, event ordering, the footer
+// range and that every event's thread is registered. Checksums were
+// already verified when the segment's file image was first opened. It
+// returns the number of encoded body bytes decoded (for throughput
+// accounting).
+func (r *Reader) LoadColumns(i int, cols *trace.Columns) (int64, error) {
+	s := r.segs[i]
+	h, err := r.handle(i)
+	if err != nil {
+		return 0, err
+	}
+	cols.Reset(s.Count)
+	body, pos := h.body, 0
+	for pos < len(body) {
+		if body[pos] != frameTag {
+			return 0, fmt.Errorf("segment: bad frame tag 0x%02x", body[pos])
+		}
+		pos++
+		count, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("segment: frame header %w", trace.ErrTruncated)
+		}
+		pos += n
+		fsize, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("segment: frame header %w", trace.ErrTruncated)
+		}
+		pos += n
+		if count == 0 || count > maxCount {
+			return 0, fmt.Errorf("segment: bad frame count %d", count)
+		}
+		if fsize > uint64(len(body)-pos) {
+			return 0, fmt.Errorf("segment: frame size %d exceeds body", fsize)
+		}
+		if cols.Len()+int(count) > s.Count {
+			return 0, fmt.Errorf("segment: more events than footer count %d", s.Count)
+		}
+		used, err := cols.AppendFrame(body[pos:pos+int(fsize)], int(count))
+		if err != nil {
+			return 0, fmt.Errorf("segment: %s: %w", s.Name, err)
+		}
+		if used != int(fsize) {
+			return 0, fmt.Errorf("segment: frame has %d trailing bytes", int(fsize)-used)
+		}
+		pos += int(fsize)
+	}
+	if cols.Len() != s.Count {
+		return 0, fmt.Errorf("segment: decoded %d events, footer says %d", cols.Len(), s.Count)
+	}
+	if !h.verified.Load() {
+		// First decode of this handle: scan-verify ordering, thread
+		// ranges and the footer range. The bytes are immutable for the
+		// reader's lifetime, so repeat loads skip these scans.
+		if cols.T[0] != s.MinT || cols.Seq[0] != s.FirstSeq {
+			return 0, errors.New("segment: first event disagrees with footer range")
+		}
+		if cols.T[s.Count-1] != s.MaxT || cols.Seq[s.Count-1] != s.LastSeq {
+			return 0, errors.New("segment: last event disagrees with footer range")
+		}
+		for j := 1; j < s.Count; j++ {
+			// Canonical (T, Seq, Thread) order, matching trace.Less.
+			if cols.T[j] < cols.T[j-1] ||
+				(cols.T[j] == cols.T[j-1] && (cols.Seq[j] < cols.Seq[j-1] ||
+					(cols.Seq[j] == cols.Seq[j-1] && cols.Thread[j] <= cols.Thread[j-1]))) {
+				return 0, fmt.Errorf("segment: event %d out of order", j)
+			}
+		}
+		nThreads := int32(len(r.skel.Threads))
+		for j, th := range cols.Thread {
+			if th < 0 || th >= nThreads {
+				return 0, fmt.Errorf("segment: %s event %d: thread %d out of range",
+					s.Name, s.First+j, th)
+			}
+		}
+		h.verified.Store(true)
+	}
+	return int64(len(body)), nil
+}
+
+// LoadSegment decodes segment i into buf (reusing its capacity) with
+// the same verification as LoadColumns.
+func (r *Reader) LoadSegment(i int, buf []trace.Event) ([]trace.Event, error) {
+	var cols trace.Columns
+	if _, err := r.LoadColumns(i, &cols); err != nil {
+		return buf[:0], err
+	}
+	n := cols.Len()
+	if cap(buf) < n {
+		buf = make([]trace.Event, 0, n)
+	}
+	buf = buf[:0]
+	for j := 0; j < n; j++ {
+		buf = append(buf, cols.Event(j))
+	}
+	return buf, nil
+}
+
+// Close releases every mapped or cached segment image. The Reader
+// must not load segments afterwards.
+func (r *Reader) Close() error {
+	var first error
+	for i := range r.handles {
+		h := &r.handles[i]
+		h.once.Do(func() { h.err = errors.New("segment: reader closed") })
+		if h.mapped && h.data != nil {
+			if err := munmapFile(h.data); err != nil && first == nil {
+				first = err
+			}
+		}
+		h.data, h.body, h.mapped = nil, nil, false
+	}
+	return first
 }
 
 // ReadAll loads the entire directory back into one in-memory Trace —

@@ -60,6 +60,17 @@ type Options struct {
 	// Window is the default streaming walk residency for segment-dir
 	// analyses, overridable per request (?window=N). 0 = core default.
 	Window int
+	// ParallelSegments is the default worker count for the streaming
+	// forward passes, overridable per request (?par=N). 0 or 1 =
+	// sequential; results are identical at any setting.
+	ParallelSegments int
+	// NoMmap disables memory-mapping segment files by default,
+	// overridable per request (?mmap=BOOL).
+	NoMmap bool
+	// AnnotationBudget is the default resident waker-annotation ceiling
+	// in bytes, overridable per request (?annbudget=N). 0 = core
+	// default, negative = always spill.
+	AnnotationBudget int64
 	// CacheReports caps retained reports (FIFO eviction). 0 = 64.
 	CacheReports int
 }
@@ -183,6 +194,9 @@ type analyzeParams struct {
 	format      string // binary | json | stream (body uploads)
 	segdir      string // server-local segment directory
 	window      int
+	par         int
+	mmap        bool
+	annBudget   int64
 	composition bool
 	clip        bool
 	validate    bool
@@ -191,11 +205,14 @@ type analyzeParams struct {
 func parseParams(r *http.Request, defaults Options) (analyzeParams, error) {
 	q := r.URL.Query()
 	p := analyzeParams{
-		format:   "binary",
-		segdir:   q.Get("segdir"),
-		window:   defaults.Window,
-		clip:     true,
-		validate: true,
+		format:    "binary",
+		segdir:    q.Get("segdir"),
+		window:    defaults.Window,
+		par:       defaults.ParallelSegments,
+		mmap:      !defaults.NoMmap,
+		annBudget: defaults.AnnotationBudget,
+		clip:      true,
+		validate:  true,
 	}
 	if f := q.Get("format"); f != "" {
 		switch f {
@@ -221,6 +238,27 @@ func parseParams(r *http.Request, defaults Options) (analyzeParams, error) {
 			return p, httpErrorf(http.StatusBadRequest, "bad window=%q: want a non-negative integer", v)
 		}
 		p.window = n
+	}
+	if v := q.Get("par"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, httpErrorf(http.StatusUnprocessableEntity, "bad par=%q: want a non-negative integer", v)
+		}
+		p.par = n
+	}
+	if v := q.Get("mmap"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return p, httpErrorf(http.StatusUnprocessableEntity, "bad mmap=%q: want a boolean", v)
+		}
+		p.mmap = b
+	}
+	if v := q.Get("annbudget"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, httpErrorf(http.StatusUnprocessableEntity, "bad annbudget=%q: want an integer byte count", v)
+		}
+		p.annBudget = n
 	}
 	for name, dst := range map[string]*bool{
 		"composition": &p.composition, "clip": &p.clip, "validate": &p.validate,
@@ -322,11 +360,13 @@ func (s *Server) analyzeSegdir(ctx context.Context, params analyzeParams) (*Repo
 		return rep, nil
 	}
 
-	rdr, err := segment.Open(params.segdir)
+	rdr, err := segment.OpenWith(params.segdir, segment.ReadOptions{NoMmap: !params.mmap})
 	if err != nil {
 		return nil, fmt.Errorf("opening %s: %w", params.segdir, err)
 	}
-	an, err := s.run(ctx, id, source, core.StreamSource(rdr), params)
+	// closingSource releases the reader's mappings when the analysis
+	// goroutine finishes, even if the request deadline abandoned it.
+	an, err := s.run(ctx, id, source, closingSource{rdr}, params)
 	if err != nil {
 		return nil, err
 	}
@@ -358,9 +398,12 @@ func (s *Server) run(ctx context.Context, id, source string, src core.Source, pa
 			Workers:  s.opts.Workers,
 			Observer: obs.Combine(s.ins.Run(), tracked),
 		},
-		CacheSegments: params.window,
-		TmpDir:        s.opts.TmpDir,
-		Composition:   params.composition,
+		CacheSegments:    params.window,
+		TmpDir:           s.opts.TmpDir,
+		Composition:      params.composition,
+		ParallelSegments: params.par,
+		NoMmap:           !params.mmap,
+		AnnotationBudget: params.annBudget,
 	}
 
 	// The pipeline is not cancellable mid-pass, so a deadline abandons
@@ -385,6 +428,16 @@ func (s *Server) run(ctx context.Context, id, source string, src core.Source, pa
 		go func() { <-ch; cleanup() }()
 		return nil, httpErrorf(http.StatusGatewayTimeout, "analysis exceeded the %s request budget", s.opts.Timeout)
 	}
+}
+
+// closingSource streams from an open segment reader and closes it when
+// the analysis returns, so abandoned (timed-out) runs still release
+// their file mappings.
+type closingSource struct{ rdr *segment.Reader }
+
+func (c closingSource) Run(a *core.Analyzer, cfg core.Config) (*core.Analysis, error) {
+	defer c.rdr.Close()
+	return core.StreamSource(c.rdr).Run(a, cfg)
 }
 
 // cached returns the report for id, or nil.

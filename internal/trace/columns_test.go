@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// frameFor encodes evs as one frame payload (delta chain reset at the
+// frame start), the layout AppendFrame decodes.
+func frameFor(evs []Event) []byte {
+	var buf []byte
+	prev := Event{}
+	for _, e := range evs {
+		buf = AppendEvent(buf, e, prev)
+		prev = e
+	}
+	return buf
+}
+
+func syntheticEvents(n int) []Event {
+	evs := make([]Event, n)
+	t := Time(0)
+	for i := range evs {
+		t += Time(1 + i%3)
+		evs[i] = Event{
+			T:      t,
+			Seq:    uint64(i),
+			Thread: ThreadID(i % 7),
+			Kind:   EventKind(1 + i%int(evKindMax-1)),
+			Obj:    ObjID(i % 5),
+			Arg:    int64(i%11) - 5,
+		}
+	}
+	return evs
+}
+
+func TestAppendFrameMatchesDecodeEvent(t *testing.T) {
+	evs := syntheticEvents(1000)
+	// Mix in records that force the general path: multi-byte varints.
+	evs[100].T = evs[99].T + 1<<40
+	for i := 101; i < len(evs); i++ {
+		evs[i].T += 1 << 40
+	}
+	evs[500].Arg = 1 << 50
+	evs[700].Thread = 90
+	buf := frameFor(evs)
+
+	var cols Columns
+	used, err := cols.AppendFrame(buf, len(evs))
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	if used != len(buf) {
+		t.Fatalf("AppendFrame used %d bytes, want %d", used, len(buf))
+	}
+	if cols.Len() != len(evs) {
+		t.Fatalf("AppendFrame decoded %d events, want %d", cols.Len(), len(evs))
+	}
+	for i, want := range evs {
+		if got := cols.Event(i); got != want {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestAppendFrameInvalid(t *testing.T) {
+	evs := syntheticEvents(4)
+	tests := []struct {
+		name   string
+		mutate func([]Event)
+		want   string
+	}{
+		{"bad kind", func(e []Event) { e[2].Kind = evKindMax }, "invalid event kind"},
+		{"bad obj", func(e []Event) { e[2].Obj = NoObj - 1 }, "out of range"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := make([]Event, len(evs))
+			copy(mut, evs)
+			tc.mutate(mut)
+			var cols Columns
+			_, err := cols.AppendFrame(frameFor(mut), len(mut))
+			if err == nil {
+				t.Fatalf("AppendFrame accepted %s", tc.name)
+			}
+			if got := err.Error(); !strings.Contains(got, tc.want) {
+				t.Fatalf("error %q, want substring %q", got, tc.want)
+			}
+			// The decoded prefix must stay consistent across columns.
+			if cols.Len() != 2 {
+				t.Fatalf("prefix length %d, want 2", cols.Len())
+			}
+			for i := 0; i < cols.Len(); i++ {
+				if got := cols.Event(i); got != evs[i] {
+					t.Fatalf("prefix event %d: got %+v, want %+v", i, got, evs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAppendFrameTruncated(t *testing.T) {
+	evs := syntheticEvents(16)
+	buf := frameFor(evs)
+	var cols Columns
+	if _, err := cols.AppendFrame(buf[:len(buf)-3], len(evs)); err == nil {
+		t.Fatal("AppendFrame accepted a truncated frame")
+	}
+}
+
+func BenchmarkAppendFrame(b *testing.B) {
+	const n = 4096
+	evs := syntheticEvents(n)
+	buf := frameFor(evs)
+	var cols Columns
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cols.Reset(n)
+		if _, err := cols.AppendFrame(buf, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
