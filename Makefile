@@ -12,7 +12,7 @@ GO ?= go
 # seed corpus.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race lint fuzz-smoke stream-diff serve-smoke fmt-check bench bench-smoke bench-stream ci
+.PHONY: all build vet test race lint fuzz-smoke stream-diff serve-smoke fmt-check bench bench-smoke bench-stream instr-smoke docs-check guide ci
 
 all: ci
 
@@ -81,9 +81,26 @@ bench-stream:
 	./scripts/bench_stream_json.sh > BENCH_PR8.json
 	@cat BENCH_PR8.json
 
+# End-to-end instrumenter smoke: instrument examples/instr (an
+# ordinary sync+chan program with a planted hot lock), run the copy,
+# analyze its trace, and assert the planted lock tops the report —
+# plus the golden pin of the rewrite rules (refresh an intended
+# rewrite change with `go test ./internal/instr -update`).
+instr-smoke:
+	$(GO) test ./internal/instr -run 'TestInstrumentExampleEndToEnd|TestGoldenTarget' -count=1 -v
+
+# Docs freshness: re-run the guide's pipeline and fail when the
+# committed docs/GUIDE.md transcripts drifted (numbers normalized).
+# Regenerate with `make guide`.
+docs-check:
+	./scripts/guide.sh check
+
+guide:
+	./scripts/guide.sh gen
+
 # Stable numbers for the benchmarks quoted in README/BENCH_PR*.json.
 bench:
 	$(GO) test -run=xxx -bench='BenchmarkAnalyzeLargeTrace|BenchmarkAnalyzeReuse|BenchmarkMergeVsSort|BenchmarkRunAllParallel' -benchtime=30x -benchmem .
 	$(GO) test -run=xxx -bench=BenchmarkAnalyzeStream2M -benchtime=2x -benchmem .
 
-ci: lint fmt-check build race stream-diff serve-smoke fuzz-smoke bench-smoke
+ci: lint fmt-check build race stream-diff serve-smoke fuzz-smoke bench-smoke instr-smoke docs-check

@@ -1,0 +1,185 @@
+package clrt
+
+import (
+	"time"
+
+	"critlock/internal/harness"
+)
+
+// Chan is the traced drop-in replacement for a Go channel of element
+// type T. The instrumenter rewrites `chan T` types to Chan[T],
+// `make(chan T, n)` to MakeChan, and send/recv/close/len/cap sites to
+// the corresponding methods; payload values flow through the traced
+// channel with Go's exact semantics (FIFO buffering, rendezvous
+// hand-off, close-and-drain, zero value on closed-empty receive).
+//
+// The zero Chan is a nil channel: Send and Recv block forever and
+// Close panics, as in Go. Chan values are comparable and copyable like
+// the chan references they replace.
+type Chan[T any] struct {
+	h harness.Chan
+}
+
+// MakeChan creates a traced channel with the given name (analysis
+// tables show it) and buffer capacity; it is the rewritten form of
+// make(chan T, capacity).
+func MakeChan[T any](name string, capacity int) Chan[T] {
+	return Chan[T]{h: ensureRuntime().NewChan(name, capacity)}
+}
+
+// cast converts a payload back to T. A nil payload (anonymous token,
+// or the zero report from a closed drained channel) yields T's zero
+// value.
+func cast[T any](v any) T {
+	if v == nil {
+		var zero T
+		return zero
+	}
+	return v.(T)
+}
+
+// blockForever parks the calling goroutine permanently — the behavior
+// of sending to or receiving from a nil channel.
+func blockForever() {
+	select {}
+}
+
+// IsNil reports whether c is the zero (nil) channel; the instrumenter
+// rewrites `ch == nil` / `ch != nil` comparisons onto it.
+func (c Chan[T]) IsNil() bool { return c.h == nil }
+
+// Send sends v, blocking until a receiver or buffer slot is available.
+// Sending on a closed channel panics; sending on a nil channel blocks
+// forever.
+func (c Chan[T]) Send(v T) {
+	if c.h == nil {
+		blockForever()
+	}
+	valproc().SendVal(c.h, v)
+}
+
+// Recv receives a value, blocking until one is available or the
+// channel is closed; ok is false iff the channel is closed and
+// drained, in which case the value is T's zero. Receiving from a nil
+// channel blocks forever.
+func (c Chan[T]) Recv() (T, bool) {
+	if c.h == nil {
+		blockForever()
+	}
+	v, ok := valproc().RecvVal(c.h)
+	return cast[T](v), ok
+}
+
+// Recv1 is Recv discarding the ok flag — the rewritten form of a
+// single-valued `<-ch` expression.
+func (c Chan[T]) Recv1() T {
+	v, _ := c.Recv()
+	return v
+}
+
+// Close closes the channel. Closing a closed or nil channel panics, as
+// in Go.
+func (c Chan[T]) Close() {
+	if c.h == nil {
+		panic("close of nil channel")
+	}
+	cur().Close(c.h)
+}
+
+// Len returns the number of values buffered, the rewritten len(ch).
+func (c Chan[T]) Len() int {
+	if c.h == nil {
+		return 0
+	}
+	return valproc().ChanLen(c.h)
+}
+
+// Cap returns the buffer capacity, the rewritten cap(ch).
+func (c Chan[T]) Cap() int {
+	if c.h == nil {
+		return 0
+	}
+	return c.h.Cap()
+}
+
+// SelCase is one arm of Select, built with SendCase or RecvCase.
+type SelCase struct {
+	h    harness.Chan
+	send bool
+	val  any
+}
+
+// SendCase builds a select arm that sends v on c. A nil channel yields
+// a never-ready arm, as in Go.
+func SendCase[T any](c Chan[T], v T) SelCase {
+	return SelCase{h: c.h, send: true, val: v}
+}
+
+// RecvCase builds a select arm that receives from c. A nil channel
+// yields a never-ready arm.
+func RecvCase[T any](c Chan[T]) SelCase {
+	return SelCase{h: c.h}
+}
+
+// Select runs a select over the given arms, blocking unless def is
+// true (the statement had a default clause). It returns the index of
+// the chosen arm in cases (-1 for default), the received value for a
+// receive arm (cast it with Val), and the receive's ok flag. Ready
+// arms are chosen by lowest index; Go's uniform-random choice is a
+// superset of this behavior, and a fixed order keeps traces
+// reproducible under CRITLOCK_SEED.
+func Select(def bool, cases ...SelCase) (int, any, bool) {
+	// Nil-channel arms can never fire; compact them out and map the
+	// chosen index back, so the harness only sees real channels.
+	hc := make([]harness.SelectCase, 0, len(cases))
+	vals := make([]any, 0, len(cases))
+	idx := make([]int, 0, len(cases))
+	for i, sc := range cases {
+		if sc.h == nil {
+			continue
+		}
+		hc = append(hc, harness.SelectCase{Ch: sc.h, Send: sc.send})
+		vals = append(vals, sc.val)
+		idx = append(idx, i)
+	}
+	if len(hc) == 0 {
+		if def {
+			return -1, nil, false
+		}
+		blockForever()
+	}
+	k, v, ok := valproc().SelectVal(hc, vals, def)
+	if k < 0 {
+		return -1, nil, false
+	}
+	return idx[k], v, ok
+}
+
+// Val converts a value returned by Select back to the receive arm's
+// element type; the instrumenter inserts it at the top of each receive
+// case body.
+func Val[T any](v any) T { return cast[T](v) }
+
+// Cast converts a value returned by Select back to this channel's
+// element type. The receiver only supplies the type — the instrumenter
+// calls it on the select arm's channel temp so it never has to render
+// T's spelling itself.
+func (c Chan[T]) Cast(v any) T { return cast[T](v) }
+
+// Nil returns the nil channel of c's element type — the rewritten form
+// of assigning nil to an instrumented channel variable (the idiom that
+// disables a select arm).
+func (c Chan[T]) Nil() Chan[T] { return Chan[T]{} }
+
+// After is the traced shim for time.After: it returns an instrumented
+// buffered channel that delivers the current time after d, so timeout
+// arms in rewritten selects stay inside the traced world. The timer
+// fires from an untracked goroutine; only the delivery is traced.
+func After(d time.Duration) Chan[time.Time] {
+	c := MakeChan[time.Time]("time.After", 1)
+	go func() {
+		time.Sleep(d)
+		c.Send(time.Now())
+	}()
+	return c
+}

@@ -1,0 +1,69 @@
+package clrt
+
+import (
+	"sync"
+
+	"critlock/internal/harness"
+)
+
+// WaitGroup is the traced drop-in replacement for sync.WaitGroup,
+// built on a traced mutex + condition variable so that Wait blocking
+// shows up in the trace with a real waker edge (the Add(-1) that
+// dropped the counter to zero broadcasts, and the walk attributes the
+// wake to that thread). Semantics match sync.WaitGroup, including the
+// panic on a negative counter.
+type WaitGroup struct {
+	name  string
+	once  sync.Once
+	m     harness.Mutex
+	c     harness.Cond
+	count int
+}
+
+// SetName sets the name the wait group's internals report under; see
+// Mutex.SetName.
+func (wg *WaitGroup) SetName(name string) { wg.name = name }
+
+func (wg *WaitGroup) init() {
+	wg.once.Do(func() {
+		n := wg.name
+		if n == "" {
+			n = autoName("waitgroup")
+		}
+		rt := ensureRuntime()
+		wg.m = rt.NewMutex(n + ".mu")
+		wg.c = rt.NewCond(n + ".cv")
+	})
+}
+
+// Add adds delta, which may be negative, to the counter. If the
+// counter reaches zero all threads blocked in Wait are released; if it
+// goes negative Add panics.
+func (wg *WaitGroup) Add(delta int) {
+	wg.init()
+	p := cur()
+	p.Lock(wg.m)
+	wg.count += delta
+	if wg.count < 0 {
+		p.Unlock(wg.m)
+		panic("sync: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		p.Broadcast(wg.c)
+	}
+	p.Unlock(wg.m)
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks until the counter is zero.
+func (wg *WaitGroup) Wait() {
+	wg.init()
+	p := cur()
+	p.Lock(wg.m)
+	for wg.count != 0 {
+		p.Wait(wg.c, wg.m)
+	}
+	p.Unlock(wg.m)
+}

@@ -1,0 +1,104 @@
+// Command clainstr instruments a copy of a Go module for critical
+// lock analysis: it rewrites sync.Mutex/RWMutex/WaitGroup types, go
+// statements, func main, os.Exit and (where resolvable) channel
+// operations onto the critlock/clrt runtime, so running the copy
+// emits a critlock trace ready for cla / clasrv / clalint -report.
+//
+//	clainstr -o /tmp/app-instr ./myapp     # instrument myapp into /tmp/app-instr
+//	cd /tmp/app-instr && go run .          # run it; writes critlock.cltr
+//	go run ./cmd/cla -trace critlock.cltr  # analyze the trace
+//
+// The instrumented copy's go.mod gets a replace directive pointing at
+// the critlock repository (auto-detected when clainstr runs via `go
+// run` from the repo; override with -critlock). Trace output is
+// steered with CRITLOCK_OUT / CRITLOCK_SEGDIR / CRITLOCK_SEED /
+// CRITLOCK_QUIET — see package critlock/clrt.
+//
+// Constructs the rewriter cannot handle faithfully are reported on
+// stderr per file and line and left untouched (channel
+// instrumentation degrades to off as a whole when any channel flow is
+// unresolvable). Exit status: 0 success, 1 findings in -strict mode,
+// 2 usage/internal error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"critlock/internal/cliflags"
+	"critlock/internal/instr"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clainstr:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out, errOut io.Writer) (int, error) {
+	fs := flag.NewFlagSet("clainstr", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		outDir   = fs.String("o", "", "output directory for the instrumented copy (required)")
+		critlock = fs.String("critlock", "", "path to the critlock repository (default: auto-detect)")
+		module   = fs.String("module", "", "module path to synthesize when the target has no go.mod")
+		tests    = cliflags.Tests(fs)
+		nochan   = fs.Bool("nochan", false, "disable channel instrumentation")
+		strict   = fs.Bool("strict", false, "treat any skipped construct as an error (exit 1)")
+		jsonOut  = fs.Bool("json", false, "emit the result (rewritten files, findings) as JSON on stdout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: clainstr -o <outdir> [flags] <target-dir> [patterns...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	rest := fs.Args()
+	if *outDir == "" || len(rest) == 0 {
+		fs.Usage()
+		return 2, fmt.Errorf("need -o and a target directory")
+	}
+	res, err := instr.Run(instr.Options{
+		Dir:          rest[0],
+		Out:          *outDir,
+		Patterns:     rest[1:],
+		CritlockDir:  *critlock,
+		IncludeTests: *tests,
+		NoChannels:   *nochan,
+		Strict:       *strict,
+		ModulePath:   *module,
+	})
+	if res != nil {
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if eerr := enc.Encode(res); eerr != nil {
+				return 2, eerr
+			}
+		} else {
+			fmt.Fprintf(errOut, "clainstr: %d file(s) rewritten, %d copied into %s\n",
+				len(res.Rewritten), res.Copied, *outDir)
+			if !res.ChannelsOn {
+				fmt.Fprintln(errOut, "clainstr: channel instrumentation is OFF (unresolvable channel flow or -nochan); channel blocking will not appear in the trace")
+			}
+			instr.WriteReport(errOut, res)
+		}
+	}
+	if err != nil {
+		if *strict && res != nil {
+			fmt.Fprintln(errOut, "clainstr:", err)
+			return 1, nil
+		}
+		return 2, err
+	}
+	return 0, nil
+}

@@ -33,6 +33,7 @@ import (
 	"os"
 	"strings"
 
+	"critlock/internal/cliflags"
 	"critlock/internal/lint"
 )
 
@@ -53,7 +54,7 @@ func run(args []string, out io.Writer) (int, error) {
 		jsonOut    = fs.Bool("json", false, "emit findings as JSON")
 		reportPath = fs.String("report", "", "dynamic analysis JSON (cla -jsonreport / clasrv) to cross-reference")
 		weights    = fs.Bool("weights", false, "print the per-site static critical-section weight table")
-		tests      = fs.Bool("tests", false, "lint _test.go files too")
+		tests      = cliflags.Tests(fs)
 		nocalls    = fs.Bool("nocalls", false, "disable cross-function lock-order propagation")
 		nostd      = fs.Bool("nostdtypes", false, "skip stdlib type resolution (faster, less precise)")
 	)

@@ -50,3 +50,9 @@ func Mmap(fs *flag.FlagSet) *bool {
 func AnnBudget(fs *flag.FlagSet) *int64 {
 	return fs.Int64("annbudget", 0, "resident annotation budget in bytes (0 = default, negative = always spill)")
 }
+
+// Tests registers -tests: whether source-reading tools (clalint,
+// clainstr) include _test.go files.
+func Tests(fs *flag.FlagSet) *bool {
+	return fs.Bool("tests", false, "include _test.go files")
+}

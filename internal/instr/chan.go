@@ -1,0 +1,798 @@
+package instr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"critlock/internal/lint"
+)
+
+// Channel instrumentation is gated on resolvability: the rewrite
+// changes channel variables' types (chan T → clrt.Chan[T]), which is
+// only sound when every flow between channels is visible to the
+// best-effort type information. The classifier splits channel-typed
+// expressions into
+//
+//   - instrumented: the type is spelled in the rewritten source, or
+//     the value originates from a package-local construct (make, a
+//     package-local function's result) — these get clrt types;
+//   - raw: the value originates outside the target (time.After,
+//     ctx.Done(), a field of an external struct) — these keep their
+//     native chan type and their operations are left untouched;
+//   - unknown: the classifier cannot tell.
+//
+// Any unknown operand on a guaranteed channel operation, any mixing of
+// raw and instrumented values (assignment, select arms, call
+// arguments into package-local functions), and any construct whose
+// rewrite would change semantics (defined chan types, chan
+// conversions or assertions) is a conflict: channel instrumentation
+// is disabled for the whole target and every site is reported, so the
+// produced trace is honest about what it does not see.
+
+type lintPackage = lint.Package
+type lintFile = lint.File
+
+const (
+	clUnknown = iota
+	clRaw
+	clInstr
+	clNil
+)
+
+// chanClasses is the module-wide channel classification.
+type chanClasses struct {
+	obj map[types.Object]int
+}
+
+// classifyChannels builds the classification and decides the gate.
+func (ins *instrumenter) classifyChannels(pkgs []*lintPackage) {
+	ins.chanCls = &chanClasses{obj: map[types.Object]int{}}
+	if ins.opts.NoChannels {
+		return
+	}
+	cc := ins.chanCls
+	for _, p := range pkgs {
+		cc.markSpelled(p)
+	}
+	// Inference over `x := origin` chains; a few rounds reach fixpoint
+	// on any realistic def-use depth.
+	for range [3]int{} {
+		for _, p := range pkgs {
+			for _, f := range p.Files {
+				cc.inferDefines(p, f)
+			}
+		}
+	}
+	ok := true
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if !cc.findConflicts(ins, p, f) {
+				ok = false
+			}
+		}
+	}
+	ins.chansOn = ok
+}
+
+// markSpelled classifies every object declared with an explicit type
+// that mentions a channel: its spelling will be rewritten, so the
+// object is instrumented. Covers vars, params, results, struct
+// fields.
+func (cc *chanClasses) markSpelled(p *lintPackage) {
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.ValueSpec:
+				if v.Type != nil && astContainsChan(v.Type) {
+					for _, name := range v.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							cc.obj[obj] = clInstr
+						}
+					}
+				}
+			case *ast.Field:
+				if v.Type != nil && astContainsChan(v.Type) {
+					for _, name := range v.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							cc.obj[obj] = clInstr
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inferDefines propagates classes through `x := expr` and
+// `var x = expr` where the type is inferred from the initializer.
+func (cc *chanClasses) inferDefines(p *lintPackage, f *lintFile) {
+	mark := func(id ast.Expr, c int) {
+		ident, ok := unparen(id).(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return
+		}
+		obj := p.Info.Defs[ident]
+		if obj == nil {
+			obj = p.Info.Uses[ident]
+		}
+		if obj == nil {
+			return
+		}
+		if t := obj.Type(); t != nil && !typeContainsChan(t, 0) {
+			return // not channel-ish: class is irrelevant
+		}
+		if _, have := cc.obj[obj]; !have && (c == clInstr || c == clRaw) {
+			cc.obj[obj] = c
+		}
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok != token.DEFINE {
+				return true
+			}
+			if len(v.Rhs) == 1 && len(v.Lhs) > 1 {
+				c := cc.class(p, f, v.Rhs[0])
+				for _, lhs := range v.Lhs {
+					mark(lhs, c)
+				}
+				return true
+			}
+			for i := range v.Lhs {
+				if i < len(v.Rhs) {
+					mark(v.Lhs[i], cc.class(p, f, v.Rhs[i]))
+				}
+			}
+		case *ast.ValueSpec:
+			if v.Type != nil {
+				return true
+			}
+			if len(v.Values) == 1 && len(v.Names) > 1 {
+				c := cc.class(p, f, v.Values[0])
+				for _, name := range v.Names {
+					mark(name, c)
+				}
+				return true
+			}
+			for i := range v.Names {
+				if i < len(v.Values) {
+					mark(v.Names[i], cc.class(p, f, v.Values[i]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// class classifies one expression's channel provenance.
+func (cc *chanClasses) class(p *lintPackage, f *lintFile, e ast.Expr) int {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		obj := objOf(p, v)
+		if obj == nil {
+			if v.Name == "nil" {
+				return clNil
+			}
+			return clUnknown
+		}
+		if _, isNil := obj.(*types.Nil); isNil {
+			return clNil
+		}
+		if c, ok := cc.obj[obj]; ok {
+			return c
+		}
+		return clUnknown
+	case *ast.UnaryExpr:
+		if v.Op == token.ARROW {
+			return cc.class(p, f, v.X) // element inherits the container's origin
+		}
+		return clUnknown
+	case *ast.IndexExpr:
+		return cc.class(p, f, v.X)
+	case *ast.SelectorExpr:
+		obj := p.Info.Uses[v.Sel]
+		if obj == nil {
+			return clRaw // field/method of a stubbed external type
+		}
+		if pkgLocal(p, obj) {
+			if c, ok := cc.obj[obj]; ok {
+				return c
+			}
+			return clUnknown
+		}
+		return clRaw // real external object (e.g. time.Ticker.C)
+	case *ast.CallExpr:
+		if isBuiltin(p, v.Fun, "make") && len(v.Args) >= 1 {
+			if _, ok := unparen(v.Args[0]).(*ast.ChanType); ok {
+				return clInstr
+			}
+			return clUnknown
+		}
+		switch fn := unparen(v.Fun).(type) {
+		case *ast.Ident:
+			if obj := objOf(p, fn); pkgLocal(p, obj) {
+				return clInstr // result type is spelled in this package
+			}
+			return clRaw
+		case *ast.SelectorExpr:
+			if x, ok := fn.X.(*ast.Ident); ok && f.TimeName != "" && x.Name == f.TimeName && fn.Sel.Name == "After" {
+				return clInstr // rewritten to the clrt.After shim
+			}
+			if obj := p.Info.Uses[fn.Sel]; pkgLocal(p, obj) {
+				return clInstr
+			}
+			return clRaw
+		case *ast.FuncLit:
+			return clInstr
+		}
+		return clRaw
+	case *ast.CompositeLit:
+		return clInstr // literal elements are spelled in this package
+	case *ast.TypeAssertExpr:
+		return clUnknown
+	default:
+		return clUnknown
+	}
+}
+
+// findConflicts scans one file for constructs that make channel
+// rewriting unsound, reporting each; false means the gate must close.
+func (cc *chanClasses) findConflicts(ins *instrumenter, p *lintPackage, f *lintFile) bool {
+	ok := true
+	conflict := func(n ast.Node, construct, reason string) {
+		ins.report(f.Path, p.Fset.Position(n.Pos()).Line, construct, reason)
+		ok = false
+	}
+	warn := func(n ast.Node, construct, reason string) {
+		ins.report(f.Path, p.Fset.Position(n.Pos()).Line, construct, reason)
+	}
+	var stack []ast.Node
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch v := n.(type) {
+		case *ast.TypeSpec:
+			if v.Assign == token.NoPos {
+				if _, isChan := unparen(v.Type).(*ast.ChanType); isChan {
+					conflict(v, "named-chan-type",
+						"a defined channel type would lose channel operations after rewriting; channel instrumentation disabled")
+				}
+			}
+		case *ast.CallExpr:
+			if _, isChan := unparen(v.Fun).(*ast.ChanType); isChan {
+				conflict(v, "chan-conversion",
+					"conversion to a channel type cannot be rewritten; channel instrumentation disabled")
+			}
+			cc.checkCallArgs(ins, p, f, v, conflict, warn)
+			if isBuiltin(p, v.Fun, "close") && len(v.Args) == 1 {
+				if cc.class(p, f, v.Args[0]) == clUnknown && exprMayBeChan(p, v.Args[0]) {
+					conflict(v, "chan-close", "close of a channel with unresolvable provenance")
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if v.Type != nil && astContainsChan(v.Type) {
+				conflict(v, "chan-assert",
+					"type assertion on a channel type cannot be rewritten; channel instrumentation disabled")
+			}
+		case *ast.TypeSwitchStmt:
+			for _, s := range v.Body.List {
+				if clause, isClause := s.(*ast.CaseClause); isClause {
+					for _, t := range clause.List {
+						if astContainsChan(t) {
+							conflict(t, "chan-assert",
+								"type switch over a channel type cannot be rewritten; channel instrumentation disabled")
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if v.Type != nil && astContainsChan(v.Type) {
+				for _, val := range v.Values {
+					if c := cc.class(p, f, val); c != clInstr {
+						conflict(val, "chan-mixed",
+							"initializer of a declared channel type is not an instrumentable channel")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			cc.checkAssign(p, f, v, conflict)
+		case *ast.SendStmt:
+			if cc.class(p, f, v.Chan) == clUnknown {
+				conflict(v, "chan-send", "send on a channel with unresolvable provenance")
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && cc.class(p, f, v.X) == clUnknown {
+				conflict(v, "chan-recv", "receive from a channel with unresolvable provenance")
+			}
+		case *ast.SelectStmt:
+			cc.checkSelect(p, f, v, conflict)
+		case *ast.ReturnStmt:
+			cc.checkReturn(p, f, v, stack, conflict)
+		}
+		return true
+	})
+	return ok
+}
+
+// exprMayBeChan guards builtin checks that are only channel ops for
+// channel arguments.
+func exprMayBeChan(p *lintPackage, e ast.Expr) bool {
+	t := typeOf(p, e)
+	return t == nil || isChanType(t)
+}
+
+// checkAssign flags raw↔instrumented assignment mixing and nil
+// assignments the rewriter cannot express.
+func (cc *chanClasses) checkAssign(p *lintPackage, f *lintFile, v *ast.AssignStmt, conflict func(ast.Node, string, string)) {
+	if v.Tok == token.DEFINE {
+		return // inference territory; types follow the initializer
+	}
+	if len(v.Lhs) != len(v.Rhs) {
+		return // multi-value: result types follow the (checked) call
+	}
+	for i := range v.Lhs {
+		lc := cc.class(p, f, v.Lhs[i])
+		rc := cc.class(p, f, v.Rhs[i])
+		switch {
+		case lc == clInstr && rc == clNil:
+			if !simpleAssignable(v.Lhs[i]) {
+				conflict(v, "chan-nil",
+					"nil assigned to an instrumented channel through an expression the rewriter cannot re-evaluate")
+			}
+		case lc == clInstr && rc != clInstr && rc != clUnknown:
+			conflict(v, "chan-mixed",
+				"external channel assigned to an instrumented channel variable")
+		case lc == clRaw && rc == clInstr:
+			conflict(v, "chan-mixed",
+				"instrumented channel assigned to an external channel variable")
+		}
+	}
+}
+
+// simpleAssignable: identifiers and plain selector chains can be
+// duplicated for the `ch = ch.Nil()` rewrite without repeating side
+// effects.
+func simpleAssignable(e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return simpleAssignable(v.X)
+	}
+	return false
+}
+
+// checkSelect enforces per-select homogeneity: all arms instrumented
+// or all raw.
+func (cc *chanClasses) checkSelect(p *lintPackage, f *lintFile, v *ast.SelectStmt, conflict func(ast.Node, string, string)) {
+	instr, raw := 0, 0
+	for _, s := range v.Body.List {
+		clause, isClause := s.(*ast.CommClause)
+		if !isClause || clause.Comm == nil {
+			continue
+		}
+		ch := commChan(clause.Comm)
+		if ch == nil {
+			continue
+		}
+		switch cc.class(p, f, ch) {
+		case clInstr:
+			instr++
+		case clRaw:
+			raw++
+		default:
+			conflict(clause, "chan-select", "select arm channel has unresolvable provenance")
+		}
+	}
+	if instr > 0 && raw > 0 {
+		conflict(v, "chan-mixed-select",
+			"select mixes instrumented and external channels; it cannot be rewritten faithfully")
+	}
+}
+
+// commChan extracts the channel operand of a select comm clause.
+func commChan(s ast.Stmt) ast.Expr {
+	switch v := s.(type) {
+	case *ast.SendStmt:
+		return v.Chan
+	case *ast.ExprStmt:
+		if u, ok := unparen(v.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(v.Rhs) == 1 {
+			if u, ok := unparen(v.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// checkCallArgs flags channel arguments that cross the
+// instrumentation boundary in either direction.
+func (cc *chanClasses) checkCallArgs(ins *instrumenter, p *lintPackage, f *lintFile, v *ast.CallExpr, conflict, warn func(ast.Node, string, string)) {
+	var callee types.Object
+	switch fn := unparen(v.Fun).(type) {
+	case *ast.Ident:
+		callee = objOf(p, fn)
+		if _, isB := callee.(*types.Builtin); isB {
+			return
+		}
+	case *ast.SelectorExpr:
+		callee = p.Info.Uses[fn.Sel]
+	default:
+		return
+	}
+	if pkgLocal(p, callee) {
+		fnObj, isFn := callee.(*types.Func)
+		if !isFn {
+			return
+		}
+		sig, isSig := fnObj.Type().(*types.Signature)
+		if !isSig {
+			return
+		}
+		for i, arg := range v.Args {
+			pi := i
+			if pi >= sig.Params().Len() {
+				if !sig.Variadic() {
+					break
+				}
+				pi = sig.Params().Len() - 1
+			}
+			if pi < 0 || !typeContainsChan(sig.Params().At(pi).Type(), 0) {
+				continue
+			}
+			if c := cc.class(p, f, arg); c == clRaw || c == clNil {
+				conflict(arg, "chan-arg",
+					"external (or nil) channel passed to a package-local parameter whose type will be rewritten")
+			}
+		}
+		return
+	}
+	// External callee: a rewritten channel passed out may not compile
+	// against the real signature. The copy fails loudly if so; warn.
+	for _, arg := range v.Args {
+		if cc.class(p, f, arg) == clInstr && isChanType(typeOf(p, arg)) {
+			warn(arg, "chan-external",
+				"instrumented channel passed to an external call; if the instrumented copy fails to compile, rerun with -nochan")
+		}
+	}
+}
+
+// checkReturn verifies returned channels match the (rewritten)
+// result types of the nearest enclosing function.
+func (cc *chanClasses) checkReturn(p *lintPackage, f *lintFile, ret *ast.ReturnStmt, stack []ast.Node, conflict func(ast.Node, string, string)) {
+	var results *ast.FieldList
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			results = fn.Type.Results
+		case *ast.FuncDecl:
+			results = fn.Type.Results
+		}
+		if results != nil || isFuncNode(stack[i]) {
+			break
+		}
+	}
+	if results == nil || len(ret.Results) == 0 {
+		return
+	}
+	// Flatten result fields to positional types.
+	var rtypes []ast.Expr
+	for _, fld := range results.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			rtypes = append(rtypes, fld.Type)
+		}
+	}
+	for i, expr := range ret.Results {
+		if i >= len(rtypes) {
+			break
+		}
+		if _, isChan := unparen(rtypes[i]).(*ast.ChanType); !isChan {
+			continue
+		}
+		if c := cc.class(p, f, expr); c == clRaw || c == clNil || c == clUnknown {
+			conflict(expr, "chan-return",
+				"returned value does not match the function's rewritten channel result type")
+		}
+	}
+}
+
+func isFuncNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.FuncLit, *ast.FuncDecl:
+		return true
+	}
+	return false
+}
+
+// ---- rewrites (called from fileRewriter) ----
+
+// chanClass is the rewriter's view: only meaningful when the gate is
+// open.
+func (rw *fileRewriter) chanClass(e ast.Expr) int {
+	if !rw.ins.chansOn {
+		return clRaw
+	}
+	return rw.ins.chanCls.class(rw.pkg, rw.file, e)
+}
+
+// recvExpr rewrites `<-ch` on instrumented channels to ch.Recv1().
+// Two-value receives are intercepted earlier, in assignStmt.
+func (rw *fileRewriter) recvExpr(v *ast.UnaryExpr) ast.Expr {
+	if rw.chanClass(v.X) == clInstr {
+		ch := rw.expr(v.X)
+		rw.changed = true
+		return call(sel(ch, "Recv1"))
+	}
+	v.X = rw.expr(v.X)
+	return v
+}
+
+// nilCompare rewrites `ch == nil` / `ch != nil` on instrumented
+// channels; returns nil when the comparison is not one.
+func (rw *fileRewriter) nilCompare(v *ast.BinaryExpr) ast.Expr {
+	if v.Op != token.EQL && v.Op != token.NEQ {
+		return nil
+	}
+	var chExpr ast.Expr
+	switch {
+	case isNilIdent(v.Y) && rw.chanClass(v.X) == clInstr:
+		chExpr = v.X
+	case isNilIdent(v.X) && rw.chanClass(v.Y) == clInstr:
+		chExpr = v.Y
+	default:
+		return nil
+	}
+	rw.changed = true
+	isNil := ast.Expr(call(sel(rw.expr(chExpr), "IsNil")))
+	if v.Op == token.NEQ {
+		isNil = &ast.UnaryExpr{Op: token.NOT, X: isNil}
+	}
+	return isNil
+}
+
+// sendStmt rewrites `ch <- v` on instrumented channels.
+func (rw *fileRewriter) sendStmt(v *ast.SendStmt) []ast.Stmt {
+	if rw.chanClass(v.Chan) != clInstr {
+		v.Chan = rw.expr(v.Chan)
+		v.Value = rw.expr(v.Value)
+		return []ast.Stmt{v}
+	}
+	ch := rw.expr(v.Chan)
+	val := rw.expr(v.Value)
+	rw.changed = true
+	return []ast.Stmt{exprStmt(call(sel(ch, "Send"), val))}
+}
+
+// assignStmt intercepts two-value receives and nil stores before
+// generic expression rewriting.
+func (rw *fileRewriter) assignStmt(v *ast.AssignStmt) []ast.Stmt {
+	if len(v.Lhs) == 2 && len(v.Rhs) == 1 {
+		if u, ok := unparen(v.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW && rw.chanClass(u.X) == clInstr {
+			ch := rw.expr(u.X)
+			v.Rhs[0] = call(sel(ch, "Recv"))
+			for i := range v.Lhs {
+				v.Lhs[i] = rw.expr(v.Lhs[i])
+			}
+			rw.changed = true
+			return []ast.Stmt{v}
+		}
+	}
+	if v.Tok == token.ASSIGN && len(v.Lhs) == len(v.Rhs) {
+		for i := range v.Rhs {
+			if isNilIdent(v.Rhs[i]) && rw.chanClass(v.Lhs[i]) == clInstr && simpleAssignable(v.Lhs[i]) {
+				v.Rhs[i] = call(sel(cloneSimple(v.Lhs[i]), "Nil"))
+				rw.changed = true
+			}
+		}
+	}
+	for i := range v.Lhs {
+		v.Lhs[i] = rw.expr(v.Lhs[i])
+	}
+	for i := range v.Rhs {
+		v.Rhs[i] = rw.expr(v.Rhs[i])
+	}
+	return []ast.Stmt{v}
+}
+
+// cloneSimple duplicates an ident/selector chain (guarded by
+// simpleAssignable) so the same l-value can appear on both sides.
+func cloneSimple(e ast.Expr) ast.Expr {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return ident(v.Name)
+	case *ast.SelectorExpr:
+		return sel(cloneSimple(v.X), v.Sel.Name)
+	}
+	return e
+}
+
+// selectStmt rewrites a select whose arms are all instrumented into a
+// clrt.Select switch; all-raw selects are left alone, and mixed ones
+// were gated off during classification.
+func (rw *fileRewriter) selectStmt(v *ast.SelectStmt) []ast.Stmt {
+	type arm struct {
+		clause  *ast.CommClause
+		chExpr  ast.Expr
+		send    bool
+		sendVal ast.Expr
+		recvLhs []ast.Expr // 0, 1 or 2 targets
+		tok     token.Token
+	}
+	var arms []*arm
+	var defaultClause *ast.CommClause
+	allInstr := true
+	for _, s := range v.Body.List {
+		clause, isClause := s.(*ast.CommClause)
+		if !isClause {
+			continue
+		}
+		if clause.Comm == nil {
+			defaultClause = clause
+			continue
+		}
+		a := &arm{clause: clause, tok: token.DEFINE}
+		switch c := clause.Comm.(type) {
+		case *ast.SendStmt:
+			a.chExpr, a.send, a.sendVal = c.Chan, true, c.Value
+		case *ast.ExprStmt:
+			u, isRecv := unparen(c.X).(*ast.UnaryExpr)
+			if !isRecv || u.Op != token.ARROW {
+				allInstr = false
+				continue
+			}
+			a.chExpr = u.X
+		case *ast.AssignStmt:
+			u, isRecv := unparen(c.Rhs[0]).(*ast.UnaryExpr)
+			if !isRecv || u.Op != token.ARROW {
+				allInstr = false
+				continue
+			}
+			a.chExpr, a.recvLhs, a.tok = u.X, c.Lhs, c.Tok
+		default:
+			allInstr = false
+			continue
+		}
+		if rw.chanClass(a.chExpr) != clInstr {
+			allInstr = false
+		}
+		arms = append(arms, a)
+	}
+	if !rw.ins.chansOn || !allInstr || len(arms) == 0 {
+		// Raw (or empty `select{}`): only rewrite inside the bodies.
+		for _, s := range v.Body.List {
+			if clause, isClause := s.(*ast.CommClause); isClause {
+				if clause.Comm != nil {
+					rw.simpleStmt(&clause.Comm)
+				}
+				clause.Body = rw.stmtList(clause.Body)
+			}
+		}
+		return []ast.Stmt{v}
+	}
+
+	rw.changed = true
+	var pre []ast.Stmt
+	var caseExprs []ast.Expr
+	chTemp := make([]string, len(arms))
+	for i, a := range arms {
+		// Bind channel operands (and non-constant send values) in
+		// source order, exactly as select evaluates them.
+		chTemp[i] = rw.temp("C")
+		pre = append(pre, define(chTemp[i], rw.expr(a.chExpr)))
+		if a.send {
+			valConst := isConstExpr(rw.pkg, a.sendVal)
+			val := rw.expr(a.sendVal)
+			if !valConst {
+				sname := rw.temp("S")
+				pre = append(pre, define(sname, val))
+				val = ident(sname)
+			}
+			caseExprs = append(caseExprs, call(rw.clrtSel("SendCase"), ident(chTemp[i]), val))
+		} else {
+			caseExprs = append(caseExprs, call(rw.clrtSel("RecvCase"), ident(chTemp[i])))
+		}
+	}
+	idxName, valName, okName := rw.temp("Idx"), rw.temp("Val"), rw.temp("Ok")
+	selArgs := append([]ast.Expr{ident(boolName(defaultClause != nil))}, caseExprs...)
+	pre = append(pre,
+		assign(token.DEFINE,
+			[]ast.Expr{ident(idxName), ident(valName), ident(okName)},
+			[]ast.Expr{call(rw.clrtSel("Select"), selArgs...)}),
+		assign(token.ASSIGN,
+			[]ast.Expr{ident("_"), ident("_")},
+			[]ast.Expr{ident(valName), ident(okName)}),
+	)
+
+	var cases []ast.Stmt
+	for i, a := range arms {
+		var body []ast.Stmt
+		if len(a.recvLhs) > 0 {
+			castCall := ast.Expr(call(sel(ident(chTemp[i]), "Cast"), ident(valName)))
+			lhs := make([]ast.Expr, len(a.recvLhs))
+			for j := range a.recvLhs {
+				lhs[j] = rw.expr(a.recvLhs[j])
+			}
+			rhs := []ast.Expr{castCall}
+			if len(lhs) == 2 {
+				rhs = append(rhs, ident(okName))
+			}
+			body = append(body, assign(a.tok, lhs, rhs))
+		}
+		body = append(body, rw.stmtList(a.clause.Body)...)
+		cases = append(cases, &ast.CaseClause{List: []ast.Expr{intLit(i)}, Body: body})
+	}
+	if defaultClause != nil {
+		cases = append(cases, &ast.CaseClause{
+			List: []ast.Expr{&ast.UnaryExpr{Op: token.SUB, X: intLit(1)}},
+			Body: rw.stmtList(defaultClause.Body),
+		})
+	}
+	sw := &ast.SwitchStmt{Tag: ident(idxName), Body: &ast.BlockStmt{List: cases}}
+	return append(pre, sw)
+}
+
+func boolName(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// rangeStmt rewrites `for v := range ch` over instrumented channels
+// into an explicit receive loop.
+func (rw *fileRewriter) rangeStmt(v *ast.RangeStmt) []ast.Stmt {
+	if rw.chanClass(v.X) != clInstr {
+		if v.Key != nil {
+			v.Key = rw.expr(v.Key)
+		}
+		if v.Value != nil {
+			v.Value = rw.expr(v.Value)
+		}
+		v.X = rw.expr(v.X)
+		v.Body.List = rw.stmtList(v.Body.List)
+		return []ast.Stmt{v}
+	}
+	rw.changed = true
+	cname := rw.temp("C")
+	pre := define(cname, rw.expr(v.X))
+	okName := rw.temp("Ok")
+
+	useKey := v.Key != nil && !isBlank(v.Key)
+	vName := "_"
+	if useKey {
+		vName = rw.temp("V")
+	}
+	body := []ast.Stmt{
+		assign(token.DEFINE,
+			[]ast.Expr{ident(vName), ident(okName)},
+			[]ast.Expr{call(sel(ident(cname), "Recv"))}),
+		&ast.IfStmt{
+			Cond: &ast.UnaryExpr{Op: token.NOT, X: ident(okName)},
+			Body: &ast.BlockStmt{List: []ast.Stmt{&ast.BranchStmt{Tok: token.BREAK}}},
+		},
+	}
+	if useKey {
+		body = append(body, assign(v.Tok, []ast.Expr{rw.expr(v.Key)}, []ast.Expr{ident(vName)}))
+	}
+	body = append(body, rw.stmtList(v.Body.List)...)
+	loop := &ast.ForStmt{Body: &ast.BlockStmt{List: body}}
+	return []ast.Stmt{pre, loop}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

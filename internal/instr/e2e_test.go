@@ -1,0 +1,110 @@
+package instr
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"critlock/internal/core"
+	"critlock/internal/trace"
+)
+
+// repoRoot locates the critlock repository from this source file.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestInstrumentExampleEndToEnd is the instr-smoke gate: instrument
+// examples/instr (an ordinary sync+chan program with a planted hot
+// lock), run the copy with `go run`, and assert the resulting trace's
+// analysis ranks the planted lock first.
+func TestInstrumentExampleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run; skipped in -short")
+	}
+	repo := repoRoot(t)
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "copy")
+
+	res, err := Run(Options{
+		Dir: filepath.Join(repo, "examples", "instr"),
+		Out: out,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.ChannelsOn {
+		t.Fatalf("channel instrumentation gated off; findings: %+v", res.Findings)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("unexpected findings: %+v", res.Findings)
+	}
+	if len(res.Rewritten) != 1 || res.Rewritten[0] != "main.go" {
+		t.Fatalf("rewritten = %v, want [main.go]", res.Rewritten)
+	}
+
+	tracePath := filepath.Join(tmp, "trace.cltr")
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = out
+	cmd.Env = append(os.Environ(),
+		"CRITLOCK_OUT="+tracePath,
+		"CRITLOCK_QUIET=1",
+		"CRITLOCK_SEED=1",
+	)
+	if outb, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go run instrumented copy: %v\n%s", err, outb)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("instrumented run wrote no trace: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	an, err := core.AnalyzeDefault(tr)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(an.Locks) == 0 {
+		t.Fatal("analysis found no locks")
+	}
+	if got := an.Locks[0].Name; got != "main.statsMu" {
+		t.Errorf("top lock by CP time = %s, want main.statsMu\n%+v", got, an.Locks)
+	}
+	var stats, config *core.LockStats
+	for i := range an.Locks {
+		switch an.Locks[i].Name {
+		case "main.statsMu":
+			stats = &an.Locks[i]
+		case "main.configMu":
+			config = &an.Locks[i]
+		}
+	}
+	if stats == nil || config == nil {
+		t.Fatalf("expected both planted locks in the table: %+v", an.Locks)
+	}
+	if stats.CPTimePct <= config.CPTimePct {
+		t.Errorf("planted hot lock not dominant: statsMu %.2f%% vs configMu %.2f%%",
+			stats.CPTimePct, config.CPTimePct)
+	}
+	if stats.TotalInvocations != 401 { // one per item, plus main's final read
+		t.Errorf("statsMu TotalInvocations = %d, want 401", stats.TotalInvocations)
+	}
+	if got := an.Trace.NumThreads(); got != 5 {
+		t.Errorf("NumThreads = %d, want 5 (main + 4 workers)", got)
+	}
+}

@@ -1,0 +1,196 @@
+package instr
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// runFixture instruments testdata/<name> into a temp dir and returns
+// the result plus the output dir.
+func runFixture(t *testing.T, name string, opts func(*Options)) (*Result, string) {
+	t.Helper()
+	o := Options{
+		Dir: filepath.Join("testdata", name),
+		Out: filepath.Join(t.TempDir(), "copy"),
+	}
+	if opts != nil {
+		opts(&o)
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", name, err)
+	}
+	return res, o.Out
+}
+
+// TestGoldenTarget pins the full rewrite of the edge-case fixture:
+// embedded mutex fields, deferred unlocks, the RWMutex read/write
+// mix, go closures capturing locks, pointer-passed locks, channel
+// make/send/range/close, select with default, nil-channel disabling,
+// time.After, os.Exit and main wrapping.
+func TestGoldenTarget(t *testing.T) {
+	res, out := runFixture(t, "target", nil)
+	if !res.ChannelsOn {
+		t.Fatalf("channel gate closed on the clean fixture; findings: %+v", res.Findings)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("unexpected findings: %+v", res.Findings)
+	}
+	if len(res.Rewritten) != 2 {
+		t.Fatalf("rewritten = %v, want main.go and util.go", res.Rewritten)
+	}
+	for _, name := range res.Rewritten {
+		got, err := os.ReadFile(filepath.Join(out, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", "golden", name+".golden")
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./internal/instr -update` after an intended rewrite change)", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s drifted from %s — diff the files or refresh with -update\ngot:\n%s", name, golden, got)
+		}
+	}
+
+	main := readOut(t, out, "main.go")
+	for _, marker := range []string{
+		"clrt.Mutex",                       // embedded field + local var
+		"clrt.RWMutex",                     // read/write mix
+		"clrt.WaitGroup",                   // waitgroup type
+		`local.SetName("main.main.local")`, // local lock named after decl
+		"clrt.MakeChan[int]",               // make(chan int, 4)
+		`clrt.Go("produce@`,                // named-func go statement
+		`clrt.Go("func@`,                   // closure go statement
+		"clrt.After(",                      // time.After shim
+		"clrt.Select(",                     // select statement
+		"done.Nil()",                       // `done = nil` disabling
+		".IsNil()",                         // `done == nil` comparison
+		"clrt.Main(func()",                 // main wrapping
+		"clrt.Exit(1)",                     // os.Exit
+	} {
+		if !strings.Contains(main, marker) {
+			t.Errorf("rewritten main.go lacks %q", marker)
+		}
+	}
+	util := readOut(t, out, "util.go")
+	if !strings.Contains(util, `poolMu.SetName("main.poolMu")`) {
+		t.Errorf("rewritten util.go lacks the package-lock SetName init:\n%s", util)
+	}
+
+	if testing.Short() {
+		return
+	}
+	// The rewritten copy must compile against the real clrt package.
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = out
+	if outb, err := cmd.CombinedOutput(); err != nil {
+		t.Errorf("instrumented fixture does not compile: %v\n%s\n-- main.go --\n%s", err, outb, main)
+	}
+}
+
+// TestGatedFixture: unresolvable channel provenance closes the gate
+// module-wide but lock rewriting continues.
+func TestGatedFixture(t *testing.T) {
+	res, out := runFixture(t, "gated", nil)
+	if res.ChannelsOn {
+		t.Error("channel gate stayed open despite a chan type assertion")
+	}
+	if !hasFinding(res, "chan-assert") {
+		t.Errorf("missing chan-assert finding: %+v", res.Findings)
+	}
+	main := readOut(t, out, "main.go")
+	if !strings.Contains(main, "clrt.Mutex") {
+		t.Error("locks were not rewritten while channels are gated off")
+	}
+	if strings.Contains(main, "MakeChan") || strings.Contains(main, ".Send(") {
+		t.Errorf("channel ops rewritten despite the closed gate:\n%s", main)
+	}
+}
+
+// TestNoChannelsFlag: -nochan closes the gate without findings.
+func TestNoChannelsFlag(t *testing.T) {
+	res, out := runFixture(t, "target", func(o *Options) { o.NoChannels = true })
+	if res.ChannelsOn {
+		t.Error("NoChannels did not close the gate")
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("NoChannels produced findings: %+v", res.Findings)
+	}
+	main := readOut(t, out, "main.go")
+	if strings.Contains(main, "MakeChan") {
+		t.Error("channel ops rewritten despite NoChannels")
+	}
+	if !strings.Contains(main, "clrt.Mutex") {
+		t.Error("locks were not rewritten under NoChannels")
+	}
+}
+
+// TestFindingsFixture: refused constructs are reported, never
+// rewritten wrong.
+func TestFindingsFixture(t *testing.T) {
+	res, _ := runFixture(t, "findings", nil)
+	for _, construct := range []string{
+		"named-chan-type", // type pipe chan int
+		"named-sync-type", // type myMu sync.Mutex
+		"sync.Cond",       // the field type and sync.NewCond
+		"log.Fatal",       // exits without flushing the trace
+	} {
+		if !hasFinding(res, construct) {
+			t.Errorf("missing %q finding: %+v", construct, res.Findings)
+		}
+	}
+	if res.ChannelsOn {
+		t.Error("defined chan type did not close the gate")
+	}
+}
+
+// TestStrict: findings become a hard error under Options.Strict.
+func TestStrict(t *testing.T) {
+	o := Options{
+		Dir:    filepath.Join("testdata", "findings"),
+		Out:    filepath.Join(t.TempDir(), "copy"),
+		Strict: true,
+	}
+	res, err := Run(o)
+	if err == nil {
+		t.Fatal("Strict run with findings returned nil error")
+	}
+	if res == nil || len(res.Findings) == 0 {
+		t.Fatalf("Strict error without the findings that caused it: %+v", res)
+	}
+}
+
+func hasFinding(res *Result, construct string) bool {
+	for _, f := range res.Findings {
+		if strings.Contains(f.Construct, construct) {
+			return true
+		}
+	}
+	return false
+}
+
+func readOut(t *testing.T, out, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(out, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,298 @@
+// Package instr is the source-to-source instrumenter behind
+// cmd/clainstr: it rewrites a copy of a target Go module so that its
+// synchronization lands on the critlock/clrt runtime and running the
+// copy records a critical-lock trace.
+//
+// The rewrite strategy is type substitution, not call-site wrapping:
+// sync.Mutex, sync.RWMutex and sync.WaitGroup type references become
+// clrt.Mutex / clrt.RWMutex / clrt.WaitGroup, whose method sets match,
+// so every call site — mu.Lock(), defer mu.Unlock(), struct-embedded
+// mutexes with promoted methods, locks passed by pointer — compiles
+// unchanged. Beyond types, the rewriter touches exactly four
+// statement forms: go statements (wrapped in clrt.Go with eagerly
+// bound arguments), func main (wrapped in clrt.Main so the trace is
+// flushed on exit), os.Exit calls (clrt.Exit, which snapshots the
+// trace first), and — where the package's channel usage is fully
+// resolvable — channel operations (make/send/recv/close/select/range
+// onto clrt.Chan[T]).
+//
+// Name resolution reuses the linter's tolerant loader
+// (internal/lint.LoadPackages): best-effort go/types over each
+// directory package with stdlib source resolution. Constructs the
+// rewriter cannot handle faithfully are never rewritten silently
+// wrong: each is reported as a Finding (per file and line), channel
+// instrumentation degrades to off for the whole target when any
+// channel flow is unresolvable, and Options.Strict turns findings
+// into a hard error.
+package instr
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"critlock/internal/lint"
+)
+
+// Options configures one instrumentation run.
+type Options struct {
+	// Dir is the root of the target module (or package tree). Required.
+	Dir string
+	// Out is the directory the instrumented copy is written to. It is
+	// created if missing and must not be the target itself. Required.
+	Out string
+	// Patterns selects the packages to rewrite, relative to Dir, with
+	// the linter's pattern syntax ("./...", a directory, a file).
+	// Default: ["./..."]. Files outside the patterns are copied
+	// verbatim.
+	Patterns []string
+	// CritlockDir is the critlock repository path used in the replace
+	// directive the instrumented go.mod gets, so the copy resolves
+	// "critlock/clrt". Empty means: locate it from this binary's own
+	// source path (works for `go run`/`go test` builds of clainstr).
+	CritlockDir string
+	// IncludeTests rewrites _test.go files too. Off by default:
+	// instrumented programs are run, not tested, and tests routinely
+	// misuse locks on purpose.
+	IncludeTests bool
+	// NoChannels disables channel instrumentation outright instead of
+	// letting the resolvability gate decide.
+	NoChannels bool
+	// Strict makes Run return an error when any finding was reported.
+	Strict bool
+	// ModulePath names the synthesized module when the target has no
+	// go.mod. Empty means the base name of Dir.
+	ModulePath string
+}
+
+// Finding is one construct the instrumenter skipped, rewrote only
+// partially, or wants the user to know about. The rewriter's
+// contract: anything it cannot rewrite faithfully is either left
+// untouched (and reported) or disables the relevant rewrite class —
+// never rewritten wrong.
+type Finding struct {
+	// File is the display path, relative to the target root.
+	File string `json:"file"`
+	// Line is the 1-based source line.
+	Line int `json:"line"`
+	// Construct identifies what was found: "sync.Cond", "log.Fatal",
+	// "chan-conflict", "chan-external", "named-chan-type", ...
+	Construct string `json:"construct"`
+	// Reason says why the construct was skipped and what that means
+	// for the recorded trace.
+	Reason string `json:"reason"`
+}
+
+// Result summarizes an instrumentation run.
+type Result struct {
+	// Rewritten lists the display paths of files that were modified.
+	Rewritten []string `json:"rewritten"`
+	// Copied counts files copied verbatim into the output tree.
+	Copied int `json:"copied"`
+	// ChannelsOn reports whether channel instrumentation survived the
+	// resolvability gate (false: channel ops left untouched, their
+	// blocking invisible to the trace).
+	ChannelsOn bool `json:"channels_on"`
+	// Findings are the skipped/partial constructs, ordered by file and
+	// line.
+	Findings []Finding `json:"findings"`
+}
+
+// Run instruments the module at opts.Dir into opts.Out and returns
+// what it did. The output tree is complete and self-contained: run it
+// with `go run`/`go build` inside opts.Out; the trace lands where
+// CRITLOCK_SEGDIR / CRITLOCK_OUT point (see package critlock/clrt).
+func Run(opts Options) (*Result, error) {
+	if opts.Dir == "" || opts.Out == "" {
+		return nil, fmt.Errorf("instr: Dir and Out are required")
+	}
+	dir, err := filepath.Abs(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	out, err := filepath.Abs(opts.Out)
+	if err != nil {
+		return nil, err
+	}
+	if out == dir {
+		return nil, fmt.Errorf("instr: output directory equals the target")
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(lint.Options{
+		Dir:          dir,
+		Patterns:     patterns,
+		IncludeTests: opts.IncludeTests,
+		StdlibTypes:  true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("instr: loading target: %w", err)
+	}
+
+	ins := &instrumenter{opts: opts, dir: dir}
+	ins.classifyChannels(pkgs)
+
+	rewritten := map[string][]byte{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			src, changed, err := ins.rewriteFile(p, f)
+			if err != nil {
+				return nil, fmt.Errorf("instr: %s: %w", f.Path, err)
+			}
+			if changed {
+				rewritten[f.Path] = src
+			}
+		}
+	}
+
+	res := &Result{ChannelsOn: ins.chansOn, Findings: ins.findings}
+	for path := range rewritten {
+		res.Rewritten = append(res.Rewritten, path)
+	}
+	sort.Strings(res.Rewritten)
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+
+	copied, err := writeTree(dir, out, rewritten)
+	if err != nil {
+		return nil, err
+	}
+	res.Copied = copied
+	if err := fixGoMod(out, dir, opts); err != nil {
+		return nil, err
+	}
+	if opts.Strict && len(res.Findings) > 0 {
+		return res, fmt.Errorf("instr: %d finding(s) in strict mode", len(res.Findings))
+	}
+	return res, nil
+}
+
+// WriteReport prints the human-readable skip report, grouped by file.
+func WriteReport(w io.Writer, res *Result) {
+	if len(res.Findings) == 0 {
+		return
+	}
+	last := ""
+	for _, f := range res.Findings {
+		if f.File != last {
+			fmt.Fprintf(w, "%s:\n", f.File)
+			last = f.File
+		}
+		fmt.Fprintf(w, "  line %d: [%s] %s\n", f.Line, f.Construct, f.Reason)
+	}
+}
+
+// instrumenter carries run-wide state across files.
+type instrumenter struct {
+	opts     Options
+	dir      string
+	findings []Finding
+	chansOn  bool
+	chanCls  *chanClasses
+}
+
+func (ins *instrumenter) report(file string, line int, construct, reason string) {
+	ins.findings = append(ins.findings, Finding{File: file, Line: line, Construct: construct, Reason: reason})
+}
+
+// writeTree mirrors src into dst: rewritten files get their rendered
+// bytes, everything else is copied verbatim. VCS metadata and nested
+// output dirs are skipped.
+func writeTree(src, dst string, rewritten map[string][]byte) (int, error) {
+	copied := 0
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, path)
+		if rerr != nil {
+			return rerr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != src && (name == ".git" || name == ".hg" || name == ".svn") {
+				return filepath.SkipDir
+			}
+			if abs, _ := filepath.Abs(path); abs == dst {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return nil // sockets, symlinks out of tree: not part of a module build
+		}
+		if body, ok := rewritten[filepath.ToSlash(rel)]; ok {
+			copied++
+			return os.WriteFile(filepath.Join(dst, rel), body, 0o644)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		copied++
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("instr: writing output tree: %w", err)
+	}
+	return copied - len(rewritten), nil
+}
+
+// fixGoMod makes the instrumented copy resolve "critlock/clrt": it
+// appends a require + replace of the critlock module to the copy's
+// go.mod, synthesizing a minimal one when the target has none.
+func fixGoMod(out, dir string, opts Options) error {
+	crit := opts.CritlockDir
+	if crit == "" {
+		crit = selfModuleDir()
+	}
+	if crit == "" {
+		return fmt.Errorf("instr: cannot locate the critlock repository; pass -critlock")
+	}
+	if st, err := os.Stat(filepath.Join(crit, "clrt")); err != nil || !st.IsDir() {
+		return fmt.Errorf("instr: %s does not look like the critlock repository (no clrt/)", crit)
+	}
+	modPath := filepath.Join(out, "go.mod")
+	data, err := os.ReadFile(modPath)
+	if os.IsNotExist(err) {
+		name := opts.ModulePath
+		if name == "" {
+			name = filepath.Base(dir)
+		}
+		data = []byte(fmt.Sprintf("module %s\n\ngo 1.22\n", name))
+	} else if err != nil {
+		return err
+	}
+	if strings.Contains(string(data), "critlock") {
+		return nil // already wired (re-instrumenting an output tree)
+	}
+	add := fmt.Sprintf("\nrequire critlock v0.0.0\n\nreplace critlock => %s\n", crit)
+	return os.WriteFile(modPath, append(data, add...), 0o644)
+}
+
+// selfModuleDir finds the critlock repo root from this source file's
+// compiled-in path — valid whenever clainstr runs via go run / go test
+// from the repo, which is how the tool ships.
+func selfModuleDir() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return ""
+	}
+	// file = <repo>/internal/instr/instr.go
+	d := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	if _, err := os.Stat(filepath.Join(d, "go.mod")); err != nil {
+		return ""
+	}
+	return d
+}

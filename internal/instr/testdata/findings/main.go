@@ -1,0 +1,37 @@
+// This fixture collects the constructs the instrumenter refuses and
+// reports instead of rewriting wrong: defined sync/chan types,
+// sync.Cond, and log.Fatal paths that would lose the trace.
+package main
+
+import (
+	"log"
+	"sync"
+)
+
+// pipe is a defined channel type: rewriting its underlying type would
+// strip channel operations from it.
+type pipe chan int
+
+// myMu is a defined mutex type: the rewritten form would not inherit
+// the method set.
+type myMu sync.Mutex
+
+// gate relies on sync.Cond, which has no traced counterpart.
+type gate struct {
+	mu sync.Mutex
+	cv *sync.Cond
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.cv = sync.NewCond(&g.mu)
+	return g
+}
+
+func main() {
+	g := newGate()
+	if g == nil {
+		log.Fatal("no gate")
+	}
+	g.cv.Signal()
+}

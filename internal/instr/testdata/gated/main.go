@@ -1,0 +1,26 @@
+// This fixture forces the channel gate shut: a channel laundered
+// through the empty interface has unresolvable provenance, so channel
+// instrumentation must turn off module-wide — while lock rewriting
+// carries on.
+package main
+
+import (
+	"fmt"
+	"sync"
+)
+
+var mu sync.Mutex
+
+// escape launders a channel through the empty interface.
+func escape(x interface{}) chan int {
+	return x.(chan int)
+}
+
+func main() {
+	ch := make(chan int, 1)
+	out := escape(ch)
+	mu.Lock()
+	out <- 1
+	mu.Unlock()
+	fmt.Println(<-out)
+}

@@ -1,0 +1,109 @@
+// This fixture pins the instrumenter's rewrite rules: every construct
+// here exercises one rule, and the golden files assert the exact
+// output (refresh with `go test ./internal/instr -update`).
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Counter embeds its mutex; the promoted Lock/Unlock must keep
+// working on the rewritten embedded field.
+type Counter struct {
+	sync.Mutex
+	n int
+}
+
+func (c *Counter) Incr() {
+	c.Lock()
+	defer c.Unlock()
+	c.n++
+}
+
+// global exercises the RWMutex read/write mix.
+var global sync.RWMutex
+
+var state int
+
+func readState() int {
+	global.RLock()
+	defer global.RUnlock()
+	return state
+}
+
+func writeState(v int) {
+	global.Lock()
+	state = v
+	global.Unlock()
+}
+
+// lockThrough receives a lock by pointer.
+func lockThrough(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func produce(out chan int, n int) {
+	for i := 0; i < n; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+func main() {
+	var local sync.Mutex
+	c := &Counter{}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.Incr()
+		lockThrough(&local)
+	}()
+	go func() {
+		defer wg.Done()
+		writeState(readState() + 1)
+	}()
+	wg.Wait()
+
+	work := make(chan int, 4)
+	done := make(chan struct{})
+	go produce(work, 8)
+	go func() {
+		defer close(done)
+		total := 0
+		for v := range work {
+			total += v
+		}
+		writeState(total)
+	}()
+
+	timeout := time.After(50 * time.Millisecond)
+loop:
+	for {
+		select {
+		case _, ok := <-done:
+			if !ok {
+				done = nil
+				continue
+			}
+		case <-timeout:
+			break loop
+		default:
+			if done == nil {
+				break loop
+			}
+		}
+	}
+
+	v, ok := <-work
+	if ok {
+		fmt.Println("unexpected value after close", v)
+		os.Exit(1)
+	}
+	fmt.Println("state", readState(), c.n, len(work), cap(work))
+}

@@ -1,0 +1,14 @@
+package main
+
+import "sync"
+
+// poolMu lives in a second file: each file gets its own SetName init.
+var poolMu sync.Mutex
+
+var pool []int
+
+func put(v int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	pool = append(pool, v)
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Package is one loaded, best-effort type-checked directory package,
+// exposed for consumers beyond the linter's own passes (the
+// source-to-source instrumenter in internal/instr). The type
+// information carries the linter's tolerance guarantees: lookups must
+// handle missing entries, and imports outside the resolved stdlib
+// subset appear as empty stub packages.
+type Package struct {
+	// Name is the package clause name.
+	Name string
+	// Dir is the display directory (slash-separated, relative to the
+	// load root when possible).
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, in deterministic order.
+	Files []*File
+	// Info is the partial type information for the package.
+	Info *types.Info
+	// Types is the checked package object; an object in Info with
+	// Pkg() == Types is declared in this package. May be nil when
+	// checking panicked.
+	Types *types.Package
+}
+
+// File is one parsed source file of a Package.
+type File struct {
+	// Path is the display path (slash-separated, relative to the load
+	// root when possible) — for files under the root it doubles as the
+	// relative output path when writing a rewritten tree.
+	Path string
+	// AST is the parsed file, with comments.
+	AST *ast.File
+	// SyncName is the local import name of "sync" ("" if not
+	// imported); TimeName likewise for "time".
+	SyncName string
+	TimeName string
+}
+
+// LoadPackages expands opts.Patterns, parses and best-effort
+// type-checks every matched file, and returns the result grouped into
+// directory packages. It is the loader behind Run, exported so the
+// instrumenter resolves names with exactly the linter's semantics.
+func LoadPackages(opts Options) ([]*Package, error) {
+	pkgs, err := load(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		ep := &Package{Name: p.name, Dir: p.dir, Fset: p.fset, Info: p.info, Types: p.tpkg}
+		for _, f := range p.files {
+			ep.Files = append(ep.Files, &File{
+				Path: f.path, AST: f.ast, SyncName: f.syncName, TimeName: f.timeName,
+			})
+		}
+		out = append(out, ep)
+	}
+	return out, nil
+}

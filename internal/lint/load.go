@@ -42,6 +42,9 @@ type pkgInfo struct {
 	// mutex they guard, learned from sync.NewCond(&mu) and harness
 	// p.Wait(c, m) pairings.
 	condMutex map[string]string
+	// tpkg is the (partial) checked package object; objects in info
+	// with Pkg() == tpkg are declared in this package.
+	tpkg *types.Package
 }
 
 // load expands patterns, parses every matched file and groups them
@@ -223,7 +226,7 @@ func (p *pkgInfo) typeCheck(imp types.Importer) {
 	// Check can in principle panic on pathological trees; a linter
 	// must never crash on its input, so treat type info as optional.
 	defer func() { _ = recover() }()
-	_, _ = conf.Check(p.name, p.fset, files, p.info)
+	p.tpkg, _ = conf.Check(p.name, p.fset, files, p.info)
 }
 
 // importName returns the local name under which file imports path, or

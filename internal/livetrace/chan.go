@@ -23,14 +23,40 @@ type liveChan struct {
 	name     string
 	capacity int
 
-	mu       sync.Mutex
-	buffered int
-	closed   bool
-	sendq    []*liveChanWaiter
-	recvq    []*liveChanWaiter
+	mu sync.Mutex
+	// vals is the FIFO of buffered payloads; its length is the buffer
+	// occupancy. Harness-API sends (anonymous tokens) buffer nil.
+	vals   []any
+	closed bool
+	sendq  []*liveChanWaiter
+	recvq  []*liveChanWaiter
 }
 
 var _ harness.Chan = (*liveChan)(nil)
+
+// ValProc is the payload extension this backend's procs implement on
+// top of harness.Proc: channel operations that carry real Go values.
+// The harness API models channels as anonymous-token queues (workloads
+// care about who waits on whom, not what moves); instrumented real
+// programs (critlock/clrt) need the moved values back, so their
+// rewritten channel operations type-assert the current Proc to ValProc.
+// Only the live backend implements it.
+type ValProc interface {
+	harness.Proc
+	// SendVal sends v on c with Send's blocking and event semantics.
+	SendVal(c harness.Chan, v any)
+	// RecvVal receives from c, returning the payload (nil once c is
+	// closed and drained) and the value-ok flag.
+	RecvVal(c harness.Chan) (any, bool)
+	// SelectVal is Select with payloads: sendVals[i] is sent if case i
+	// (a send arm) is chosen; the returned value is the chosen receive
+	// arm's payload (nil for send arms and the default case).
+	SelectVal(cases []harness.SelectCase, sendVals []any, def bool) (int, any, bool)
+	// ChanLen reports c's current buffer occupancy (len(ch)).
+	ChanLen(c harness.Chan) int
+}
+
+var _ ValProc = (*proc)(nil)
 
 // Name implements harness.Chan.
 func (c *liveChan) Name() string { return c.name }
@@ -62,6 +88,10 @@ type liveChanWaiter struct {
 
 	ok          bool // recv result, set by the waker
 	closedPanic bool // send woken by close: panic on resume
+	// val is the payload: a parked sender's outgoing value (read by the
+	// receiver that wakes it), or an incoming value stored by the waker
+	// before a parked receiver is released.
+	val any
 }
 
 // liveSelect is shared by all arms of one blocked select. The first
@@ -73,6 +103,7 @@ type liveSelect struct {
 	chosen int
 
 	ok       bool
+	val      any // received payload when the chosen arm is a receive
 	closedOn *liveChan
 	ready    chan struct{}
 }
@@ -155,6 +186,7 @@ func (c *liveChan) completeRecvLocked(w *liveChanWaiter, ok bool) {
 	if w.sel != nil {
 		arg |= trace.ChanArgSelect
 		w.sel.ok = ok
+		w.sel.val = w.val
 		w.p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg)
 		close(w.sel.ready)
 		return
@@ -164,17 +196,18 @@ func (c *liveChan) completeRecvLocked(w *liveChanWaiter, ok bool) {
 	close(w.ready)
 }
 
-// trySendLocked completes a send without blocking when a receiver is
-// waiting or buffer space is free. Caller holds c.mu.
-func (c *liveChan) trySendLocked(p *proc, arg int64) bool {
+// trySendLocked completes a send of v without blocking when a receiver
+// is waiting or buffer space is free. Caller holds c.mu.
+func (c *liveChan) trySendLocked(p *proc, arg int64, v any) bool {
 	if w := c.popRecvLocked(); w != nil {
 		// Direct handoff: receivers only park on an empty buffer.
+		w.val = v
 		p.buf.Emit(c.rt.now(), trace.EvChanSend, c.id, arg)
 		c.completeRecvLocked(w, true)
 		return true
 	}
-	if c.buffered < c.capacity {
-		c.buffered++
+	if len(c.vals) < c.capacity {
+		c.vals = append(c.vals, v)
 		p.buf.Emit(c.rt.now(), trace.EvChanSend, c.id, arg)
 		return true
 	}
@@ -184,27 +217,29 @@ func (c *liveChan) trySendLocked(p *proc, arg int64) bool {
 // tryRecvLocked completes a receive without blocking when a value is
 // buffered, a sender is waiting, or the channel is closed and drained.
 // done is false when the receive would block. Caller holds c.mu.
-func (c *liveChan) tryRecvLocked(p *proc, arg int64) (ok, done bool) {
-	if c.buffered > 0 {
-		c.buffered--
+func (c *liveChan) tryRecvLocked(p *proc, arg int64) (v any, ok, done bool) {
+	if len(c.vals) > 0 {
+		v = c.vals[0]
+		c.vals = c.vals[1:]
 		p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg)
 		// The freed slot admits the longest-waiting blocked sender.
 		if w := c.popSendLocked(); w != nil {
-			c.buffered++
+			c.vals = append(c.vals, w.val)
 			c.completeSendLocked(w)
 		}
-		return true, true
+		return v, true, true
 	}
 	if w := c.popSendLocked(); w != nil { // unbuffered rendezvous
+		v = w.val
 		p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg)
 		c.completeSendLocked(w)
-		return true, true
+		return v, true, true
 	}
 	if c.closed {
 		p.buf.Emit(c.rt.now(), trace.EvChanRecv, c.id, arg|trace.ChanArgClosed)
-		return false, true
+		return nil, false, true
 	}
-	return false, false
+	return nil, false, false
 }
 
 func (p *proc) chanOf(hc harness.Chan) *liveChan {
@@ -218,7 +253,12 @@ func (p *proc) chanOf(hc harness.Chan) *liveChan {
 // Send implements harness.Proc. Sending on a closed channel panics
 // before any completion event is emitted, with the same message shape
 // as the simulator backend.
-func (p *proc) Send(hc harness.Chan) {
+func (p *proc) Send(hc harness.Chan) { p.SendVal(hc, nil) }
+
+// SendVal is Send carrying a payload value — the instrumented-program
+// path (critlock/clrt), where rewritten channels must deliver real
+// values, not anonymous tokens. Event emission is identical to Send.
+func (p *proc) SendVal(hc harness.Chan, v any) {
 	c := p.chanOf(hc)
 	p.buf.Emit(p.rt.now(), trace.EvChanSendBegin, c.id, 0)
 	c.mu.Lock()
@@ -226,11 +266,11 @@ func (p *proc) Send(hc harness.Chan) {
 		c.mu.Unlock()
 		panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
 	}
-	if c.trySendLocked(p, 0) {
+	if c.trySendLocked(p, 0, v) {
 		c.mu.Unlock()
 		return
 	}
-	w := &liveChanWaiter{p: p, ready: make(chan struct{})}
+	w := &liveChanWaiter{p: p, ready: make(chan struct{}), val: v}
 	c.sendq = append(c.sendq, w)
 	c.mu.Unlock()
 	<-w.ready
@@ -242,18 +282,34 @@ func (p *proc) Send(hc harness.Chan) {
 
 // Recv implements harness.Proc.
 func (p *proc) Recv(hc harness.Chan) bool {
+	_, ok := p.RecvVal(hc)
+	return ok
+}
+
+// RecvVal is Recv carrying the payload: it returns the received value
+// (nil when the channel is closed and drained) and the value-ok flag.
+func (p *proc) RecvVal(hc harness.Chan) (any, bool) {
 	c := p.chanOf(hc)
 	p.buf.Emit(p.rt.now(), trace.EvChanRecvBegin, c.id, 0)
 	c.mu.Lock()
-	if ok, done := c.tryRecvLocked(p, 0); done {
+	if v, ok, done := c.tryRecvLocked(p, 0); done {
 		c.mu.Unlock()
-		return ok
+		return v, ok
 	}
 	w := &liveChanWaiter{p: p, ready: make(chan struct{})}
 	c.recvq = append(c.recvq, w)
 	c.mu.Unlock()
 	<-w.ready
-	return w.ok
+	return w.val, w.ok
+}
+
+// ChanLen reports ch's buffer occupancy — the live counterpart of
+// len(ch), for instrumented programs.
+func (p *proc) ChanLen(hc harness.Chan) int {
+	c := p.chanOf(hc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vals)
 }
 
 // Close implements harness.Proc. Blocked receivers observe
@@ -295,6 +351,21 @@ func (p *proc) Close(hc harness.Chan) {
 // lowest ready index wins, matching the simulator's deterministic
 // choice.
 func (p *proc) Select(cases []harness.SelectCase, def bool) (int, bool) {
+	i, _, ok := p.SelectVal(cases, nil, def)
+	return i, ok
+}
+
+// SelectVal is Select carrying payloads: sendVals[i] is the value the
+// i-th case would send (ignored for receive arms; sendVals may be nil
+// when no case sends), and the second result is the chosen receive's
+// value. Event emission is identical to Select.
+func (p *proc) SelectVal(cases []harness.SelectCase, sendVals []any, def bool) (int, any, bool) {
+	sendVal := func(i int) any {
+		if i < len(sendVals) {
+			return sendVals[i]
+		}
+		return nil
+	}
 	arg := int64(0)
 	if def {
 		arg = 1
@@ -309,17 +380,17 @@ func (p *proc) Select(cases []harness.SelectCase, def bool) (int, bool) {
 					c.mu.Unlock()
 					panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
 				}
-				if c.trySendLocked(p, trace.ChanArgSelect) {
+				if c.trySendLocked(p, trace.ChanArgSelect, sendVal(i)) {
 					c.mu.Unlock()
-					return i, true
+					return i, nil, true
 				}
-			} else if ok, done := c.tryRecvLocked(p, trace.ChanArgSelect); done {
+			} else if v, ok, done := c.tryRecvLocked(p, trace.ChanArgSelect); done {
 				c.mu.Unlock()
-				return i, ok
+				return i, v, ok
 			}
 			c.mu.Unlock()
 		}
-		return -1, true
+		return -1, nil, true
 	}
 
 	sel := &liveSelect{chosen: -1, ok: true, ready: make(chan struct{})}
@@ -331,42 +402,42 @@ func (p *proc) Select(cases []harness.SelectCase, def bool) (int, bool) {
 				c.mu.Unlock()
 				panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
 			}
-			if c.buffered < c.capacity || len(c.recvq) > 0 {
+			if len(c.vals) < c.capacity || len(c.recvq) > 0 {
 				if !sel.claimSelf(i) {
 					c.mu.Unlock()
 					break // an earlier arm already fired; go collect it
 				}
-				if c.trySendLocked(p, trace.ChanArgSelect) {
+				if c.trySendLocked(p, trace.ChanArgSelect, sendVal(i)) {
 					c.mu.Unlock()
-					return i, true
+					return i, nil, true
 				}
 				// The apparently-ready receiver was stolen by a racing
 				// select; we are committed to this arm, so block on it.
-				w := &liveChanWaiter{p: p, ready: make(chan struct{}), argExtra: trace.ChanArgSelect}
+				w := &liveChanWaiter{p: p, ready: make(chan struct{}), argExtra: trace.ChanArgSelect, val: sendVal(i)}
 				c.sendq = append(c.sendq, w)
 				c.mu.Unlock()
 				<-w.ready
 				if w.closedPanic {
 					panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, c.name))
 				}
-				return i, true
+				return i, nil, true
 			}
-		} else if c.buffered > 0 || c.closed || len(c.sendq) > 0 {
+		} else if len(c.vals) > 0 || c.closed || len(c.sendq) > 0 {
 			if !sel.claimSelf(i) {
 				c.mu.Unlock()
 				break
 			}
-			if ok, done := c.tryRecvLocked(p, trace.ChanArgSelect); done {
+			if v, ok, done := c.tryRecvLocked(p, trace.ChanArgSelect); done {
 				c.mu.Unlock()
-				return i, ok
+				return i, v, ok
 			}
 			w := &liveChanWaiter{p: p, ready: make(chan struct{}), argExtra: trace.ChanArgSelect}
 			c.recvq = append(c.recvq, w)
 			c.mu.Unlock()
 			<-w.ready
-			return i, w.ok
+			return i, w.val, w.ok
 		}
-		w := &liveChanWaiter{p: p, sel: sel, idx: i}
+		w := &liveChanWaiter{p: p, sel: sel, idx: i, val: sendVal(i)}
 		if sc.Send {
 			c.sendq = append(c.sendq, w)
 		} else {
@@ -378,5 +449,5 @@ func (p *proc) Select(cases []harness.SelectCase, def bool) (int, bool) {
 	if sel.closedOn != nil {
 		panic(fmt.Sprintf("livetrace: thread %s sends on closed channel %q", p.name, sel.closedOn.name))
 	}
-	return sel.chosen, sel.ok
+	return sel.chosen, sel.val, sel.ok
 }

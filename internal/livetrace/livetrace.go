@@ -42,17 +42,20 @@ type Config struct {
 	SpinThreshold time.Duration
 }
 
-// Runtime is the live harness backend. Create with New; Run may be
-// called once.
+// Runtime is the live harness backend. Create with New; Run (or the
+// Begin/End pair) may be called once.
 type Runtime struct {
 	cfg   Config
 	col   *trace.Collector
 	epoch time.Time
 
-	mu   sync.Mutex
-	wg   sync.WaitGroup
-	ran  bool
-	errs []error
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	ran     bool
+	root    *proc
+	procs   []*proc
+	adopted []*proc
+	errs    []error
 }
 
 var _ harness.Runtime = (*Runtime)(nil)
@@ -127,6 +130,112 @@ func (rt *Runtime) Run(main func(harness.Proc)) (*trace.Trace, trace.Time, error
 	return tr, elapsed, nil
 }
 
+// Begin starts a recording rooted at the calling goroutine instead of
+// running a supplied body: the instrumented-program entry point
+// (critlock/clrt) cannot invert control the way Run does, because the
+// target's main is already executing. The returned Proc must be used
+// from the calling goroutine only, and the recording is closed with
+// End. Begin and Run are mutually exclusive; either may run once.
+func (rt *Runtime) Begin(name string) (harness.Proc, error) {
+	rt.mu.Lock()
+	if rt.ran {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("livetrace: recording already started")
+	}
+	rt.ran = true
+	rt.mu.Unlock()
+	if name == "" {
+		name = "main"
+	}
+	root := rt.newProc(name, trace.NoThread)
+	root.buf.Emit(rt.now(), trace.EvThreadStart, trace.NoObj, int64(root.creator))
+	rt.mu.Lock()
+	rt.root = root
+	rt.mu.Unlock()
+	return root, nil
+}
+
+// Adopt registers the calling goroutine as a traced thread without a
+// spawn edge from Proc.Go. It exists for instrumented programs in
+// which a goroutine was created by un-instrumented code (a library
+// callback, an http server worker) and then touches an instrumented
+// primitive: rather than crash or corrupt the trace, the goroutine is
+// adopted as a child of the root thread, creation stamped at adoption
+// time. Adopted threads are not waited for by End; their exit events
+// are stamped when the recording closes, so they should be quiescent
+// by then. Requires Begin.
+func (rt *Runtime) Adopt(name string) harness.Proc {
+	rt.mu.Lock()
+	root := rt.root
+	rt.mu.Unlock()
+	if root == nil {
+		panic("livetrace: Adopt before Begin")
+	}
+	p := rt.newProc(name, root.id)
+	// The creator-side create event makes the adoption visible to the
+	// analyzer's waker resolution (thread start ← creator's create).
+	// Emitting into the root buffer from here is safe — ThreadBuffer
+	// serializes appends — and the shared sequence counter orders the
+	// create before the start.
+	root.buf.Emit(rt.now(), trace.EvThreadCreate, trace.NoObj, int64(p.id))
+	p.buf.Emit(rt.now(), trace.EvThreadStart, trace.NoObj, int64(p.creator))
+	rt.mu.Lock()
+	rt.adopted = append(rt.adopted, p)
+	rt.mu.Unlock()
+	return p
+}
+
+// End closes a recording opened with Begin: it stamps the root
+// thread's exit, waits for every thread spawned through Proc.Go,
+// stamps adopted threads' exits, and returns the merged trace with the
+// elapsed wall time. Panics recovered in spawned threads are reported
+// like Run reports them.
+func (rt *Runtime) End(rootp harness.Proc) (*trace.Trace, trace.Time, error) {
+	root, ok := rootp.(*proc)
+	if !ok || root.rt != rt || rt.root != root {
+		panic("livetrace: End with a proc that is not this runtime's root")
+	}
+	root.emitExit()
+	close(root.done)
+	rt.wg.Wait()
+	rt.mu.Lock()
+	adopted := append([]*proc(nil), rt.adopted...)
+	rt.mu.Unlock()
+	for _, p := range adopted {
+		p.emitExit()
+		close(p.done)
+	}
+	elapsed := rt.now()
+	tr := rt.col.Finish()
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.errs) > 0 {
+		return tr, elapsed, fmt.Errorf("livetrace: %d thread(s) panicked, first: %w", len(rt.errs), rt.errs[0])
+	}
+	return tr, elapsed, nil
+}
+
+// EndNow snapshots the recording without waiting for spawned threads:
+// every thread that has not yet exited gets its exit stamped at the
+// current time, and the merged trace so far is returned. It exists for
+// instrumented os.Exit paths, where the process is about to die and
+// waiting would change its semantics. Threads still running keep
+// running; anything they emit after the snapshot is simply not in the
+// returned trace, and a thread cut down inside a critical section will
+// show up as a validation warning (analyze such traces with validation
+// off).
+func (rt *Runtime) EndNow() (*trace.Trace, trace.Time) {
+	rt.mu.Lock()
+	procs := append([]*proc(nil), rt.procs...)
+	rt.mu.Unlock()
+	for _, p := range procs {
+		p.emitExit()
+	}
+	elapsed := rt.now()
+	return rt.col.Finish(), elapsed
+}
+
 func (rt *Runtime) recordErr(err error) {
 	rt.mu.Lock()
 	rt.errs = append(rt.errs, err)
@@ -142,6 +251,16 @@ type proc struct {
 	buf     *trace.ThreadBuffer
 	rng     *rand.Rand
 	done    chan struct{}
+	// exited guards the thread-exit event: exactly one of runBody's
+	// epilogue, End and EndNow stamps it.
+	exited atomic.Bool
+}
+
+// emitExit stamps the thread-exit event exactly once.
+func (p *proc) emitExit() {
+	if p.exited.CompareAndSwap(false, true) {
+		p.buf.Emit(p.rt.now(), trace.EvThreadExit, trace.NoObj, 0)
+	}
 }
 
 var _ harness.Proc = (*proc)(nil)
@@ -149,7 +268,7 @@ var _ harness.Thread = (*proc)(nil)
 
 func (rt *Runtime) newProc(name string, creator trace.ThreadID) *proc {
 	buf := rt.col.RegisterThread(name, creator)
-	return &proc{
+	p := &proc{
 		rt:      rt,
 		id:      buf.Thread(),
 		creator: creator,
@@ -158,6 +277,10 @@ func (rt *Runtime) newProc(name string, creator trace.ThreadID) *proc {
 		rng:     rand.New(rand.NewSource(rt.cfg.Seed*1000003 + int64(buf.Thread()) + 1)),
 		done:    make(chan struct{}),
 	}
+	rt.mu.Lock()
+	rt.procs = append(rt.procs, p)
+	rt.mu.Unlock()
+	return p
 }
 
 // runBody wraps the thread body with start/exit events, panic capture
@@ -169,7 +292,7 @@ func (p *proc) runBody(fn func(harness.Proc)) {
 		if r := recover(); r != nil {
 			rt.recordErr(fmt.Errorf("thread %s panicked: %v", p.name, r))
 		}
-		p.buf.Emit(rt.now(), trace.EvThreadExit, trace.NoObj, 0)
+		p.emitExit()
 		close(p.done)
 	}()
 	fn(p)
@@ -306,6 +429,35 @@ func (p *proc) RUnlock(hm harness.Mutex) {
 	}
 	p.buf.Emit(p.rt.now(), trace.EvLockRelease, m.id, trace.LockArgShared)
 	m.mu.RUnlock()
+}
+
+// TryRLocker is the shared-mode try extension: sync.RWMutex has
+// TryRLock, harness.Proc does not (the simulator never needed it), so
+// instrumented programs (critlock/clrt) reach it through this
+// interface. Only the live backend implements it.
+type TryRLocker interface {
+	// TryRLock attempts a shared hold of m without blocking. Like
+	// TryLock, a failed try emits no events and a successful one is by
+	// construction uncontended.
+	TryRLock(m harness.Mutex) bool
+}
+
+var _ TryRLocker = (*proc)(nil)
+
+// TryRLock implements TryRLocker.
+func (p *proc) TryRLock(hm harness.Mutex) bool {
+	m, ok := hm.(*liveMutex)
+	if !ok || m.rt != p.rt {
+		panic("livetrace: mutex from another runtime")
+	}
+	//lint:ignore missingunlock TryRLock implements the protocol; the caller releases via proc.RUnlock
+	if !m.mu.TryRLock() {
+		return false
+	}
+	m.readers.Add(1)
+	p.buf.Emit(p.rt.now(), trace.EvLockAcquire, m.id, trace.LockArgShared)
+	p.buf.Emit(p.rt.now(), trace.EvLockObtain, m.id, trace.LockArgShared)
+	return true
 }
 
 // BarrierWait implements harness.Proc.
