@@ -12,7 +12,7 @@ GO ?= go
 # seed corpus.
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race lint fuzz-smoke stream-diff serve-smoke fmt-check bench bench-smoke bench-stream instr-smoke docs-check guide ci
+.PHONY: all build vet test race lint fuzz-smoke stream-diff serve-smoke hazard-smoke fmt-check bench bench-smoke bench-stream instr-smoke docs-check guide ci
 
 all: ci
 
@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lint -run '^$$' -fuzz FuzzLint -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hazard -run '^$$' -fuzz FuzzHazard -fuzztime $(FUZZTIME)
 
 # Differential oracle: AnalyzeStream over segmented + spilled traces
 # must be bit-identical to the in-memory analyzer, under the race
@@ -62,6 +63,15 @@ stream-diff:
 serve-smoke:
 	$(GO) test ./internal/serve -run 'TestServeSmokeGolden|TestSegdirMatchesUpload' -count=1 -v
 	$(GO) test . -run TestAnalyzeSourcesAgree -count=1
+
+# Hazard-prediction smoke: the planted deadlock and lost-signal
+# workloads must light up (with the cross-thread witness), every clean
+# workload must report zero hazards, and the streaming pass must be
+# bit-identical to the in-memory one at every tested segmentation and
+# worker count.
+hazard-smoke:
+	$(GO) test ./internal/hazard -run 'TestDeadlockProne|TestLostSignalPlanted|TestCleanWorkloadsNoHazards|TestStreamMatchesInMemory' -count=1 -v
+	$(GO) test ./internal/lint -run TestCrossReferenceHazards -count=1
 
 # Gofmt cleanliness — the build stays formatter-neutral.
 fmt-check:
@@ -103,4 +113,4 @@ bench:
 	$(GO) test -run=xxx -bench='BenchmarkAnalyzeLargeTrace|BenchmarkAnalyzeReuse|BenchmarkMergeVsSort|BenchmarkRunAllParallel' -benchtime=30x -benchmem .
 	$(GO) test -run=xxx -bench=BenchmarkAnalyzeStream2M -benchtime=2x -benchmem .
 
-ci: lint fmt-check build race stream-diff serve-smoke fuzz-smoke bench-smoke instr-smoke docs-check
+ci: lint fmt-check build race stream-diff serve-smoke hazard-smoke fuzz-smoke bench-smoke instr-smoke docs-check

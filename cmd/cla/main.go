@@ -8,6 +8,7 @@
 //	cla -top 0 -threadstats -gantt trace.cltr
 //	cla -csv trace.cltr            # lock table as CSV
 //	cla -segdir segs/              # stream a segmented trace, bounded memory
+//	cla -hazards trace.cltr        # predict feasible deadlocks and lost signals
 //	cla -jsonreport analysis.json trace.cltr   # JSON analysis for clalint -report
 //	cla -stream -segdir segs/ trace.cltr   # convert a trace into segments
 package main
@@ -21,6 +22,7 @@ import (
 	"critlock"
 	"critlock/internal/cliflags"
 	"critlock/internal/core"
+	"critlock/internal/hazard"
 	"critlock/internal/report"
 	"critlock/internal/segment"
 	"critlock/internal/trace"
@@ -46,6 +48,7 @@ func run(args []string) error {
 		noCheck    = fs.Bool("novalidate", false, "skip trace validation")
 		windows    = fs.Int("windows", 0, "split the run into N windows and show per-window criticality")
 		lockOrder  = fs.Bool("lockorder", false, "print the lock acquisition-order graph and deadlock cycles")
+		hazards    = fs.Bool("hazards", false, "predict dynamic hazards: feasible deadlocks (cross-thread lock-order cycles), lost signals, guard inconsistencies")
 		compose    = fs.Bool("composition", false, "print the critical path composition breakdown")
 		svgOut     = fs.String("svg", "", "write an SVG timeline to this file")
 		slack      = fs.Bool("slack", false, "print per-lock slack (distance from the critical path)")
@@ -137,6 +140,30 @@ func run(args []string) error {
 		}
 	}
 
+	// The hazard pass is event-replay-capable in both modes: over the
+	// in-memory trace directly, or segment-range parallel over the
+	// directory (so -hazards composes with -segdir, unlike -lockorder).
+	var hazRep *hazard.Report
+	if *hazards {
+		if *segdir != "" && fs.NArg() == 0 {
+			rdr, err := segment.OpenWith(*segdir, segment.ReadOptions{NoMmap: !*mmap})
+			if err != nil {
+				return err
+			}
+			hazRep, err = hazard.FromSegments(rdr, *parSeg)
+			rdr.Close()
+			if err != nil {
+				return fmt.Errorf("hazard analysis of %s: %w", *segdir, err)
+			}
+		} else {
+			var err error
+			hazRep, err = hazard.FromTrace(tr)
+			if err != nil {
+				return fmt.Errorf("hazard analysis: %w", err)
+			}
+		}
+	}
+
 	if *csvOut {
 		return report.LockReport(an, *top).CSV(os.Stdout)
 	}
@@ -205,6 +232,10 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if hazRep != nil {
+		fmt.Println()
+		hazard.WriteText(os.Stdout, hazRep)
+	}
 	if *jsonReport != "" {
 		source := "trace"
 		if fs.NArg() == 1 {
@@ -217,6 +248,7 @@ func run(args []string) error {
 			return err
 		}
 		rep := report.BuildExport("cla", source, *segdir != "" && fs.NArg() == 0, an)
+		rep.Hazards = hazRep
 		if err := report.WriteExport(rf, rep); err != nil {
 			rf.Close()
 			return err

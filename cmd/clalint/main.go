@@ -11,13 +11,24 @@
 //	clalint -json ./internal/...       # machine-readable findings
 //	clalint -weights ./pkg             # include the site/weight table
 //	clalint -report analysis.json ./...  # rank findings by dynamic CP Time %
+//	clalint -dynamic trace.cltr ./...  # + predicted hazards from a trace
+//	clalint -dynamic segs/ ./...       # same, streaming a segment directory
 //
 // The -report input is the analysis JSON written by `cla -jsonreport`
 // or served by clasrv /v1/analyze: findings whose lock resolves to a
 // dynamic lock name are annotated with the lock's CP Time % and
 // contention probability on the critical path and sort hottest-first,
 // and every hot critical lock with a static hazard gets a summary
-// warning. Exit status: 0 clean, 1 findings, 2 usage/internal error.
+// warning.
+//
+// -dynamic accepts a trace file (binary or JSON), a segment directory,
+// or an analysis JSON that already carries a hazards section, runs the
+// dynamic hazard prediction (feasible deadlock cycles with cross-thread
+// critical sections, lost signals, guard inconsistencies), and merges
+// those findings into the static list: a dynamic deadlock names the
+// static lockorder cycle it corroborates, and the whole view re-ranks
+// by measured CP Time %. Exit status: 0 clean, 1 findings, 2
+// usage/internal error.
 //
 // Findings are suppressed with a justified comment on the same or the
 // preceding line:
@@ -53,6 +64,7 @@ func run(args []string, out io.Writer) (int, error) {
 	var (
 		jsonOut    = fs.Bool("json", false, "emit findings as JSON")
 		reportPath = fs.String("report", "", "dynamic analysis JSON (cla -jsonreport / clasrv) to cross-reference")
+		dynPath    = fs.String("dynamic", "", "trace file, segment directory, or analysis JSON: predict dynamic hazards and merge them into the findings")
 		weights    = fs.Bool("weights", false, "print the per-site static critical-section weight table")
 		tests      = cliflags.Tests(fs)
 		nocalls    = fs.Bool("nocalls", false, "disable cross-function lock-order propagation")
@@ -74,7 +86,16 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	if *reportPath != "" {
+	switch {
+	case *reportPath != "" && *dynPath != "":
+		return 2, fmt.Errorf("-report and -dynamic are exclusive (-dynamic subsumes -report)")
+	case *dynPath != "":
+		rep, err := lint.LoadDynamic(*dynPath)
+		if err != nil {
+			return 2, err
+		}
+		lint.CrossReferenceHazards(res, rep)
+	case *reportPath != "":
 		rep, err := lint.LoadReport(*reportPath)
 		if err != nil {
 			return 2, err

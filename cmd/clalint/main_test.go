@@ -152,3 +152,38 @@ func TestRunWithReport(t *testing.T) {
 		t.Errorf("findings not annotated with CP Time %%:\n%s", out.String())
 	}
 }
+
+// TestRunWithDynamic drives the CLI's -dynamic path: a planted
+// deadlockprone trace merges a dyndeadlock finding into the static
+// list, and -report/-dynamic together are a usage error.
+func TestRunWithDynamic(t *testing.T) {
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	tr, _, err := critlock.RunWorkload(sim, "deadlockprone", critlock.WorkloadParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.cltr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := critlock.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dir := writeDemo(t)
+	var out bytes.Buffer
+	code, err := run([]string{"-dynamic", path, dir}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "[dyndeadlock]") ||
+		!strings.Contains(out.String(), "feasible deadlock") {
+		t.Errorf("output missing the dynamic deadlock finding:\n%s", out.String())
+	}
+
+	if code, err := run([]string{"-report", path, "-dynamic", path, dir}, &out); code != 2 || err == nil {
+		t.Errorf("-report with -dynamic: code=%d err=%v, want usage error", code, err)
+	}
+}

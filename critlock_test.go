@@ -99,8 +99,8 @@ func TestPublicAPIJSONRoundTrip(t *testing.T) {
 
 func TestPublicWorkloads(t *testing.T) {
 	names := critlock.Workloads()
-	if len(names) != 10 {
-		t.Fatalf("Workloads() = %v, want 10 entries", names)
+	if len(names) != 12 {
+		t.Fatalf("Workloads() = %v, want 12 entries", names)
 	}
 	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
 	tr, elapsed, err := critlock.RunWorkload(sim, "micro", critlock.WorkloadParams{Threads: 4})

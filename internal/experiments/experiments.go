@@ -79,7 +79,7 @@ var paperOrder = []string{
 	"fig10", "fig11", "fig12", "fig13", "fig14", "tsp",
 	"ablation-fairness", "ablation-clipping",
 	"extension-phases", "extension-oversub", "extension-sensitivity", "extension-online", "extension-slack", "extension-extract",
-	"extension-channels",
+	"extension-channels", "extension-hazards",
 }
 
 func register(e Experiment) { all = append(all, e) }

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "tsp",
 		"ablation-fairness", "ablation-clipping",
 		"extension-phases", "extension-oversub", "extension-sensitivity", "extension-online", "extension-slack", "extension-extract",
-		"extension-channels",
+		"extension-channels", "extension-hazards",
 	}
 	got := All()
 	if len(got) != len(want) {

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // blockingExtras runs the AST-shaped checks that need no dataflow:
@@ -134,10 +135,18 @@ func (p *pkgInfo) copyLockPass() []Finding {
 // backup.
 func (p *pkgInfo) syncMutexValueType(f *fileInfo, t ast.Expr) string {
 	t = ast.Unparen(t)
-	if sel, ok := t.(*ast.SelectorExpr); ok && f.syncName != "" {
-		if id, ok := sel.X.(*ast.Ident); ok && id.Name == f.syncName {
-			if sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex" {
+	if sel, ok := t.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if f.syncName != "" && id.Name == f.syncName &&
+				(sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex") {
 				return "sync." + sel.Sel.Name
+			}
+			// clrt.Mutex/RWMutex/WaitGroup hold registration state (a
+			// sync.Once and the trace handle): a copy is a different,
+			// unregistered lock, exactly like a copied sync.Mutex.
+			if f.clrtName != "" && id.Name == f.clrtName &&
+				(sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex" || sel.Sel.Name == "WaitGroup") {
+				return "clrt." + sel.Sel.Name
 			}
 		}
 	}
@@ -165,15 +174,17 @@ func (p *pkgInfo) mutexValueCopy(rhs ast.Expr) string {
 	return mutexTypeName(tt)
 }
 
-// mutexTypeName matches the named types sync.Mutex and sync.RWMutex
-// exactly (a pointer to either returns "").
+// mutexTypeName matches the named types sync.Mutex, sync.RWMutex and
+// their clrt replacements exactly (a pointer to any returns "").
 func mutexTypeName(t types.Type) string {
 	if _, isPtr := t.(*types.Pointer); isPtr {
 		return ""
 	}
-	s := t.String()
-	if s == "sync.Mutex" || s == "sync.RWMutex" {
+	switch s := t.String(); s {
+	case "sync.Mutex", "sync.RWMutex":
 		return s
+	case "critlock/clrt.Mutex", "critlock/clrt.RWMutex", "critlock/clrt.WaitGroup":
+		return "clrt." + s[strings.LastIndexByte(s, '.')+1:]
 	}
 	return ""
 }

@@ -2,7 +2,6 @@ package lint
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 
@@ -127,18 +126,115 @@ func SortByCriticality(fs []Finding) {
 	})
 }
 
-// LoadReport reads a report.Export JSON file.
-func LoadReport(path string) (*report.Export, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// CrossReferenceHazards merges a dynamic hazard report into the static
+// result, then cross-references: every predicted hazard (feasible
+// deadlock cycle, lost signal, guard inconsistency) becomes a finding
+// in the same list as the static ones, each dynamic deadlock names the
+// static lock-order cycle it corroborates (or is flagged as invisible
+// to static analysis — cross-thread cycles are), and the merged view
+// re-ranks by measured CP Time % exactly like CrossReference.
+func CrossReferenceHazards(res *Result, rep *report.Export) {
+	hz := rep.Hazards
+	if hz == nil {
+		CrossReference(res, rep)
+		return
 	}
-	defer f.Close()
-	rep, err := report.ReadExport(f)
-	if err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+
+	// Static lock-order cycles by their dynamic-name set, so a dynamic
+	// cycle can say which static finding it confirms.
+	staticCycles := map[string]bool{}
+	for i := range res.Findings {
+		f := &res.Findings[i]
+		if f.Check == CheckLockOrder && len(f.CycleDyn) > 0 {
+			staticCycles[cycleKey(f.CycleDyn)] = true
+		}
 	}
-	return rep, nil
+	// First static acquisition site per dynamic lock name, to anchor
+	// dynamic findings in source when the lock is known statically.
+	siteByDyn := map[string]Site{}
+	for _, s := range res.Sites {
+		if s.DynName == "" {
+			continue
+		}
+		if _, ok := siteByDyn[s.DynName]; !ok {
+			siteByDyn[s.DynName] = s
+		}
+	}
+	anchor := func(f *Finding, dynNames []string) {
+		for _, name := range dynNames {
+			if s, ok := siteByDyn[name]; ok {
+				f.File, f.Line, f.Col = s.File, s.Line, s.Col
+				f.Weight = s.Weight
+				return
+			}
+		}
+	}
+
+	for _, c := range hz.Cycles {
+		var msg strings.Builder
+		fmt.Fprintf(&msg, "feasible deadlock: dynamic lock-order cycle %s", strings.Join(c.Locks, " -> "))
+		if c.CrossThread {
+			msg.WriteString(" via a cross-thread critical section")
+		}
+		if len(c.Edges) > 0 {
+			wit := c.Edges[0].Witness
+			if c.Edges[0].CrossWitness != nil {
+				wit = *c.Edges[0].CrossWitness
+			}
+			fmt.Fprintf(&msg, " (witness: %s obtained %q at t=%d", wit.ThreadName, c.Edges[0].To, wit.InnerT)
+			if wit.CrossThread {
+				fmt.Fprintf(&msg, " under %q held by %s, carried via %s", c.Edges[0].From, wit.OwnerName, wit.Via)
+			}
+			msg.WriteString(")")
+		}
+		if staticCycles[cycleKey(c.Locks)] {
+			msg.WriteString("; corroborates the static lockorder cycle")
+		} else if c.CrossThread {
+			msg.WriteString("; invisible to per-thread static analysis")
+		}
+		f := Finding{
+			Check: CheckDynDeadlock, Severity: severityOf(CheckDynDeadlock),
+			Lock: strings.Join(c.Locks, ","), DynName: c.Locks[0], CycleDyn: c.Locks,
+			Message: msg.String(),
+		}
+		anchor(&f, c.Locks)
+		res.Findings = append(res.Findings, f)
+	}
+	for _, l := range hz.LostSignals {
+		res.Findings = append(res.Findings, Finding{
+			Check: CheckLostSignal, Severity: severityOf(CheckLostSignal),
+			Lock: l.Object,
+			Message: fmt.Sprintf("lost %s on %s: %s (by %s at t=%d)",
+				l.Kind, l.Object, l.Detail, l.ThreadName, l.T),
+		})
+	}
+	for _, g := range hz.GuardIssues {
+		var guards []string
+		for _, s := range g.Sites {
+			if s.Mutex != "" {
+				guards = append(guards, s.Mutex)
+			}
+		}
+		f := Finding{
+			Check: CheckDynGuard, Severity: severityOf(CheckDynGuard),
+			Lock:    g.Object,
+			Message: fmt.Sprintf("guard inconsistency on %s %s: %s", g.ObjKind, g.Object, g.Detail),
+		}
+		if len(guards) > 0 {
+			f.DynName, f.CycleDyn = guards[0], guards
+		}
+		anchor(&f, guards)
+		res.Findings = append(res.Findings, f)
+	}
+
+	CrossReference(res, rep)
+}
+
+// cycleKey canonicalizes a cycle's lock-name set for matching.
+func cycleKey(locks []string) string {
+	s := append([]string(nil), locks...)
+	sort.Strings(s)
+	return strings.Join(s, "\x00")
 }
 
 // WriteHuman renders the result in the human-readable one-line-per-

@@ -1,9 +1,19 @@
 package lint
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
+
+	"critlock/internal/core"
+	"critlock/internal/hazard"
+	"critlock/internal/report"
+	"critlock/internal/segment"
+	"critlock/internal/trace"
 )
 
 // Package is one loaded, best-effort type-checked directory package,
@@ -42,6 +52,99 @@ type File struct {
 	// imported); TimeName likewise for "time".
 	SyncName string
 	TimeName string
+}
+
+// LoadReport reads a report.Export JSON file — the `clalint -report`
+// input. It is the narrow half of the shared export-loading path;
+// `clalint -dynamic` goes through LoadDynamic, which accepts raw
+// traces and segment directories too and funnels JSON files here.
+func LoadReport(path string) (*report.Export, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := report.ReadExport(f)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// LoadDynamic loads a dynamic analysis for cross-referencing from any
+// producer format, sniffed from the argument:
+//
+//   - a segment directory: the bounded-memory analysis pipeline plus
+//     the segment-range hazard pass stream it,
+//   - a JSON analysis report (cla -jsonreport / clasrv): parsed as-is —
+//     it carries a hazards section only if its producer ran the pass
+//     (cla -hazards -jsonreport, clasrv /v1/hazards),
+//   - a trace file (binary .cltr or JSON): analyzed in memory, with
+//     the hazard pass.
+//
+// Traces and segment directories always yield a freshly computed
+// hazards section, so `clalint -dynamic` on either joins both the
+// criticality ranking and the dynamic hazard findings.
+func LoadDynamic(path string) (*report.Export, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		rdr, err := segment.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open segment directory %s: %w", path, err)
+		}
+		defer rdr.Close()
+		an, err := core.AnalyzeSource(core.StreamSource(rdr), core.Config{Options: core.DefaultOptions()})
+		if err != nil {
+			return nil, fmt.Errorf("analyze %s: %w", path, err)
+		}
+		hz, err := hazard.FromSegments(rdr, 0)
+		if err != nil {
+			return nil, fmt.Errorf("hazard analysis of %s: %w", path, err)
+		}
+		rep := report.BuildExport("", "segments:"+path, true, an)
+		rep.Hazards = hz
+		return rep, nil
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr *trace.Trace
+	if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+		// JSON: an analysis report has a "summary" object, a JSON trace
+		// has "events" — disambiguate before committing to a decoder.
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		if _, ok := probe["summary"]; ok {
+			return LoadReport(path)
+		}
+		tr, err = trace.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else {
+		tr, err = trace.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, err)
+		}
+	}
+	an, err := core.AnalyzeSource(core.TraceSource(tr), core.Config{Options: core.DefaultOptions()})
+	if err != nil {
+		return nil, fmt.Errorf("analyze %s: %w", path, err)
+	}
+	hz, err := hazard.FromTrace(tr)
+	if err != nil {
+		return nil, fmt.Errorf("hazard analysis of %s: %w", path, err)
+	}
+	rep := report.BuildExport("", path, false, an)
+	rep.Hazards = hz
+	return rep, nil
 }
 
 // LoadPackages expands opts.Patterns, parses and best-effort

@@ -58,18 +58,18 @@ func TestCorpusCoverage(t *testing.T) {
 	byCheck := map[string]int{}
 	for _, f := range res.Findings {
 		byCheck[f.Check]++
-		if strings.Contains(f.File, "/clean/") {
+		if strings.Contains(f.File, "/clean/") || strings.Contains(f.File, "/clrtclean/") {
 			t.Errorf("false positive in clean corpus: %s", f.String())
 		}
 	}
 	want := map[string]int{
 		lint.CheckLockOrder:     2, // inline A/B inversion + via-call C/D inversion
 		lint.CheckMissingUnlock: 1,
-		lint.CheckDoubleLock:    1,
-		lint.CheckRWPair:        2,
-		lint.CheckBlockHeld:     7, // chan send/recv (Go + harness), select, barrier wait, sleep
-		lint.CheckWaitLoop:      2, // sync.Cond style + harness style
-		lint.CheckCopyLock:      3, // value param, value return, value assignment
+		lint.CheckDoubleLock:    2,  // sync style + clrt 0-arg style
+		lint.CheckRWPair:        3,  // sync pair + clrt.RWMutex mismatch
+		lint.CheckBlockHeld:     11, // chan send/recv (Go + harness + clrt), select (harness + clrt), barrier wait, sleep, WaitGroup wait
+		lint.CheckWaitLoop:      2,  // sync.Cond style + harness style
+		lint.CheckCopyLock:      4,  // value param (sync + clrt), value return, value assignment
 	}
 	for check, n := range want {
 		if byCheck[check] != n {
@@ -96,14 +96,15 @@ func TestCorpusCoverage(t *testing.T) {
 		t.Error("no cycle edge attributed via call to nested.takeD")
 	}
 
-	// Dynamic lock names resolved through NewMutex tracking.
+	// Dynamic lock names resolved through NewMutex tracking ("A".."audit")
+	// and clrt SetName tracking ("srv.mu").
 	dyn := map[string]bool{}
 	for _, s := range res.Sites {
 		if s.DynName != "" {
 			dyn[s.DynName] = true
 		}
 	}
-	for _, name := range []string{"A", "B", "C", "D", "ledger", "audit"} {
+	for _, name := range []string{"A", "B", "C", "D", "ledger", "audit", "srv.mu"} {
 		if !dyn[name] {
 			t.Errorf("dynamic lock name %q not resolved to any site", name)
 		}

@@ -50,6 +50,12 @@ const (
 	CheckWaitLoop      = "waitloop"      // condition Wait not guarded by a loop
 	CheckCopyLock      = "copylock"      // sync mutex copied by value
 	CheckHotLock       = "hotlock"       // critical lock with static hazards (cross-ref)
+
+	// Dynamic checks, emitted by CrossReferenceHazards from a trace's
+	// hazard report (clalint -dynamic) rather than from source.
+	CheckDynDeadlock = "dyndeadlock" // feasible deadlock cycle observed in a trace
+	CheckLostSignal  = "lostsignal"  // wakeup/send with provably no consumer
+	CheckDynGuard    = "dynguard"    // object guarded by inconsistent lock sets
 )
 
 // Severity buckets findings for display; every check has a fixed one.
@@ -62,7 +68,7 @@ const (
 
 func severityOf(check string) Severity {
 	switch check {
-	case CheckBlockHeld, CheckWaitLoop, CheckHotLock:
+	case CheckBlockHeld, CheckWaitLoop, CheckHotLock, CheckDynGuard:
 		return SevWarn
 	}
 	return SevError

@@ -19,10 +19,14 @@ type fileInfo struct {
 	// linting root when possible).
 	path string
 	ast  *ast.File
-	// syncName / timeName are the local import names of "sync" and
-	// "time" in this file ("" when not imported).
+	// syncName / timeName / clrtName are the local import names of
+	// "sync", "time" and "critlock/clrt" in this file ("" when not
+	// imported). clrtName gates the traced-runtime API classification:
+	// instrumented code (clainstr output) uses clrt.Mutex, clrt.Chan,
+	// clrt.WaitGroup, clrt.Select in place of the sync/chan forms.
 	syncName string
 	timeName string
+	clrtName string
 }
 
 // pkgInfo groups the files of one directory-package.
@@ -222,6 +226,7 @@ func (p *pkgInfo) typeCheck(imp types.Importer) {
 		files = append(files, f.ast)
 		f.syncName = importName(f.ast, "sync")
 		f.timeName = importName(f.ast, "time")
+		f.clrtName = importName(f.ast, "critlock/clrt")
 	}
 	// Check can in principle panic on pathological trees; a linter
 	// must never crash on its input, so treat type info as optional.

@@ -18,6 +18,7 @@ const (
 	opRUnlock
 	opWaitHarness // p.Wait(c, m): release m, block, reacquire m
 	opWaitCond    // c.Wait() on a sync.Cond
+	opWgWait      // wg.Wait() on a clrt.WaitGroup (blocking, lock-free)
 	opBarrierWait // blocking, lock-free
 	opSleep       // time.Sleep
 	opChanSend
@@ -29,7 +30,7 @@ const (
 // blocking reports whether the op can block the thread.
 func (k opKind) blocking() bool {
 	switch k {
-	case opWaitHarness, opWaitCond, opBarrierWait, opSleep, opChanSend, opChanRecv, opSelect:
+	case opWaitHarness, opWaitCond, opWgWait, opBarrierWait, opSleep, opChanSend, opChanRecv, opSelect:
 		return true
 	}
 	return false
@@ -40,6 +41,8 @@ func (k opKind) describe() string {
 	switch k {
 	case opWaitHarness, opWaitCond:
 		return "condition wait"
+	case opWgWait:
+		return "WaitGroup wait"
 	case opBarrierWait:
 		return "barrier wait"
 	case opSleep:
@@ -209,6 +212,16 @@ func (p *pkgInfo) prepassNode(root ast.Node, recvName, recvType string) {
 				mkey, mrecv := canonKey(nd.Args[1], recvName, recvType)
 				if ckey != "" && mkey != "" {
 					p.condMutex[dynScope(ckey, crecv)] = dynScope(mkey, mrecv)
+				}
+			}
+			// mu.SetName("name") binds a clrt.Mutex/RWMutex to its
+			// dynamic trace name — the same join key NewMutex("name")
+			// yields for harness code.
+			if sel, ok := nd.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SetName" && len(nd.Args) == 1 {
+				if lit, ok := ast.Unparen(nd.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING && len(lit.Value) >= 2 {
+					if key, _ := p.typedCanon(sel.X, recvName, recvType); key != "" {
+						p.dynNames[key] = strings.Trim(lit.Value, "`\"")
+					}
 				}
 			}
 		}
@@ -516,11 +529,24 @@ func (fn *function) classifyCall(call *ast.CallExpr, out *[]op) {
 		case "Wait":
 			// Only a condition-variable Wait counts (not
 			// sync.WaitGroup.Wait): the receiver must resolve to
-			// *sync.Cond or be a tracked NewCond result.
+			// *sync.Cond or be a tracked NewCond result. In a file using
+			// the clrt runtime, a non-cond 0-arg Wait is a
+			// clrt.WaitGroup (or sync.WaitGroup) wait — blocking.
 			if fn.isCondRecv(sel.X) {
 				o := mk(opWaitCond, sel.X)
 				o.assoc = fn.pkg.condMutex[o.key]
 				*out = append(*out, o)
+				return
+			}
+			if fn.file.clrtName != "" {
+				*out = append(*out, mk(opWgWait, nil))
+				return
+			}
+		case "Recv", "Recv1":
+			// clrt.Chan receive: ch.Recv() / ch.Recv1() (the rewritten
+			// forms of <-ch), blocking while empty.
+			if fn.file.clrtName != "" {
+				*out = append(*out, mk(opChanRecv, nil))
 				return
 			}
 		}
@@ -571,6 +597,14 @@ func (fn *function) classifyCall(call *ast.CallExpr, out *[]op) {
 		// every select as a potential block).
 		*out = append(*out, mk(opSelect, nil))
 		return
+	}
+	// clrt.Select(def, cases...): the rewritten select statement,
+	// package-qualified so any arity matches.
+	if isSel && name == "Select" && fn.file.clrtName != "" {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == fn.file.clrtName {
+			*out = append(*out, mk(opSelect, nil))
+			return
+		}
 	}
 	// Plain call: a lock-order propagation candidate.
 	o := op{kind: opCall, pos: pos, expr: call, callee: fn.resolveCallee(call)}

@@ -1,0 +1,71 @@
+// Package clrtbuggy seeds hazards written against the clrt runtime
+// API — the shape clainstr-instrumented code has: clrt.Mutex methods,
+// clrt.Chan Send/Recv/Recv1, clrt.WaitGroup, clrt.Select.
+package clrtbuggy
+
+import "critlock/clrt"
+
+type server struct {
+	mu   clrt.Mutex
+	rw   clrt.RWMutex
+	jobs clrt.Chan[int]
+	wg   clrt.WaitGroup
+}
+
+// setup binds the mutex to its dynamic trace name, the join key
+// clalint -report / -dynamic cross-references against.
+func (s *server) setup() {
+	s.mu.SetName("srv.mu")
+}
+
+// enqueue seeds a channel send inside the critical section.
+func (s *server) enqueue(v int) {
+	s.mu.Lock()
+	s.jobs.Send(v)
+	s.mu.Unlock()
+}
+
+// drain seeds a channel receive (the rewritten <-ch form) inside the
+// critical section.
+func (s *server) drain() int {
+	s.mu.Lock()
+	v := s.jobs.Recv1()
+	s.mu.Unlock()
+	return v
+}
+
+// flush seeds a WaitGroup wait inside the critical section: every
+// worker's Done gates the lock holder.
+func (s *server) flush() {
+	s.mu.Lock()
+	s.wg.Wait()
+	s.mu.Unlock()
+}
+
+// pick seeds a rewritten select inside the critical section.
+func (s *server) pick() {
+	s.mu.Lock()
+	clrt.Select(false, clrt.RecvCase(s.jobs))
+	s.mu.Unlock()
+}
+
+// redouble seeds a double lock through the sync-style 0-arg methods.
+func (s *server) redouble() {
+	s.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// mispair seeds an RWMutex mode mismatch: read acquisition, write
+// release.
+func (s *server) mispair() {
+	s.rw.RLock()
+	s.rw.Unlock()
+}
+
+// byValue seeds a copied lock: a clrt.Mutex holds registration state
+// (the trace handle), so a copy is a different, unregistered lock.
+func byValue(m clrt.Mutex) {
+	m.Lock()
+	m.Unlock()
+}

@@ -1,0 +1,72 @@
+// Package clrtclean exercises correct clrt runtime API usage: the
+// linter must stay silent on well-formed instrumented code.
+package clrtclean
+
+import "critlock/clrt"
+
+type pool struct {
+	mu   clrt.Mutex
+	wg   *clrt.WaitGroup
+	jobs clrt.Chan[int]
+	done int
+}
+
+// name binds the dynamic trace name outside any critical section.
+func (p *pool) name() {
+	p.mu.SetName("pool.mu")
+}
+
+// record pairs Lock with a deferred Unlock and blocks on nothing while
+// holding it.
+func (p *pool) record() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+}
+
+// submit sends outside the critical section: the counter update and
+// the potentially blocking hand-off are separate.
+func (p *pool) submit(v int) {
+	p.mu.Lock()
+	p.done++
+	p.mu.Unlock()
+	p.jobs.Send(v)
+}
+
+// run spawns traced workers and waits for them with no lock held.
+func (p *pool) run() {
+	p.wg.Add(1)
+	clrt.Go("worker", func() {
+		defer p.wg.Done()
+		for {
+			v, ok := p.jobs.Recv()
+			if !ok {
+				return
+			}
+			p.mu.Lock()
+			p.done += v
+			p.mu.Unlock()
+		}
+	})
+	p.wg.Wait()
+}
+
+// poll selects with no lock held; the default arm keeps it
+// non-blocking anyway.
+func (p *pool) poll() int {
+	i, v, _ := clrt.Select(true, clrt.RecvCase(p.jobs))
+	if i < 0 {
+		return 0
+	}
+	return clrt.Val[int](v)
+}
+
+// tryBump pairs a guarded TryLock with its release.
+func (p *pool) tryBump() bool {
+	if p.mu.TryLock() {
+		p.done++
+		p.mu.Unlock()
+		return true
+	}
+	return false
+}

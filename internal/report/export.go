@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"critlock/internal/core"
+	"critlock/internal/hazard"
 	"critlock/internal/trace"
 )
 
@@ -33,6 +34,11 @@ type Export struct {
 	Threads  []core.ThreadStats `json:"threads"`
 	Timeline []TimelinePiece    `json:"timeline"`
 	Jumps    []TimelineJump     `json:"jumps"`
+
+	// Hazards is the dynamic hazard prediction (feasible deadlocks,
+	// lost signals, guard inconsistencies), present when the producer
+	// ran the hazard pass (cla -hazards, clasrv /v1/hazards).
+	Hazards *hazard.Report `json:"hazards,omitempty"`
 }
 
 // ExportSummary is the whole-run critical-path header.

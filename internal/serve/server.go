@@ -10,6 +10,7 @@
 //
 //	POST /v1/analyze          analyze the request body (?format=binary|json|stream)
 //	POST /v1/analyze?segdir=D analyze a server-local segment directory
+//	POST /v1/hazards          analyze + dynamic hazard prediction (same inputs/knobs)
 //	GET  /v1/reports          list cached report IDs
 //	GET  /v1/reports/{id}     fetch a cached report
 //	GET  /metrics             Prometheus text exposition
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"critlock/internal/core"
+	"critlock/internal/hazard"
 	"critlock/internal/obs"
 	"critlock/internal/segment"
 	"critlock/internal/trace"
@@ -137,6 +139,7 @@ func New(opts Options) *Server {
 	reg.PublishExpvar("critlock")
 
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/hazards", s.handleHazards)
 	s.mux.HandleFunc("GET /v1/reports", s.handleReportList)
 	s.mux.HandleFunc("GET /v1/reports/{id}", s.handleReportGet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -200,6 +203,9 @@ type analyzeParams struct {
 	composition bool
 	clip        bool
 	validate    bool
+	// hazards runs the dynamic hazard pass and attaches its report
+	// (set by the /v1/hazards endpoint, not a query knob).
+	hazards bool
 }
 
 func parseParams(r *http.Request, defaults Options) (analyzeParams, error) {
@@ -274,10 +280,27 @@ func parseParams(r *http.Request, defaults Options) (analyzeParams, error) {
 // cache key (window and validate do not alter results, but window is
 // included so operators can compare runs; validate is excluded).
 func (p analyzeParams) fingerprint() string {
-	return fmt.Sprintf("clip=%t composition=%t", p.clip, p.composition)
+	fp := fmt.Sprintf("clip=%t composition=%t", p.clip, p.composition)
+	if p.hazards {
+		// Appended conditionally so pre-existing /v1/analyze cache keys
+		// (and the smoke golden) are unchanged.
+		fp += " hazards=true"
+	}
+	return fp
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.serveAnalysis(w, r, false)
+}
+
+// handleHazards is /v1/analyze plus the dynamic hazard pass: the same
+// inputs and knobs, with the report's hazards section populated (and a
+// distinct cache key, so the two endpoints never alias).
+func (s *Server) handleHazards(w http.ResponseWriter, r *http.Request) {
+	s.serveAnalysis(w, r, true)
+}
+
+func (s *Server) serveAnalysis(w http.ResponseWriter, r *http.Request, hazards bool) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 	defer cancel()
 
@@ -286,6 +309,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	params.hazards = hazards
 
 	var rep *Report
 	if params.segdir != "" {
@@ -343,7 +367,16 @@ func (s *Server) analyzeBody(ctx context.Context, r *http.Request, params analyz
 	if err != nil {
 		return nil, err
 	}
-	return s.store(buildReport(id, "trace", false, an)), nil
+	rep := buildReport(id, "trace", false, an)
+	if params.hazards {
+		hz, err := hazard.FromTrace(tr)
+		if err != nil {
+			return nil, &httpError{http.StatusUnprocessableEntity,
+				fmt.Sprintf("hazard analysis: %v", err)}
+		}
+		rep.Hazards = hz
+	}
+	return s.store(rep), nil
 }
 
 // analyzeSegdir ingests a server-local segment directory.
@@ -370,7 +403,23 @@ func (s *Server) analyzeSegdir(ctx context.Context, params analyzeParams) (*Repo
 	if err != nil {
 		return nil, err
 	}
-	return s.store(buildReport(id, source, true, an)), nil
+	rep := buildReport(id, source, true, an)
+	if params.hazards {
+		// The analysis source closed its reader; the hazard pass streams
+		// the directory again on a fresh one (segment-range parallel).
+		hrdr, err := segment.OpenWith(params.segdir, segment.ReadOptions{NoMmap: !params.mmap})
+		if err != nil {
+			return nil, fmt.Errorf("reopening %s: %w", params.segdir, err)
+		}
+		hz, err := hazard.FromSegments(hrdr, params.par)
+		hrdr.Close()
+		if err != nil {
+			return nil, &httpError{http.StatusUnprocessableEntity,
+				fmt.Sprintf("hazard analysis: %v", err)}
+		}
+		rep.Hazards = hz
+	}
+	return s.store(rep), nil
 }
 
 // run executes one analysis under the concurrency budget, the request

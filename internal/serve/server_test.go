@@ -269,6 +269,73 @@ func TestErrorPaths(t *testing.T) {
 	}
 }
 
+// TestHazardsEndpoint: /v1/hazards is /v1/analyze plus the dynamic
+// hazard section, with its own cache key, over both upload and segdir
+// inputs.
+func TestHazardsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	sim := critlock.NewSimulator(critlock.SimConfig{Contexts: 8, Seed: 1})
+	tr, _, err := critlock.RunWorkload(sim, "deadlockprone", critlock.WorkloadParams{Seed: 1})
+	if err != nil {
+		t.Fatalf("running deadlockprone: %v", err)
+	}
+	body := traceBytes(t, tr)
+
+	resp, err := http.Post(ts.URL+"/v1/hazards", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/hazards = %d\n%s", resp.StatusCode, raw)
+	}
+	rep := decodeReport(t, raw)
+	if rep.Hazards == nil {
+		t.Fatal("/v1/hazards report has no hazards section")
+	}
+	if len(rep.Hazards.Cycles) != 1 {
+		t.Errorf("deadlockprone cycles = %d, want 1", len(rep.Hazards.Cycles))
+	}
+	if rep.Summary.CPLength <= 0 {
+		t.Errorf("hazards report lost the analysis summary: %+v", rep.Summary)
+	}
+
+	// Plain /v1/analyze of the same body: no hazards, distinct cache key.
+	_, raw2 := post(t, ts, "", body)
+	plain := decodeReport(t, raw2)
+	if plain.Hazards != nil {
+		t.Error("/v1/analyze report unexpectedly has a hazards section")
+	}
+	if plain.ID == rep.ID {
+		t.Errorf("/v1/analyze and /v1/hazards share cache key %s", rep.ID)
+	}
+
+	// Segdir input serves the identical hazard section.
+	dir := t.TempDir()
+	if err := segment.WriteTrace(dir, tr, segment.Options{SegmentEvents: 64}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/hazards?segdir="+dir+"&par=4", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw3, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/hazards?segdir = %d\n%s", resp.StatusCode, raw3)
+	}
+	fromDir := decodeReport(t, raw3)
+	if fromDir.Hazards == nil {
+		t.Fatal("segdir hazards report has no hazards section")
+	}
+	a, _ := json.Marshal(rep.Hazards)
+	b, _ := json.Marshal(fromDir.Hazards)
+	if !bytes.Equal(a, b) {
+		t.Errorf("segdir hazard section differs from upload:\n%s\n%s", a, b)
+	}
+}
+
 func TestReportCacheEviction(t *testing.T) {
 	_, ts := newTestServer(t, serve.Options{CacheReports: 1})
 	body := traceBytes(t, microTrace(t))

@@ -42,6 +42,10 @@ func (b *Builder) Barrier(name string, n int) ObjID { return b.object(ObjBarrier
 // Cond registers a condition variable and returns its ID.
 func (b *Builder) Cond(name string) ObjID { return b.object(ObjCond, name, 0) }
 
+// Chan registers a channel with the given buffer capacity (carried in
+// Parties, as the live runtimes record it) and returns its ID.
+func (b *Builder) Chan(name string, capacity int) ObjID { return b.object(ObjChan, name, capacity) }
+
 func (b *Builder) object(kind ObjKind, name string, parties int) ObjID {
 	id := ObjID(len(b.objects))
 	b.objects = append(b.objects, ObjectInfo{ID: id, Kind: kind, Name: name, Parties: parties})

@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"critlock/internal/harness"
+	"critlock/internal/trace"
+)
+
+// deadlockprone and lostsignal are planted-hazard workloads: each run
+// completes normally, but the trace realizes a synchronization
+// structure that another interleaving would turn into a hang. They
+// exist so the dynamic hazard pass (internal/hazard) has ground truth
+// to detect end to end — deadlockprone must yield exactly one feasible
+// deadlock cycle {locks.A, locks.B}, lostsignal exactly one lost
+// signal on ls.cv — and so regressions in the cross-thread
+// critical-section rules surface immediately.
+func init() {
+	register(Spec{
+		Name:            "deadlockprone",
+		Desc:            "A→B / B→A lock inversion realized without hanging; default variant routes the A→B edge across a channel hand-off",
+		Paper:           "extension: feasible-deadlock prediction from the dynamic lock-order graph",
+		DefaultThreads:  2,
+		SupportsTwoLock: true,
+		Build:           buildDeadlockProne,
+	})
+	register(Spec{
+		Name:           "lostsignal",
+		Desc:           "condition variable signaled again after its only waiter exited",
+		Paper:          "extension: lost-signal prediction",
+		DefaultThreads: 2,
+		Build:          buildLostSignal,
+	})
+}
+
+const (
+	hazardStepCost = trace.Time(50_000)
+	// deadlockHoldCost keeps locks.A held long after the gate hand-off,
+	// so the woken goroutine's B acquisition lands inside A's extended
+	// critical section.
+	deadlockHoldCost = trace.Time(2_000_000)
+)
+
+// buildDeadlockProne realizes both directions of an A/B lock inversion
+// in one run, guarded so the run completes.
+//
+// Default variant (cross-thread): g1 locks A and, still holding it,
+// sends on the capacity-1 channel "gate", then keeps A for a long
+// compute. g2 receives from gate — inheriting A's still-open critical
+// section — and locks B (the cross-thread edge A→B), then blocks on A
+// until g1 releases it (the ordinary edge B→A). Per-thread lock sets
+// never see A and B held together by one thread; only the cross-thread
+// extension closes the cycle.
+//
+// TwoLock variant (intra-thread): the classical serialized inversion —
+// g1 nests A→B, hands the turn over an unlocked channel, g2 nests B→A.
+// Both edges are ordinary nesting edges.
+func buildDeadlockProne(rt harness.Runtime, p Params) func(harness.Proc) {
+	a := rt.NewMutex("locks.A")
+	b := rt.NewMutex("locks.B")
+	gate := rt.NewChan("gate", 1)
+
+	if p.TwoLock {
+		return func(main harness.Proc) {
+			g1 := main.Go("g1", func(q harness.Proc) {
+				q.Lock(a)
+				//lint:ignore lockorder planted inversion: this workload exists to seed the dynamic deadlock detector
+				q.Lock(b)
+				q.Compute(scaled(p, hazardStepCost))
+				q.Unlock(b)
+				q.Unlock(a)
+				q.Send(gate) // hand the turn over, holding nothing
+			})
+			g2 := main.Go("g2", func(q harness.Proc) {
+				q.Recv(gate)
+				q.Lock(b)
+				q.Lock(a)
+				q.Compute(scaled(p, hazardStepCost))
+				q.Unlock(a)
+				q.Unlock(b)
+			})
+			main.Join(g1)
+			main.Join(g2)
+		}
+	}
+
+	return func(main harness.Proc) {
+		g1 := main.Go("g1", func(q harness.Proc) {
+			q.Lock(a)
+			q.Compute(scaled(p, hazardStepCost))
+			//lint:ignore blockheld planted: the cross-thread hand-off must carry locks.A across the send
+			q.Send(gate) // capacity 1: does not block, A stays held
+			q.Compute(scaled(p, deadlockHoldCost))
+			q.Unlock(a)
+		})
+		g2 := main.Go("g2", func(q harness.Proc) {
+			q.Recv(gate) // A's critical section extends to here
+			q.Lock(b)    // cross-thread edge A→B
+			q.Compute(scaled(p, hazardStepCost))
+			q.Lock(a) // blocks until g1 releases: edge B→A
+			q.Compute(scaled(p, hazardStepCost))
+			q.Unlock(a)
+			q.Unlock(b)
+		})
+		main.Join(g1)
+		main.Join(g2)
+	}
+}
+
+// buildLostSignal signals a condition variable whose only ever-waiter
+// has already exited: the first signal is consumed normally, the
+// second can never be.
+func buildLostSignal(rt harness.Runtime, p Params) func(harness.Proc) {
+	mu := rt.NewMutex("ls.mu")
+	cv := rt.NewCond("ls.cv")
+
+	return func(main harness.Proc) {
+		waiter := main.Go("waiter", func(q harness.Proc) {
+			q.Lock(mu)
+			//lint:ignore waitloop planted: the one-shot wait is what makes the second signal provably lost
+			q.Wait(cv, mu)
+			q.Unlock(mu)
+		})
+		// Let the waiter park before signaling.
+		main.Compute(scaled(p, hazardStepCost))
+		main.Lock(mu)
+		main.Signal(cv) // consumed by the waiter
+		main.Unlock(mu)
+		main.Join(waiter)
+		main.Lock(mu)
+		main.Signal(cv) // nobody can ever consume this one
+		main.Unlock(mu)
+	}
+}

@@ -34,7 +34,7 @@ func analyzeRun(t *testing.T, name string, p Params) (*core.Analysis, trace.Time
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"fanin", "ldap", "micro", "pipeline", "radiosity", "raytrace", "tsp", "uts", "volrend", "waternsq"}
+	want := []string{"deadlockprone", "fanin", "ldap", "lostsignal", "micro", "pipeline", "radiosity", "raytrace", "tsp", "uts", "volrend", "waternsq"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("Names() = %v, want %v", names, want)
 	}
